@@ -1,0 +1,26 @@
+//! Baseline colocation policies the paper compares against (implicitly or
+//! explicitly):
+//!
+//! * [`LcOnly`] — no colocation at all: the LC workload owns the whole
+//!   server.  This is the "baseline" series in Figures 4–8 and the reference
+//!   point for Effective Machine Utilization.
+//! * [`OsOnly`] — colocation with nothing but OS-level isolation: both
+//!   workloads run in containers, the BE task gets a very low CFS share, and
+//!   no pinning, CAT, DVFS or traffic shaping is used.  This reproduces the
+//!   `brain` rows of Figure 1, which motivate the need for stronger
+//!   isolation.
+//! * [`StaticPartition`] — a fixed, load-independent split of cores, cache
+//!   ways and network bandwidth.  The paper argues (§3.3) that any static
+//!   policy is either too conservative or causes SLO violations; this policy
+//!   lets the ablation benchmarks quantify that.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lc_only;
+pub mod os_only;
+pub mod static_partition;
+
+pub use lc_only::LcOnly;
+pub use os_only::OsOnly;
+pub use static_partition::StaticPartition;

@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks of the Heracles controller itself: the cost of
+//! one control decision, of building the offline DRAM model, and of a full
+//! convergence from BE-disabled to steady state.  The paper reports a typical
+//! convergence time of ~30 s of wall-clock (controller) time; the benchmark
+//! measures how much *computation* that takes, which is what matters for
+//! running one controller instance per server.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use heracles_core::{ColocationPolicy, Heracles, HeraclesConfig, Measurements, OfflineDramModel};
+use heracles_hw::{CounterSnapshot, Server, ServerConfig};
+use heracles_sim::SimTime;
+use heracles_workloads::LcWorkload;
+
+fn healthy_measurements() -> Measurements {
+    Measurements {
+        tail_latency_s: 0.012,
+        load: 0.4,
+        be_progress: 5.0,
+        counters: CounterSnapshot {
+            dram_total_gbps: 45.0,
+            dram_be_gbps: 15.0,
+            dram_peak_gbps: 120.0,
+            lc_freq_ghz: 2.5,
+            be_freq_ghz: 2.2,
+            package_power_w: 220.0,
+            tdp_w: 290.0,
+            cpu_utilization: 0.6,
+            lc_cpu_utilization: 0.6,
+            nic_lc_gbps: 0.3,
+            nic_be_gbps: 0.1,
+            nic_link_gbps: 10.0,
+        },
+    }
+}
+
+fn bench_controller_tick(c: &mut Criterion) {
+    let config = ServerConfig::default_haswell();
+    let websearch = LcWorkload::websearch();
+    let model = OfflineDramModel::profile(&websearch, &config);
+    c.bench_function("heracles_single_tick", |b| {
+        let mut server = Server::new(config.clone());
+        let mut heracles = Heracles::new(HeraclesConfig::default(), websearch.slo(), model.clone());
+        heracles.init(&mut server);
+        let m = healthy_measurements();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            heracles.tick(SimTime::from_secs(t), &mut server, &m);
+        });
+    });
+}
+
+fn bench_offline_profile(c: &mut Criterion) {
+    let config = ServerConfig::default_haswell();
+    c.bench_function("offline_dram_model_profile", |b| {
+        b.iter(|| OfflineDramModel::profile(&LcWorkload::websearch(), &config));
+    });
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let config = ServerConfig::default_haswell();
+    let websearch = LcWorkload::websearch();
+    let model = OfflineDramModel::profile(&websearch, &config);
+    c.bench_function("heracles_45s_convergence", |b| {
+        b.iter(|| {
+            let mut server = Server::new(config.clone());
+            let mut heracles =
+                Heracles::new(HeraclesConfig::default(), websearch.slo(), model.clone());
+            heracles.init(&mut server);
+            let m = healthy_measurements();
+            for t in 1..=45 {
+                heracles.tick(SimTime::from_secs(t), &mut server, &m);
+            }
+            server.allocations().be_cores()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_controller_tick, bench_offline_profile, bench_convergence
+}
+criterion_main!(benches);

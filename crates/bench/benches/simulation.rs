@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of the simulation substrate: the cost of one
+//! hardware-model evaluation, one measurement window of the queueing
+//! simulation, and one full characterization cell.  These bound how long the
+//! figure-reproduction binaries take.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use heracles_baselines::LcOnly;
+use heracles_colo::{characterize_cell, ColoConfig, ColoRunner};
+use heracles_hw::{ResourceDemand, Server, ServerConfig};
+use heracles_workloads::{BeWorkload, LcWorkload};
+
+fn bench_server_evaluate(c: &mut Criterion) {
+    let mut server = Server::new(ServerConfig::default_haswell());
+    server.allocations_mut().set_lc_cores(20);
+    server.allocations_mut().set_be_cores(16);
+    let demand = ResourceDemand {
+        lc_active_cores: 14.0,
+        lc_compute_activity: 0.9,
+        lc_dram_gbps: 25.0,
+        lc_llc_footprint_mb: 30.0,
+        lc_net_gbps: 0.3,
+        be_active_cores: 16.0,
+        be_compute_activity: 1.0,
+        be_dram_gbps_per_core: 2.0,
+        be_llc_footprint_mb: 120.0,
+        be_net_offered_gbps: 0.1,
+        smt_antagonist_intensity: 0.0,
+    };
+    c.bench_function("server_evaluate", |b| b.iter(|| server.evaluate(&demand)));
+}
+
+fn bench_measurement_window(c: &mut Criterion) {
+    c.bench_function("one_measurement_window_3000_requests", |b| {
+        b.iter_batched(
+            || {
+                ColoRunner::new(
+                    ServerConfig::default_haswell(),
+                    LcWorkload::websearch(),
+                    None,
+                    Box::new(LcOnly::new()),
+                    ColoConfig::default(),
+                )
+            },
+            |mut runner| runner.step(0.5),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_characterization_cell(c: &mut Criterion) {
+    let server = ServerConfig::default_haswell();
+    let colo = ColoConfig::fast_test();
+    c.bench_function("characterization_cell", |b| {
+        b.iter(|| {
+            characterize_cell(&LcWorkload::ml_cluster(), &BeWorkload::llc_medium(), 0.5, &server, &colo)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_server_evaluate, bench_measurement_window, bench_characterization_cell
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Figure 6: shared-resource utilization under Heracles — DRAM bandwidth,
+//! CPU utilization and CPU power (as a fraction of TDP) — for each LC
+//! workload colocated with each BE job, across the load range.
+//!
+//! Run with: `cargo run --release -p heracles-bench --bin fig6_resource_util [--quick]`
+
+use heracles_bench::{parallel_map, print_load_header, print_row};
+use heracles_colo::{ColoConfig, ColoRunner, ColoSummary};
+use heracles_core::{ColocationPolicy, Heracles, HeraclesConfig, OfflineDramModel};
+use heracles_hw::ServerConfig;
+use heracles_workloads::{BeWorkload, LcWorkload};
+
+fn steady_state(
+    lc: &LcWorkload,
+    be: Option<&BeWorkload>,
+    load: f64,
+    server: &ServerConfig,
+    colo: &ColoConfig,
+    windows: usize,
+) -> ColoSummary {
+    let policy: Box<dyn ColocationPolicy> = Box::new(Heracles::new(
+        HeraclesConfig::default(),
+        lc.slo(),
+        OfflineDramModel::profile(lc, server),
+    ));
+    let mut runner = ColoRunner::new(server.clone(), lc.clone(), be.cloned(), policy, *colo);
+    runner.run_steady(load, windows);
+    runner.summary_of_last(windows / 2)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let server = ServerConfig::default_haswell();
+    let colo = if quick { ColoConfig::fast_test() } else { ColoConfig::default() };
+    let windows = if quick { 60 } else { 120 };
+    let loads: Vec<f64> = if quick { vec![0.2, 0.4, 0.6, 0.8] } else { vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] };
+
+    let metrics: [(&str, fn(&ColoSummary) -> f64); 3] = [
+        ("DRAM BW (% of peak)", |s| s.mean_dram_utilization),
+        ("CPU utilization (%)", |s| s.mean_cpu_utilization),
+        ("CPU power (% of TDP)", |s| s.mean_power_fraction),
+    ];
+
+    println!("Figure 6: shared-resource utilization under Heracles");
+    for lc in LcWorkload::all() {
+        for (metric_name, extract) in metrics {
+            println!();
+            println!("{} — {}", lc.name(), metric_name);
+            print_load_header("colocation", &loads);
+            let baseline = parallel_map(&loads, |&load| {
+                extract(&steady_state(&lc, None, load, &server, &colo, windows))
+            });
+            print_row(
+                "baseline",
+                &baseline.iter().map(|v| format!("{:.0}%", v * 100.0)).collect::<Vec<_>>(),
+            );
+            for be in BeWorkload::evaluation_set() {
+                let values = parallel_map(&loads, |&load| {
+                    extract(&steady_state(&lc, Some(&be), load, &server, &colo, windows))
+                });
+                print_row(
+                    be.name(),
+                    &values.iter().map(|v| format!("{:.0}%", v * 100.0)).collect::<Vec<_>>(),
+                );
+            }
+        }
+    }
+    println!();
+    println!("(paper: Figure 6 — DRAM bandwidth never saturates (kept below 90% of peak);");
+    println!(" CPU utilization and power rise well above the baseline, which is where the");
+    println!(" extra throughput comes from.)");
+}

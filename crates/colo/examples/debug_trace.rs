@@ -1,0 +1,18 @@
+use heracles_colo::{ColoConfig, ColoRunner};
+use heracles_core::{Heracles, HeraclesConfig, OfflineDramModel, ColocationPolicy};
+use heracles_hw::ServerConfig;
+use heracles_workloads::{BeWorkload, LcWorkload};
+
+fn main() {
+    let cfg = ServerConfig::default_haswell();
+    let lc = LcWorkload::websearch();
+    let model = OfflineDramModel::profile(&lc, &cfg);
+    let policy: Box<dyn ColocationPolicy> = Box::new(Heracles::new(HeraclesConfig::fast(), lc.slo(), model));
+    let mut runner = ColoRunner::new(cfg, lc, Some(BeWorkload::brain()), policy, ColoConfig::fast_test());
+    for i in 0..60 {
+        let r = runner.step(0.4);
+        println!("w{:02} lc_cores={:2} be_cores={:2} be_ways={:2} norm_lat={:.2} dram={:.2} pwr={:.2} lc_freq={:.2} lc_cache={:.1}",
+            i, r.lc_cores, r.be_cores, r.be_ways, r.normalized_latency,
+            r.counters.dram_utilization(), r.counters.power_fraction(), r.outcome.lc_freq_ghz, r.outcome.lc_cache_mb);
+    }
+}

@@ -1,0 +1,39 @@
+//! Single-server colocation harness.
+//!
+//! This crate wires everything together for one server: an LC workload model,
+//! an optional BE workload, the hardware model, and a [`ColocationPolicy`]
+//! (Heracles or a baseline).  Time advances in measurement windows; each
+//! window the harness
+//!
+//! 1. derives the offered resource demands from the LC load and the BE task's
+//!    profile under the *current* allocations,
+//! 2. asks the hardware model for the effective resources and counters,
+//! 3. simulates the LC request stream through a discrete-event queue to get
+//!    the window's tail latency,
+//! 4. computes the BE task's progress (for Effective Machine Utilization),
+//! 5. hands the measurements to the policy, which may adjust the allocations
+//!    for the next window.
+//!
+//! The figure-reproduction binaries drive this harness:
+//!
+//! * [`characterize`] — the fixed-allocation interference characterization of
+//!   Figure 1 and the cores×LLC convexity sweep of Figure 3,
+//! * [`runner::ColoRunner`] — the policy-driven colocation experiments of
+//!   Figures 4–7,
+//! * the cluster crate stacks many runners into the Figure 8 experiment.
+//!
+//! [`ColocationPolicy`]: heracles_core::ColocationPolicy
+//! [`characterize`]: crate::characterize
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod characterize;
+pub mod config;
+pub mod record;
+pub mod runner;
+
+pub use characterize::{characterize_cell, max_load_under_slo, CharacterizationCell};
+pub use config::ColoConfig;
+pub use record::{ColoSummary, WindowRecord};
+pub use runner::ColoRunner;

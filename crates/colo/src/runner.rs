@@ -1,0 +1,356 @@
+//! The policy-driven colocation runner.
+
+use std::collections::VecDeque;
+
+use heracles_core::{ColocationPolicy, Measurements};
+use heracles_hw::{Server, ServerConfig};
+use heracles_isolation::CfsShares;
+use heracles_sim::{LatencyRecorder, SimRng, SimTime};
+use heracles_workloads::{BeWorkload, LcWorkload};
+
+use crate::config::ColoConfig;
+use crate::record::{ColoSummary, WindowRecord};
+
+/// Runs an LC workload (and optionally a BE workload) on one simulated server
+/// under a colocation policy, one measurement window at a time.
+///
+/// # Example
+///
+/// ```
+/// use heracles_baselines::LcOnly;
+/// use heracles_colo::{ColoConfig, ColoRunner};
+/// use heracles_hw::ServerConfig;
+/// use heracles_workloads::LcWorkload;
+///
+/// let mut runner = ColoRunner::new(
+///     ServerConfig::default_haswell(),
+///     LcWorkload::websearch(),
+///     None,
+///     Box::new(LcOnly::new()),
+///     ColoConfig::fast_test(),
+/// );
+/// let record = runner.step(0.5);
+/// assert!(record.slo_met);
+/// ```
+pub struct ColoRunner {
+    server: Server,
+    lc: LcWorkload,
+    be: Option<BeWorkload>,
+    be_alone_progress: f64,
+    policy: Box<dyn ColocationPolicy>,
+    config: ColoConfig,
+    cfs: CfsShares,
+    rng: SimRng,
+    now: SimTime,
+    history: Vec<WindowRecord>,
+    /// Latency samples of the most recent windows, merged into one SLO
+    /// measurement (the paper's multi-second SLO window).
+    recent_latencies: VecDeque<LatencyRecorder>,
+}
+
+impl ColoRunner {
+    /// Creates a runner and lets the policy set up its initial allocations.
+    pub fn new(
+        server_config: ServerConfig,
+        lc: LcWorkload,
+        be: Option<BeWorkload>,
+        mut policy: Box<dyn ColocationPolicy>,
+        config: ColoConfig,
+    ) -> Self {
+        let be_alone_progress = be.as_ref().map_or(1.0, |b| b.alone_progress(&server_config));
+        let mut server = Server::new(server_config);
+        policy.init(&mut server);
+        ColoRunner {
+            server,
+            lc,
+            be,
+            be_alone_progress,
+            policy,
+            config,
+            cfs: CfsShares::characterization_default(),
+            rng: SimRng::new(config.seed),
+            now: SimTime::ZERO,
+            history: Vec::new(),
+            recent_latencies: VecDeque::new(),
+        }
+    }
+
+    /// The LC workload being served.
+    pub fn lc(&self) -> &LcWorkload {
+        &self.lc
+    }
+
+    /// The BE workload being colocated, if any.
+    pub fn be(&self) -> Option<&BeWorkload> {
+        self.be.as_ref()
+    }
+
+    /// The simulated server (allocations, counters, configuration).
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// The policy controlling the experiment.
+    pub fn policy(&self) -> &dyn ColocationPolicy {
+        self.policy.as_ref()
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// All windows recorded so far.
+    pub fn history(&self) -> &[WindowRecord] {
+        &self.history
+    }
+
+    /// Summary statistics over all windows recorded so far.
+    pub fn summary(&self) -> ColoSummary {
+        ColoSummary::from_records(&self.history)
+    }
+
+    /// Summary statistics over the most recent `n` windows.
+    pub fn summary_of_last(&self, n: usize) -> ColoSummary {
+        let start = self.history.len().saturating_sub(n);
+        ColoSummary::from_records(&self.history[start..])
+    }
+
+    /// Advances one measurement window at the given LC load and returns its
+    /// record.  The policy observes the window's measurements afterwards and
+    /// may adjust allocations for the next window.
+    pub fn step(&mut self, load: f64) -> WindowRecord {
+        let load = load.clamp(0.0, 1.0);
+        self.now += self.config.window;
+        let cfg = self.server.config().clone();
+
+        let alloc = self.server.allocations().clone();
+        let be_running = self.be.is_some()
+            && self.policy.be_enabled()
+            && (alloc.be_cores() > 0 || alloc.be_shares_lc_cores());
+
+        // Offered demands under the current allocations.
+        let lc_footprint = self.lc.footprint_mb(load, &cfg);
+        let be_footprint = if be_running {
+            self.be.as_ref().map_or(0.0, |b| b.contention_footprint_mb())
+        } else {
+            0.0
+        };
+        let cache = self.server.cache_split(lc_footprint, be_footprint);
+        let mut demand = self.lc.demand(load, alloc.lc_cores(), cache.lc_mb, &cfg);
+        if be_running {
+            let be = self.be.as_ref().expect("be_running implies a BE workload");
+            let be_demand = be.demand(alloc.be_cores(), cache.be_mb);
+            demand.be_active_cores = be_demand.be_active_cores;
+            demand.be_compute_activity = be_demand.be_compute_activity;
+            demand.be_dram_gbps_per_core = be_demand.be_dram_gbps_per_core;
+            demand.be_llc_footprint_mb = be_demand.be_llc_footprint_mb;
+            demand.be_net_offered_gbps = be_demand.be_net_offered_gbps;
+            demand.smt_antagonist_intensity = be_demand.smt_antagonist_intensity;
+        }
+        let outcome = self.server.evaluate(&demand);
+
+        // Scheduling interference applies only when the OS is allowed to run
+        // BE threads on the LC cores (the OS-only baseline).
+        let sched_pressure = if be_running && alloc.be_shares_lc_cores() {
+            let be = self.be.as_ref().expect("be_running implies a BE workload");
+            (alloc.be_cores() as f64 * be.compute_activity() / alloc.total_cores() as f64).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let cfs = self.cfs;
+        let mut extra = move |rng: &mut SimRng| cfs.scheduling_delay_s(rng, sched_pressure);
+        let extra_opt: Option<&mut dyn FnMut(&mut SimRng) -> f64> =
+            if sched_pressure > 0.0 { Some(&mut extra) } else { None };
+
+        let window = self.lc.simulate_window(
+            &mut self.rng,
+            load,
+            alloc.lc_cores(),
+            &outcome,
+            &cfg,
+            self.config.requests_per_window,
+            extra_opt,
+        );
+
+        // Aggregate the last few windows into one SLO measurement so that the
+        // tail estimate is statistically meaningful (the paper's controller
+        // polls latency over 15 s for exactly this reason).
+        self.recent_latencies.push_back(window.latencies.clone());
+        while self.recent_latencies.len() > self.config.slo_window_count.max(1) {
+            self.recent_latencies.pop_front();
+        }
+        let mut merged = LatencyRecorder::new();
+        for rec in &self.recent_latencies {
+            merged.merge(rec);
+        }
+        let tail_latency_s = merged.quantile(self.lc.slo().percentile);
+        let normalized_latency = self.lc.slo().normalized(tail_latency_s);
+
+        // BE progress and Effective Machine Utilization.
+        let be_progress = if be_running {
+            let be = self.be.as_ref().expect("be_running implies a BE workload");
+            be.progress(
+                alloc.be_cores(),
+                outcome.be_freq_ghz,
+                outcome.be_cache_mb,
+                outcome.be_dram_achieved_gbps,
+                outcome.be_net_achieved_gbps,
+                &cfg,
+            )
+        } else {
+            0.0
+        };
+        let be_throughput = be_progress / self.be_alone_progress;
+        let lc_throughput = load;
+        let counters = self.server.counters(&outcome);
+
+        let measurements = Measurements { tail_latency_s, load, be_progress, counters };
+        self.policy.tick(self.now, &mut self.server, &measurements);
+
+        let record = WindowRecord {
+            time: self.now,
+            load,
+            tail_latency_s,
+            normalized_latency,
+            slo_met: self.lc.slo().is_met(tail_latency_s),
+            lc_throughput,
+            be_throughput,
+            emu: lc_throughput + be_throughput,
+            lc_cores: alloc.lc_cores(),
+            be_cores: alloc.be_cores(),
+            be_ways: if alloc.cat_enabled() { alloc.be_ways() } else { 0 },
+            counters,
+            outcome,
+        };
+        self.history.push(record.clone());
+        record
+    }
+
+    /// Runs `windows` consecutive windows at a constant load and returns the
+    /// records (also appended to the history).
+    pub fn run_steady(&mut self, load: f64, windows: usize) -> Vec<WindowRecord> {
+        (0..windows).map(|_| self.step(load)).collect()
+    }
+
+    /// Runs one window per entry of `loads` and returns the records.
+    pub fn run_trace(&mut self, loads: &[f64]) -> Vec<WindowRecord> {
+        loads.iter().map(|&l| self.step(l)).collect()
+    }
+}
+
+impl std::fmt::Debug for ColoRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColoRunner")
+            .field("lc", &self.lc.name())
+            .field("be", &self.be.as_ref().map(|b| b.name().to_string()))
+            .field("policy", &self.policy.name())
+            .field("now", &self.now)
+            .field("windows", &self.history.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heracles_baselines::{LcOnly, OsOnly};
+    use heracles_core::{Heracles, HeraclesConfig, OfflineDramModel};
+
+    fn heracles_for(lc: &LcWorkload, config: &ServerConfig) -> Box<dyn ColocationPolicy> {
+        let model = OfflineDramModel::profile(lc, config);
+        Box::new(Heracles::new(HeraclesConfig::fast(), lc.slo(), model))
+    }
+
+    #[test]
+    fn lc_alone_meets_slo_across_loads() {
+        let cfg = ServerConfig::default_haswell();
+        let mut runner = ColoRunner::new(
+            cfg,
+            LcWorkload::websearch(),
+            None,
+            Box::new(LcOnly::new()),
+            ColoConfig::fast_test(),
+        );
+        for load in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let r = runner.step(load);
+            assert!(r.slo_met, "SLO violated at load {load}: {:.2}", r.normalized_latency);
+            assert_eq!(r.be_throughput, 0.0);
+            assert!((r.emu - load).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn os_only_colocation_with_brain_violates_slo() {
+        let cfg = ServerConfig::default_haswell();
+        let mut runner = ColoRunner::new(
+            cfg,
+            LcWorkload::websearch(),
+            Some(BeWorkload::brain()),
+            Box::new(OsOnly::new()),
+            ColoConfig::fast_test(),
+        );
+        let records = runner.run_steady(0.5, 3);
+        let worst = records.iter().map(|r| r.normalized_latency).fold(0.0, f64::max);
+        assert!(worst > 1.0, "OS-only colocation should violate the SLO, worst={worst:.2}");
+    }
+
+    #[test]
+    fn heracles_grows_be_and_preserves_slo() {
+        let cfg = ServerConfig::default_haswell();
+        let lc = LcWorkload::websearch();
+        let policy = heracles_for(&lc, &cfg);
+        let mut runner = ColoRunner::new(
+            cfg,
+            lc,
+            Some(BeWorkload::brain()),
+            policy,
+            ColoConfig::fast_test(),
+        );
+        let records = runner.run_steady(0.4, 60);
+        // After convergence the BE job holds a nontrivial share of the machine.
+        let final_be_cores = records.last().unwrap().be_cores;
+        assert!(final_be_cores >= 4, "BE has only {final_be_cores} cores");
+        // And the steady-state windows meet the SLO.
+        let steady = ColoSummary::from_records(&records[20..]);
+        assert_eq!(steady.slo_violation_fraction, 0.0, "violations: {steady:?}");
+        assert!(steady.mean_emu > 0.5, "EMU {:.2}", steady.mean_emu);
+    }
+
+    #[test]
+    fn history_and_summary_track_steps() {
+        let cfg = ServerConfig::default_haswell();
+        let mut runner = ColoRunner::new(
+            cfg,
+            LcWorkload::ml_cluster(),
+            None,
+            Box::new(LcOnly::new()),
+            ColoConfig::fast_test(),
+        );
+        runner.run_steady(0.3, 5);
+        assert_eq!(runner.history().len(), 5);
+        assert_eq!(runner.summary().windows, 5);
+        assert_eq!(runner.summary_of_last(2).windows, 2);
+        assert!(runner.now().as_secs_f64() >= 5.0);
+    }
+
+    #[test]
+    fn runner_is_deterministic_for_a_seed() {
+        let run = |seed| {
+            let cfg = ServerConfig::default_haswell();
+            let lc = LcWorkload::memkeyval();
+            let policy = heracles_for(&lc, &cfg);
+            let mut runner = ColoRunner::new(
+                cfg,
+                lc,
+                Some(BeWorkload::stream_llc()),
+                policy,
+                ColoConfig::fast_test().with_seed(seed),
+            );
+            runner.run_steady(0.5, 10);
+            runner.summary().mean_normalized_latency
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

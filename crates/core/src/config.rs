@@ -1,0 +1,173 @@
+//! Controller configuration.
+//!
+//! The constants mirror the ones the paper reports as empirically tuned:
+//! a 15-second top-level poll, BE execution disabled above 85% load and
+//! re-enabled below 80%, growth disallowed below 10% latency slack, cores
+//! reclaimed below 5% slack, a multi-minute cooldown after an SLO violation,
+//! a DRAM bandwidth limit of 90% of peak, a power threshold of 90% of TDP,
+//! and 2-second / 2-second / 1-second cycles for the core & memory, power and
+//! network sub-controllers.
+
+use heracles_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the Heracles controller.
+///
+/// # Example
+///
+/// ```
+/// use heracles_core::HeraclesConfig;
+/// let cfg = HeraclesConfig::default();
+/// assert_eq!(cfg.poll_period.as_secs_f64(), 15.0);
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeraclesConfig {
+    /// Top-level controller poll period (latency/load polling).
+    pub poll_period: SimDuration,
+    /// Core & memory sub-controller cycle time.
+    pub core_mem_period: SimDuration,
+    /// Power sub-controller cycle time.
+    pub power_period: SimDuration,
+    /// Network sub-controller cycle time.
+    pub network_period: SimDuration,
+    /// BE execution is disabled when LC load exceeds this fraction of peak.
+    pub load_disable_threshold: f64,
+    /// BE execution is re-enabled when LC load drops below this fraction.
+    pub load_enable_threshold: f64,
+    /// BE growth is disallowed when latency slack falls below this fraction.
+    pub slack_disallow_growth: f64,
+    /// BE cores are reclaimed when latency slack falls below this fraction.
+    pub slack_reclaim_cores: f64,
+    /// How long colocation stays disabled after a latency-slack violation.
+    pub cooldown: SimDuration,
+    /// DRAM bandwidth limit as a fraction of peak streaming bandwidth.
+    pub dram_limit_fraction: f64,
+    /// Package power threshold (fraction of TDP) above which the power
+    /// sub-controller shifts power away from BE cores.
+    pub power_threshold: f64,
+    /// Guaranteed frequency for LC cores in GHz (measured as the frequency
+    /// the LC workload achieves running alone at full load).
+    pub guaranteed_lc_freq_ghz: f64,
+    /// Number of BE cores left in place when slack drops below
+    /// [`slack_reclaim_cores`](Self::slack_reclaim_cores) (Algorithm 1 removes
+    /// all but two).
+    pub be_cores_kept_on_reclaim: usize,
+    /// Cores given to a BE job when it is first (re-)enabled.
+    pub be_initial_cores: usize,
+    /// Fraction of the LLC given to a BE job when it is first enabled
+    /// (the paper starts BE jobs with 10% of the LLC).
+    pub be_initial_llc_fraction: f64,
+}
+
+impl Default for HeraclesConfig {
+    fn default() -> Self {
+        HeraclesConfig {
+            poll_period: SimDuration::from_secs(15),
+            core_mem_period: SimDuration::from_secs(2),
+            power_period: SimDuration::from_secs(2),
+            network_period: SimDuration::from_secs(1),
+            load_disable_threshold: 0.85,
+            load_enable_threshold: 0.80,
+            slack_disallow_growth: 0.10,
+            slack_reclaim_cores: 0.05,
+            cooldown: SimDuration::from_secs(300),
+            dram_limit_fraction: 0.90,
+            power_threshold: 0.90,
+            guaranteed_lc_freq_ghz: 2.3,
+            be_cores_kept_on_reclaim: 2,
+            be_initial_cores: 1,
+            be_initial_llc_fraction: 0.10,
+        }
+    }
+}
+
+impl HeraclesConfig {
+    /// A configuration with shorter cooldown and poll periods, useful for
+    /// fast experiments and tests where simulated wall-clock time is scarce.
+    pub fn fast() -> Self {
+        HeraclesConfig {
+            poll_period: SimDuration::from_secs(15),
+            cooldown: SimDuration::from_secs(60),
+            ..Self::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found (e.g. an enable
+    /// threshold above the disable threshold).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.poll_period.is_zero()
+            || self.core_mem_period.is_zero()
+            || self.power_period.is_zero()
+            || self.network_period.is_zero()
+        {
+            return Err("controller periods must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.load_disable_threshold)
+            || !(0.0..=1.0).contains(&self.load_enable_threshold)
+            || self.load_enable_threshold > self.load_disable_threshold
+        {
+            return Err("load thresholds must satisfy enable <= disable, both in [0, 1]".into());
+        }
+        if self.slack_reclaim_cores > self.slack_disallow_growth {
+            return Err("core-reclaim slack must not exceed growth-disallow slack".into());
+        }
+        if !(0.0..=1.0).contains(&self.dram_limit_fraction) || !(0.0..=1.5).contains(&self.power_threshold) {
+            return Err("resource limits must be fractions".into());
+        }
+        if self.guaranteed_lc_freq_ghz <= 0.0 {
+            return Err("guaranteed LC frequency must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.be_initial_llc_fraction) {
+            return Err("initial BE LLC fraction must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let cfg = HeraclesConfig::default();
+        assert_eq!(cfg.poll_period.as_secs_f64(), 15.0);
+        assert_eq!(cfg.load_disable_threshold, 0.85);
+        assert_eq!(cfg.load_enable_threshold, 0.80);
+        assert_eq!(cfg.slack_disallow_growth, 0.10);
+        assert_eq!(cfg.slack_reclaim_cores, 0.05);
+        assert_eq!(cfg.dram_limit_fraction, 0.90);
+        assert_eq!(cfg.power_threshold, 0.90);
+        assert_eq!(cfg.be_cores_kept_on_reclaim, 2);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn fast_config_is_valid() {
+        assert!(HeraclesConfig::fast().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        let mut cfg = HeraclesConfig::default();
+        cfg.load_enable_threshold = 0.95;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = HeraclesConfig::default();
+        cfg.slack_reclaim_cores = 0.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = HeraclesConfig::default();
+        cfg.poll_period = SimDuration::ZERO;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = HeraclesConfig::default();
+        cfg.guaranteed_lc_freq_ghz = 0.0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,420 @@
+//! The top-level Heracles controller (Algorithm 1).
+//!
+//! The top-level loop polls the LC workload's tail latency and load every 15
+//! seconds and decides whether best-effort execution is allowed at all and
+//! whether the sub-controllers may grow the BE share:
+//!
+//! * negative latency slack → disable BE tasks and enter a cooldown period,
+//! * load above 85% of peak → disable BE tasks (re-enabled below 80%),
+//! * slack below 10% → BE tasks may not grow,
+//! * slack below 5% → BE tasks additionally give back cores immediately.
+//!
+//! The three sub-controllers run on their own faster cycles (2 s for cores &
+//! memory, 2 s for power, 1 s for network) and act independently as long as
+//! their resource is not saturated.
+
+use heracles_hw::Server;
+use heracles_sim::SimTime;
+use heracles_workloads::Slo;
+use serde::{Deserialize, Serialize};
+
+use crate::config::HeraclesConfig;
+use crate::core_mem::{CoreMemoryController, GradientPhase};
+use crate::dram_model::OfflineDramModel;
+use crate::measurements::Measurements;
+use crate::network::NetworkController;
+use crate::policy::ColocationPolicy;
+use crate::power::PowerController;
+
+/// Whether best-effort execution is currently allowed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BeState {
+    /// BE tasks may run (and possibly grow).
+    Enabled,
+    /// BE tasks are disabled (high LC load or controller start-up).
+    Disabled,
+    /// BE tasks are disabled until the stated time because the SLO was at
+    /// risk (negative slack).
+    Cooldown {
+        /// When colocation may be attempted again.
+        until: SimTime,
+    },
+}
+
+/// The Heracles controller for one server.
+#[derive(Debug, Clone)]
+pub struct Heracles {
+    config: HeraclesConfig,
+    slo: Slo,
+    dram_model: OfflineDramModel,
+    subs: Option<Subcontrollers>,
+    state: BeState,
+    growth_allowed: bool,
+    last_slack: f64,
+    last_poll: Option<SimTime>,
+    last_core_mem: Option<SimTime>,
+    last_power: Option<SimTime>,
+    last_network: Option<SimTime>,
+}
+
+#[derive(Debug, Clone)]
+struct Subcontrollers {
+    core_mem: CoreMemoryController,
+    power: PowerController,
+    network: NetworkController,
+}
+
+impl Heracles {
+    /// Creates a controller for an LC workload with the given SLO and offline
+    /// DRAM bandwidth model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`HeraclesConfig::validate`].
+    pub fn new(config: HeraclesConfig, slo: Slo, dram_model: OfflineDramModel) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid Heracles configuration: {e}");
+        }
+        Heracles {
+            config,
+            slo,
+            dram_model,
+            subs: None,
+            state: BeState::Disabled,
+            growth_allowed: false,
+            last_slack: 1.0,
+            last_poll: None,
+            last_core_mem: None,
+            last_power: None,
+            last_network: None,
+        }
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> &HeraclesConfig {
+        &self.config
+    }
+
+    /// The SLO the controller defends.
+    pub fn slo(&self) -> Slo {
+        self.slo
+    }
+
+    /// The current BE execution state.
+    pub fn state(&self) -> BeState {
+        self.state
+    }
+
+    /// Whether the sub-controllers are currently allowed to grow the BE share.
+    pub fn growth_allowed(&self) -> bool {
+        self.growth_allowed
+    }
+
+    /// The latency slack computed at the last top-level poll.
+    pub fn last_slack(&self) -> f64 {
+        self.last_slack
+    }
+
+    /// The gradient-descent phase of the core & memory sub-controller, if the
+    /// controller has been initialised.
+    pub fn gradient_phase(&self) -> Option<GradientPhase> {
+        self.subs.as_ref().map(|s| s.core_mem.phase())
+    }
+
+    fn ensure_subs(&mut self, server: &Server) -> &mut Subcontrollers {
+        if self.subs.is_none() {
+            self.subs = Some(Subcontrollers {
+                core_mem: CoreMemoryController::new(&self.config, self.dram_model.clone()),
+                power: PowerController::new(&self.config, server),
+                network: NetworkController::new(server),
+            });
+        }
+        self.subs.as_mut().expect("just initialised")
+    }
+
+    fn due(last: &mut Option<SimTime>, now: SimTime, period: heracles_sim::SimDuration) -> bool {
+        match *last {
+            None => {
+                *last = Some(now);
+                true
+            }
+            Some(prev) if now.saturating_since(prev) >= period => {
+                *last = Some(now);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn top_level(&mut self, now: SimTime, server: &mut Server, m: &Measurements) {
+        let slack = m.slack(self.slo.target_s);
+        self.last_slack = slack;
+        let cfg = self.config.clone();
+
+        // Resolve an expired cooldown before anything else.
+        if let BeState::Cooldown { until } = self.state {
+            if now >= until {
+                self.state = BeState::Disabled;
+            }
+        }
+
+        if slack < 0.0 {
+            // SLO violated or about to be: give everything to the LC workload
+            // and back off for a while.
+            let subs = self.ensure_subs(server);
+            subs.core_mem.disable_be(server);
+            subs.power.reset(server);
+            subs.network.reset(server);
+            self.state = BeState::Cooldown { until: now + cfg.cooldown };
+            self.growth_allowed = false;
+            return;
+        }
+
+        match self.state {
+            BeState::Cooldown { .. } => {
+                // Still cooling down: keep BE disabled.
+                self.growth_allowed = false;
+                return;
+            }
+            BeState::Enabled => {
+                if m.load > cfg.load_disable_threshold {
+                    let subs = self.ensure_subs(server);
+                    subs.core_mem.disable_be(server);
+                    subs.power.reset(server);
+                    subs.network.reset(server);
+                    self.state = BeState::Disabled;
+                    self.growth_allowed = false;
+                    return;
+                }
+            }
+            BeState::Disabled => {
+                if m.load < cfg.load_enable_threshold {
+                    let subs = self.ensure_subs(server);
+                    subs.core_mem.enable_be(server);
+                    self.state = BeState::Enabled;
+                }
+            }
+        }
+
+        if self.state == BeState::Enabled {
+            self.growth_allowed = slack >= cfg.slack_disallow_growth;
+            if slack < cfg.slack_reclaim_cores {
+                let keep = cfg.be_cores_kept_on_reclaim;
+                let subs = self.ensure_subs(server);
+                subs.core_mem.reclaim_be_cores(server, keep);
+            }
+        } else {
+            self.growth_allowed = false;
+        }
+    }
+}
+
+impl ColocationPolicy for Heracles {
+    fn name(&self) -> &str {
+        "heracles"
+    }
+
+    fn init(&mut self, server: &mut Server) {
+        let subs = self.ensure_subs(server);
+        subs.core_mem.disable_be(server);
+        subs.power.reset(server);
+        subs.network.reset(server);
+        self.state = BeState::Disabled;
+        self.growth_allowed = false;
+        self.last_poll = None;
+        self.last_core_mem = None;
+        self.last_power = None;
+        self.last_network = None;
+    }
+
+    fn tick(&mut self, now: SimTime, server: &mut Server, measurements: &Measurements) {
+        self.ensure_subs(server);
+        let cfg = self.config.clone();
+
+        if Self::due(&mut self.last_poll, now, cfg.poll_period) {
+            self.top_level(now, server, measurements);
+        }
+
+        let enabled = self.state == BeState::Enabled;
+        let growth = self.growth_allowed;
+        let slack = measurements.slack(self.slo.target_s);
+
+        if enabled {
+            if Self::due(&mut self.last_core_mem, now, cfg.core_mem_period) {
+                let subs = self.subs.as_mut().expect("initialised");
+                subs.core_mem.set_can_grow(growth);
+                subs.core_mem.tick(server, measurements, slack);
+            }
+            if Self::due(&mut self.last_power, now, cfg.power_period) {
+                let subs = self.subs.as_mut().expect("initialised");
+                subs.power.tick(server, &measurements.counters);
+            }
+            if Self::due(&mut self.last_network, now, cfg.network_period) {
+                let subs = self.subs.as_mut().expect("initialised");
+                subs.network.tick(server, &measurements.counters);
+            }
+        }
+    }
+
+    fn be_enabled(&self) -> bool {
+        self.state == BeState::Enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heracles_hw::{CounterSnapshot, ServerConfig};
+    use heracles_sim::SimDuration;
+    use heracles_workloads::LcWorkload;
+
+    fn make() -> (Server, Heracles) {
+        let config = ServerConfig::default_haswell();
+        let ws = LcWorkload::websearch();
+        let model = OfflineDramModel::profile(&ws, &config);
+        let server = Server::new(config);
+        let heracles = Heracles::new(HeraclesConfig::default(), ws.slo(), model);
+        (server, heracles)
+    }
+
+    fn healthy(load: f64) -> Measurements {
+        Measurements {
+            tail_latency_s: 0.010,
+            load,
+            be_progress: 1.0,
+            counters: CounterSnapshot {
+                dram_total_gbps: 40.0,
+                dram_be_gbps: 10.0,
+                dram_peak_gbps: 120.0,
+                lc_freq_ghz: 2.4,
+                be_freq_ghz: 2.4,
+                package_power_w: 180.0,
+                tdp_w: 290.0,
+                cpu_utilization: 0.5,
+                lc_cpu_utilization: 0.5,
+                nic_lc_gbps: 0.2,
+                nic_be_gbps: 0.0,
+                nic_link_gbps: 10.0,
+            },
+        }
+    }
+
+    fn violating(load: f64) -> Measurements {
+        Measurements { tail_latency_s: 0.030, ..healthy(load) }
+    }
+
+    #[test]
+    fn starts_disabled_and_enables_at_moderate_load() {
+        let (mut server, mut h) = make();
+        h.init(&mut server);
+        assert!(!h.be_enabled());
+        h.tick(SimTime::from_secs(15), &mut server, &healthy(0.4));
+        assert!(h.be_enabled());
+        assert!(server.allocations().be_cores() >= 1);
+    }
+
+    #[test]
+    fn high_load_disables_colocation() {
+        let (mut server, mut h) = make();
+        h.init(&mut server);
+        h.tick(SimTime::from_secs(15), &mut server, &healthy(0.4));
+        assert!(h.be_enabled());
+        h.tick(SimTime::from_secs(30), &mut server, &healthy(0.9));
+        assert!(!h.be_enabled());
+        assert_eq!(server.allocations().be_cores(), 0);
+        // Hysteresis: 0.82 is between the thresholds, stays disabled.
+        h.tick(SimTime::from_secs(45), &mut server, &healthy(0.82));
+        assert!(!h.be_enabled());
+        // Below 0.80: re-enabled.
+        h.tick(SimTime::from_secs(60), &mut server, &healthy(0.7));
+        assert!(h.be_enabled());
+    }
+
+    #[test]
+    fn slo_violation_triggers_cooldown() {
+        let (mut server, mut h) = make();
+        h.init(&mut server);
+        h.tick(SimTime::from_secs(15), &mut server, &healthy(0.4));
+        assert!(h.be_enabled());
+        h.tick(SimTime::from_secs(30), &mut server, &violating(0.4));
+        assert!(!h.be_enabled());
+        assert!(matches!(h.state(), BeState::Cooldown { .. }));
+        assert_eq!(server.allocations().be_cores(), 0);
+        // Still in cooldown 60 s later even though latency is healthy again.
+        h.tick(SimTime::from_secs(90), &mut server, &healthy(0.4));
+        assert!(!h.be_enabled());
+        // After the cooldown expires colocation resumes.
+        let after = SimTime::from_secs(30) + HeraclesConfig::default().cooldown + SimDuration::from_secs(30);
+        h.tick(after, &mut server, &healthy(0.4));
+        assert!(h.be_enabled());
+    }
+
+    #[test]
+    fn small_slack_disallows_growth_and_reclaims_cores() {
+        let (mut server, mut h) = make();
+        h.init(&mut server);
+        h.tick(SimTime::from_secs(15), &mut server, &healthy(0.4));
+        // Grow for a while with comfortable slack.
+        let mut t = 15;
+        for _ in 0..30 {
+            t += 2;
+            h.tick(SimTime::from_secs(t), &mut server, &healthy(0.4));
+        }
+        let grown = server.allocations().be_cores();
+        assert!(grown > 2, "BE should have grown, has {grown} cores");
+        // Slack of ~6%: growth disallowed but no reclaim.
+        let tight = Measurements { tail_latency_s: 0.0235, ..healthy(0.4) };
+        t += 15;
+        h.tick(SimTime::from_secs(t), &mut server, &tight);
+        assert!(!h.growth_allowed());
+        assert_eq!(server.allocations().be_cores(), grown);
+        // Slack of ~2%: cores reclaimed down to two.
+        let very_tight = Measurements { tail_latency_s: 0.0245, ..healthy(0.4) };
+        t += 15;
+        h.tick(SimTime::from_secs(t), &mut server, &very_tight);
+        assert_eq!(server.allocations().be_cores(), 2);
+    }
+
+    #[test]
+    fn growth_converges_within_about_thirty_seconds() {
+        let (mut server, mut h) = make();
+        h.init(&mut server);
+        // Tick once a second for 45 simulated seconds at low load.
+        for t in 1..=45 {
+            h.tick(SimTime::from_secs(t), &mut server, &healthy(0.2));
+        }
+        // The BE job should have acquired a substantial share of the machine.
+        assert!(
+            server.allocations().be_cores() >= 8,
+            "BE only has {} cores after 45 s",
+            server.allocations().be_cores()
+        );
+    }
+
+    #[test]
+    fn network_and_power_subcontrollers_act_when_enabled() {
+        let (mut server, mut h) = make();
+        h.init(&mut server);
+        let mut m = healthy(0.4);
+        m.counters.nic_lc_gbps = 6.0;
+        m.counters.package_power_w = 285.0;
+        m.counters.lc_freq_ghz = 2.0;
+        for t in [15, 16, 17, 18, 19, 20] {
+            h.tick(SimTime::from_secs(t), &mut server, &m);
+        }
+        // HTB ceiling set according to Algorithm 4 and DVFS cap lowered.
+        assert!(server.allocations().be_net_ceil_gbps().is_some());
+        assert!(server.allocations().be_freq_cap_ghz().is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_is_rejected() {
+        let config = ServerConfig::default_haswell();
+        let ws = LcWorkload::websearch();
+        let model = OfflineDramModel::profile(&ws, &config);
+        let mut bad = HeraclesConfig::default();
+        bad.load_enable_threshold = 0.99;
+        let _ = Heracles::new(bad, ws.slo(), model);
+    }
+}

@@ -1,0 +1,427 @@
+//! The core & memory sub-controller (Algorithm 2).
+//!
+//! Core count, LLC allocation and DRAM bandwidth are strongly coupled, so one
+//! sub-controller manages cores and cache together.  Its responsibilities:
+//!
+//! 1. **Never saturate DRAM bandwidth.**  Each cycle it measures total
+//!    bandwidth; if it exceeds the limit (90% of peak), it removes enough BE
+//!    cores to get back under, using the estimated per-core BE bandwidth.
+//! 2. **Grow the BE share by gradient descent** when the top-level controller
+//!    allows it.  Offline analysis shows LC performance is a convex function
+//!    of cores and cache (Figure 3), so one-dimension-at-a-time descent finds
+//!    the optimum.  In the `GROW_LLC` phase it gives the BE partition one
+//!    more way as long as that is predicted (and then confirmed) to reduce
+//!    total DRAM traffic and the BE job benefits; otherwise it switches to
+//!    `GROW_CORES`, which grants one more core at a time while predicted
+//!    bandwidth stays under the limit and latency slack is comfortable.
+//!
+//! The predicted bandwidth of the next step combines the offline LC bandwidth
+//! model, the measured BE bandwidth and the bandwidth derivative since the
+//! last change, so the controller avoids *trying* allocations that would
+//! saturate memory.
+
+use heracles_hw::Server;
+use heracles_isolation::{CatPartitioner, Cpuset, DramBwMonitor};
+use serde::{Deserialize, Serialize};
+
+use crate::config::HeraclesConfig;
+use crate::dram_model::OfflineDramModel;
+use crate::measurements::Measurements;
+
+/// Which dimension the gradient descent is currently growing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GradientPhase {
+    /// Growing the BE cache partition.
+    GrowLlc,
+    /// Growing the number of BE cores.
+    GrowCores,
+}
+
+/// The core & memory sub-controller.
+#[derive(Debug, Clone)]
+pub struct CoreMemoryController {
+    phase: GradientPhase,
+    cpuset: Cpuset,
+    cat: CatPartitioner,
+    dram_monitor: DramBwMonitor,
+    dram_model: OfflineDramModel,
+    dram_limit_fraction: f64,
+    slack_grow_threshold: f64,
+    be_initial_cores: usize,
+    be_initial_llc_fraction: f64,
+    can_grow: bool,
+    pending_llc_growth: bool,
+    last_be_progress: f64,
+    /// Slack observed when the last BE core was added, used to estimate the
+    /// per-core latency cost of further growth.
+    slack_before_core_growth: Option<f64>,
+    /// Exponentially-weighted estimate of how much slack one more BE core
+    /// costs (always ≤ 0).
+    slack_cost_per_core: f64,
+}
+
+impl CoreMemoryController {
+    /// Creates the sub-controller.
+    pub fn new(config: &HeraclesConfig, dram_model: OfflineDramModel) -> Self {
+        CoreMemoryController {
+            phase: GradientPhase::GrowLlc,
+            cpuset: Cpuset::new(),
+            cat: CatPartitioner::new(),
+            dram_monitor: DramBwMonitor::new(),
+            dram_model,
+            dram_limit_fraction: config.dram_limit_fraction,
+            slack_grow_threshold: config.slack_disallow_growth,
+            be_initial_cores: config.be_initial_cores.max(1),
+            be_initial_llc_fraction: config.be_initial_llc_fraction,
+            can_grow: false,
+            pending_llc_growth: false,
+            last_be_progress: 0.0,
+            slack_before_core_growth: None,
+            slack_cost_per_core: -0.05,
+        }
+    }
+
+    /// The current gradient-descent phase.
+    pub fn phase(&self) -> GradientPhase {
+        self.phase
+    }
+
+    /// Whether the top-level controller currently allows BE growth.
+    pub fn can_grow(&self) -> bool {
+        self.can_grow
+    }
+
+    /// Sets whether BE tasks may acquire more resources.
+    pub fn set_can_grow(&mut self, allowed: bool) {
+        self.can_grow = allowed;
+    }
+
+    /// Gives the server entirely to the LC workload (BE disabled).
+    pub fn disable_be(&mut self, server: &mut Server) {
+        let total = server.topology().total_cores();
+        let _ = self.cpuset.pin(server, total, 0);
+        // Keep a minimal one-way BE partition programmed so re-enabling is a
+        // single MSR update; it is unused while no BE task runs.
+        let ways = server.config().llc_ways;
+        let _ = self.cat.set_ways(server, ways - 1, 1);
+        self.dram_monitor.reset();
+        self.pending_llc_growth = false;
+    }
+
+    /// Bootstraps a freshly (re-)enabled BE job: one core and a small slice
+    /// of the LLC, starting in the `GROW_LLC` phase.
+    pub fn enable_be(&mut self, server: &mut Server) {
+        let total = server.topology().total_cores();
+        let ways = server.config().llc_ways;
+        let be_cores = self.be_initial_cores.min(total - 1);
+        let be_ways = ((ways as f64 * self.be_initial_llc_fraction).round() as usize).clamp(1, ways - 1);
+        let _ = self.cpuset.pin(server, total - be_cores, be_cores);
+        let _ = self.cat.set_ways(server, ways - be_ways, be_ways);
+        self.phase = GradientPhase::GrowLlc;
+        self.pending_llc_growth = false;
+        self.dram_monitor.reset();
+    }
+
+    /// Shrinks the BE job to at most `keep` cores (the slack < 5% reaction of
+    /// Algorithm 1, which removes all but two BE cores).
+    pub fn reclaim_be_cores(&mut self, server: &mut Server, keep: usize) {
+        let be = server.allocations().be_cores();
+        if be > keep {
+            self.remove_be_cores(server, be - keep);
+        }
+    }
+
+    /// Removes up to `count` BE cores, handing them back to the LC workload.
+    pub fn remove_be_cores(&mut self, server: &mut Server, count: usize) {
+        if count == 0 {
+            return;
+        }
+        self.cpuset.move_be_to_lc(server, count);
+    }
+
+    /// Runs one control cycle.
+    ///
+    /// `slack` is the latest latency slack computed by the top-level
+    /// controller; growth steps additionally require it to be comfortable.
+    pub fn tick(&mut self, server: &mut Server, measurements: &Measurements, slack: f64) {
+        // Update the estimate of how much latency slack one BE core costs,
+        // based on the slack change observed since the previous core growth.
+        if let Some(before) = self.slack_before_core_growth.take() {
+            let observed = (slack - before).min(0.0);
+            self.slack_cost_per_core = 0.5 * self.slack_cost_per_core + 0.5 * observed;
+        }
+        let reading = self.dram_monitor.measure(&measurements.counters);
+        let peak = measurements.counters.dram_peak_gbps.max(1e-9);
+        let limit = self.dram_limit_fraction * peak;
+        let be_cores = server.allocations().be_cores();
+
+        // Rule 1: DRAM bandwidth saturation overrides everything.
+        if reading.total_gbps > limit && be_cores > 0 {
+            let per_core = reading.be_gbps_per_core(be_cores).max(0.25);
+            let overage = reading.total_gbps - limit;
+            let remove = ((overage / per_core).ceil() as usize).clamp(1, be_cores);
+            self.remove_be_cores(server, remove);
+            self.last_be_progress = measurements.be_progress;
+            return;
+        }
+
+        if !self.can_grow || be_cores == 0 {
+            self.pending_llc_growth = false;
+            self.last_be_progress = measurements.be_progress;
+            return;
+        }
+
+        match self.phase {
+            GradientPhase::GrowLlc => {
+                self.grow_llc_step(server, measurements, reading.be_gbps, limit, slack)
+            }
+            GradientPhase::GrowCores => {
+                self.grow_cores_step(server, measurements, &reading, limit, slack)
+            }
+        }
+        self.last_be_progress = measurements.be_progress;
+    }
+
+    fn lc_bw_model_gbps(&self, server: &Server, load: f64) -> f64 {
+        let (lc_ways, _) = self.cat.current_split(server);
+        self.dram_model.lc_bandwidth_gbps(load, lc_ways)
+    }
+
+    fn grow_llc_step(&mut self, server: &mut Server, m: &Measurements, be_bw: f64, limit: f64, slack: f64) {
+        if self.pending_llc_growth {
+            // We grew the BE partition last cycle; check whether it helped.
+            self.pending_llc_growth = false;
+            if self.dram_monitor.derivative_gbps() >= 0.0 || slack < self.slack_grow_threshold {
+                // Total bandwidth did not drop (the extra cache is not
+                // reducing BE misses) or the LC workload's latency slack has
+                // become uncomfortable: roll back and try cores instead.
+                self.cat.shrink_be_way(server);
+                self.phase = GradientPhase::GrowCores;
+                return;
+            }
+            if m.be_progress <= self.last_be_progress * 1.01 {
+                // The BE job did not benefit; stop growing the cache.
+                self.phase = GradientPhase::GrowCores;
+            }
+            return;
+        }
+        // The paper grows the BE cache allocation only while the LC workload
+        // keeps meeting its SLO (with margin), bandwidth saturation is
+        // avoided, and the BE job benefits.
+        if slack <= self.slack_grow_threshold {
+            return;
+        }
+        let predicted = self.lc_bw_model_gbps(server, m.load) + be_bw + self.dram_monitor.derivative_gbps();
+        if predicted > limit {
+            self.phase = GradientPhase::GrowCores;
+            return;
+        }
+        if self.cat.grow_be_way(server).is_some() {
+            self.pending_llc_growth = true;
+        } else {
+            // LC partition is already at its minimum; nothing left to grow here.
+            self.phase = GradientPhase::GrowCores;
+        }
+    }
+
+    fn grow_cores_step(
+        &mut self,
+        server: &mut Server,
+        m: &Measurements,
+        reading: &heracles_isolation::DramBwReading,
+        limit: f64,
+        slack: f64,
+    ) {
+        let be_cores = server.allocations().be_cores();
+        let per_core = reading.be_gbps_per_core(be_cores).max(0.25);
+        let needed = self.lc_bw_model_gbps(server, m.load) + reading.be_gbps + per_core;
+        if needed > limit {
+            self.phase = GradientPhase::GrowLlc;
+            return;
+        }
+        // Avoid trying an allocation that would push the LC workload below
+        // the growth threshold: project the slack after taking one more core
+        // using the cost observed for previous core-growth steps (assuming a
+        // conservative minimum cost so the last step before the latency knee
+        // is never taken).
+        let projected = slack + self.slack_cost_per_core.min(-0.05);
+        // Project the LC pool's CPU utilization after giving up one more
+        // core; stepping past ~85% utilization would put the LC workload on
+        // the steep part of its latency curve, so such allocations are never
+        // tried (this is the "avoid trying suboptimal allocations" rule of
+        // Algorithm 2 applied to cores).
+        let lc_cores = server.allocations().lc_cores();
+        let projected_util = if lc_cores > 1 {
+            m.counters.lc_cpu_utilization * lc_cores as f64 / (lc_cores as f64 - 1.0)
+        } else {
+            1.0
+        };
+        if slack > self.slack_grow_threshold
+            && projected > self.slack_grow_threshold
+            && projected_util < 0.85
+        {
+            // Keep at least two cores for the LC workload at all times.
+            if lc_cores > 2 && self.cpuset.move_lc_to_be(server, 1, 2) > 0 {
+                self.slack_before_core_growth = Some(slack);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heracles_hw::{CounterSnapshot, ServerConfig};
+    use heracles_workloads::LcWorkload;
+
+    fn setup() -> (Server, CoreMemoryController) {
+        let config = ServerConfig::default_haswell();
+        let model = OfflineDramModel::profile(&LcWorkload::websearch(), &config);
+        let server = Server::new(config);
+        let ctl = CoreMemoryController::new(&HeraclesConfig::default(), model);
+        (server, ctl)
+    }
+
+    fn measurements(load: f64, total_bw: f64, be_bw: f64, be_progress: f64) -> Measurements {
+        Measurements {
+            tail_latency_s: 0.010,
+            load,
+            be_progress,
+            counters: CounterSnapshot {
+                dram_total_gbps: total_bw,
+                dram_be_gbps: be_bw,
+                dram_peak_gbps: 120.0,
+                ..CounterSnapshot::default()
+            },
+        }
+    }
+
+    #[test]
+    fn enable_bootstraps_one_core_and_small_partition() {
+        let (mut server, mut ctl) = setup();
+        ctl.enable_be(&mut server);
+        assert_eq!(server.allocations().be_cores(), 1);
+        assert_eq!(server.allocations().be_ways(), 2); // 10% of 20 ways
+        assert_eq!(ctl.phase(), GradientPhase::GrowLlc);
+    }
+
+    #[test]
+    fn disable_returns_everything_to_lc() {
+        let (mut server, mut ctl) = setup();
+        ctl.enable_be(&mut server);
+        ctl.disable_be(&mut server);
+        assert_eq!(server.allocations().be_cores(), 0);
+        assert_eq!(server.allocations().lc_cores(), 36);
+    }
+
+    #[test]
+    fn dram_saturation_removes_be_cores() {
+        let (mut server, mut ctl) = setup();
+        ctl.enable_be(&mut server);
+        // Grow BE to several cores first.
+        ctl.set_can_grow(true);
+        ctl.phase = GradientPhase::GrowCores;
+        for _ in 0..6 {
+            ctl.tick(&mut server, &measurements(0.3, 40.0, 10.0, 1.0), 0.5);
+        }
+        let before = server.allocations().be_cores();
+        assert!(before >= 3, "expected growth, got {before}");
+        // Now saturate DRAM: 118 GB/s measured, BE responsible for 60.
+        ctl.tick(&mut server, &measurements(0.3, 118.0, 60.0, 1.0), 0.5);
+        let after = server.allocations().be_cores();
+        assert!(after < before, "cores should be reclaimed ({before} -> {after})");
+    }
+
+    #[test]
+    fn growth_requires_permission_and_slack() {
+        let (mut server, mut ctl) = setup();
+        ctl.enable_be(&mut server);
+        ctl.phase = GradientPhase::GrowCores;
+        // Not allowed to grow.
+        ctl.set_can_grow(false);
+        ctl.tick(&mut server, &measurements(0.3, 40.0, 10.0, 1.0), 0.5);
+        assert_eq!(server.allocations().be_cores(), 1);
+        // Allowed, but slack too small.
+        ctl.set_can_grow(true);
+        ctl.tick(&mut server, &measurements(0.3, 40.0, 10.0, 1.0), 0.05);
+        assert_eq!(server.allocations().be_cores(), 1);
+        // Allowed with comfortable slack.
+        ctl.tick(&mut server, &measurements(0.3, 40.0, 10.0, 1.0), 0.5);
+        assert_eq!(server.allocations().be_cores(), 2);
+    }
+
+    #[test]
+    fn core_growth_stops_when_prediction_hits_the_limit() {
+        let (mut server, mut ctl) = setup();
+        ctl.enable_be(&mut server);
+        ctl.set_can_grow(true);
+        ctl.phase = GradientPhase::GrowCores;
+        // BE already uses 70 GB/s on 1 core: adding a core would blow the limit.
+        ctl.tick(&mut server, &measurements(0.5, 100.0, 70.0, 1.0), 0.5);
+        assert_eq!(server.allocations().be_cores(), 1);
+        assert_eq!(ctl.phase(), GradientPhase::GrowLlc);
+    }
+
+    #[test]
+    fn llc_growth_rolls_back_when_bandwidth_rises() {
+        let (mut server, mut ctl) = setup();
+        ctl.enable_be(&mut server);
+        ctl.set_can_grow(true);
+        let before_ways = server.allocations().be_ways();
+        // First tick grows the BE partition by one way.
+        ctl.tick(&mut server, &measurements(0.3, 40.0, 10.0, 1.0), 0.5);
+        assert_eq!(server.allocations().be_ways(), before_ways + 1);
+        // Bandwidth went *up* after the growth: roll back and switch phases.
+        ctl.tick(&mut server, &measurements(0.3, 55.0, 20.0, 1.0), 0.5);
+        assert_eq!(server.allocations().be_ways(), before_ways);
+        assert_eq!(ctl.phase(), GradientPhase::GrowCores);
+    }
+
+    #[test]
+    fn llc_growth_continues_while_it_helps() {
+        let (mut server, mut ctl) = setup();
+        ctl.enable_be(&mut server);
+        ctl.set_can_grow(true);
+        let start_ways = server.allocations().be_ways();
+        // Alternate grow / confirm cycles with decreasing bandwidth and
+        // increasing BE progress: cache growth keeps helping.
+        let mut bw = 50.0;
+        let mut progress = 1.0;
+        for _ in 0..6 {
+            ctl.tick(&mut server, &measurements(0.3, bw, 15.0, progress), 0.5);
+            bw -= 2.0;
+            progress += 0.2;
+        }
+        assert!(server.allocations().be_ways() > start_ways + 1);
+        assert_eq!(ctl.phase(), GradientPhase::GrowLlc);
+    }
+
+    #[test]
+    fn reclaim_leaves_the_requested_cores() {
+        let (mut server, mut ctl) = setup();
+        ctl.enable_be(&mut server);
+        ctl.set_can_grow(true);
+        ctl.phase = GradientPhase::GrowCores;
+        for _ in 0..8 {
+            ctl.tick(&mut server, &measurements(0.3, 40.0, 10.0, 1.0), 0.5);
+        }
+        assert!(server.allocations().be_cores() > 2);
+        ctl.reclaim_be_cores(&mut server, 2);
+        assert_eq!(server.allocations().be_cores(), 2);
+        // Reclaiming again is a no-op.
+        ctl.reclaim_be_cores(&mut server, 2);
+        assert_eq!(server.allocations().be_cores(), 2);
+    }
+
+    #[test]
+    fn lc_always_keeps_at_least_two_cores() {
+        let (mut server, mut ctl) = setup();
+        ctl.enable_be(&mut server);
+        ctl.set_can_grow(true);
+        ctl.phase = GradientPhase::GrowCores;
+        for _ in 0..100 {
+            ctl.tick(&mut server, &measurements(0.05, 20.0, 5.0, 1.0), 0.9);
+        }
+        assert!(server.allocations().lc_cores() >= 2);
+    }
+}

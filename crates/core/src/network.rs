@@ -1,0 +1,82 @@
+//! The network sub-controller (Algorithm 4).
+//!
+//! Once a second it measures the egress bandwidth of the LC workload's flows
+//! and sets the total bandwidth limit of all other (BE) flows to
+//! `LinkRate − LCBandwidth − max(0.05·LinkRate, 0.10·LCBandwidth)`, leaving
+//! headroom for load spikes.  The LC flows are never limited.
+
+use heracles_hw::{CounterSnapshot, Server};
+use heracles_isolation::HtbShaper;
+
+/// The network sub-controller.
+#[derive(Debug, Clone)]
+pub struct NetworkController {
+    htb: HtbShaper,
+    last_ceiling_gbps: Option<f64>,
+}
+
+impl NetworkController {
+    /// Creates the sub-controller for a server.
+    pub fn new(server: &Server) -> Self {
+        NetworkController { htb: HtbShaper::new(server), last_ceiling_gbps: None }
+    }
+
+    /// The most recently applied BE ceiling, if any.
+    pub fn last_ceiling_gbps(&self) -> Option<f64> {
+        self.last_ceiling_gbps
+    }
+
+    /// Runs one control cycle.
+    pub fn tick(&mut self, server: &mut Server, counters: &CounterSnapshot) {
+        let lc_tx = counters.nic_lc_gbps;
+        if let Ok(ceil) = self.htb.apply_heracles_policy(server, lc_tx) {
+            self.last_ceiling_gbps = Some(ceil);
+        }
+    }
+
+    /// Removes the BE ceiling (used when BE execution is disabled).
+    pub fn reset(&mut self, server: &mut Server) {
+        let _ = self.htb.set_be_ceil_gbps(server, None);
+        self.last_ceiling_gbps = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heracles_hw::ServerConfig;
+
+    fn counters(lc_gbps: f64) -> CounterSnapshot {
+        CounterSnapshot { nic_lc_gbps: lc_gbps, nic_link_gbps: 10.0, ..CounterSnapshot::default() }
+    }
+
+    #[test]
+    fn ceiling_tracks_lc_bandwidth() {
+        let mut server = Server::new(ServerConfig::default_haswell());
+        let mut ctl = NetworkController::new(&server);
+        ctl.tick(&mut server, &counters(2.0));
+        let low_lc = server.allocations().be_net_ceil_gbps().unwrap();
+        ctl.tick(&mut server, &counters(7.0));
+        let high_lc = server.allocations().be_net_ceil_gbps().unwrap();
+        assert!(high_lc < low_lc);
+        assert_eq!(ctl.last_ceiling_gbps(), Some(high_lc));
+    }
+
+    #[test]
+    fn saturated_lc_leaves_be_nothing() {
+        let mut server = Server::new(ServerConfig::default_haswell());
+        let mut ctl = NetworkController::new(&server);
+        ctl.tick(&mut server, &counters(9.8));
+        assert_eq!(server.allocations().be_net_ceil_gbps(), Some(0.0));
+    }
+
+    #[test]
+    fn reset_removes_the_ceiling() {
+        let mut server = Server::new(ServerConfig::default_haswell());
+        let mut ctl = NetworkController::new(&server);
+        ctl.tick(&mut server, &counters(3.0));
+        ctl.reset(&mut server);
+        assert_eq!(server.allocations().be_net_ceil_gbps(), None);
+        assert_eq!(ctl.last_ceiling_gbps(), None);
+    }
+}

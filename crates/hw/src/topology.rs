@@ -1,0 +1,135 @@
+//! CPU topology: sockets, physical cores and hardware threads.
+//!
+//! The controller allocates resources at the granularity of physical cores
+//! (the paper shows that sharing a physical core between an LC and a BE
+//! HyperThread is not viable), so the topology mainly provides identity and
+//! bookkeeping: which cores exist, which socket they belong to, and how a
+//! count of cores maps onto sockets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ServerConfig;
+
+/// Identifier of a physical core, dense in `0..total_cores`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId(pub usize);
+
+impl CoreId {
+    /// The dense index of this core.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The socket / core / thread layout of a server.
+///
+/// # Example
+///
+/// ```
+/// use heracles_hw::{ServerConfig, Topology};
+/// let topo = Topology::new(&ServerConfig::default_haswell());
+/// assert_eq!(topo.total_cores(), 36);
+/// assert_eq!(topo.socket_of(heracles_hw::CoreId(20)), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    sockets: usize,
+    cores_per_socket: usize,
+    threads_per_core: usize,
+}
+
+impl Topology {
+    /// Builds the topology described by a [`ServerConfig`].
+    pub fn new(config: &ServerConfig) -> Self {
+        Topology {
+            sockets: config.sockets,
+            cores_per_socket: config.cores_per_socket,
+            threads_per_core: config.threads_per_core,
+        }
+    }
+
+    /// Number of sockets.
+    pub fn sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// Number of physical cores per socket.
+    pub fn cores_per_socket(&self) -> usize {
+        self.cores_per_socket
+    }
+
+    /// Total number of physical cores.
+    pub fn total_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Total number of hardware threads.
+    pub fn total_threads(&self) -> usize {
+        self.total_cores() * self.threads_per_core
+    }
+
+    /// The socket index a core belongs to (cores are numbered socket-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core id is out of range.
+    pub fn socket_of(&self, core: CoreId) -> usize {
+        assert!(core.0 < self.total_cores(), "core {} out of range", core.0);
+        core.0 / self.cores_per_socket
+    }
+
+    /// Iterates over all core ids.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> {
+        (0..self.total_cores()).map(CoreId)
+    }
+
+    /// Splits a total core count as evenly as possible across sockets,
+    /// returning the per-socket counts.  Used when an allocation of "N cores"
+    /// must be spread over both sockets (the LC workload spans sockets; each
+    /// BE job is confined to one socket, §4.3).
+    pub fn spread_over_sockets(&self, cores: usize) -> Vec<usize> {
+        let cores = cores.min(self.total_cores());
+        let base = cores / self.sockets;
+        let extra = cores % self.sockets;
+        (0..self.sockets).map(|s| base + usize::from(s < extra)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_config() {
+        let topo = Topology::new(&ServerConfig::default_haswell());
+        assert_eq!(topo.sockets(), 2);
+        assert_eq!(topo.total_cores(), 36);
+        assert_eq!(topo.total_threads(), 72);
+        assert_eq!(topo.cores().count(), 36);
+    }
+
+    #[test]
+    fn socket_assignment_is_socket_major() {
+        let topo = Topology::new(&ServerConfig::default_haswell());
+        assert_eq!(topo.socket_of(CoreId(0)), 0);
+        assert_eq!(topo.socket_of(CoreId(17)), 0);
+        assert_eq!(topo.socket_of(CoreId(18)), 1);
+        assert_eq!(topo.socket_of(CoreId(35)), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_core_panics() {
+        let topo = Topology::new(&ServerConfig::small_test());
+        let _ = topo.socket_of(CoreId(999));
+    }
+
+    #[test]
+    fn spreading_is_even_and_bounded() {
+        let topo = Topology::new(&ServerConfig::default_haswell());
+        assert_eq!(topo.spread_over_sockets(10), vec![5, 5]);
+        assert_eq!(topo.spread_over_sockets(11), vec![6, 5]);
+        assert_eq!(topo.spread_over_sockets(999), vec![18, 18]);
+        assert_eq!(topo.spread_over_sockets(0), vec![0, 0]);
+    }
+}

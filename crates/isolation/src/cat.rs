@@ -1,0 +1,177 @@
+//! LLC isolation via Intel Cache Allocation Technology (CAT).
+//!
+//! CAT way-partitions the shared LLC: Heracles programs one class of service
+//! for the LC workload and one for all BE tasks by writing model-specific
+//! registers; new partition sizes take effect within a few milliseconds.
+
+use heracles_hw::Server;
+use heracles_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::error::IsolationError;
+
+/// The CAT way-partitioning mechanism.
+///
+/// # Example
+///
+/// ```
+/// use heracles_hw::{Server, ServerConfig};
+/// use heracles_isolation::CatPartitioner;
+/// let mut server = Server::new(ServerConfig::default_haswell());
+/// let mut cat = CatPartitioner::new();
+/// cat.set_ways(&mut server, 16, 4).unwrap();
+/// assert_eq!(server.allocations().be_ways(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatPartitioner {
+    apply_latency: SimDuration,
+    msr_writes: u64,
+}
+
+impl Default for CatPartitioner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CatPartitioner {
+    /// Creates the mechanism with the default (4 ms) application latency.
+    pub fn new() -> Self {
+        CatPartitioner { apply_latency: SimDuration::from_millis(4), msr_writes: 0 }
+    }
+
+    /// How long a partition change takes to become effective.
+    pub fn apply_latency(&self) -> SimDuration {
+        self.apply_latency
+    }
+
+    /// Number of MSR writes (partition changes) performed so far.
+    pub fn msr_writes(&self) -> u64 {
+        self.msr_writes
+    }
+
+    /// Programs a non-overlapping way split: `lc_ways` for the LC class and
+    /// `be_ways` shared by all BE tasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsolationError::InvalidWaySplit`] if either class would get
+    /// zero ways or the split exceeds the LLC's way count.
+    pub fn set_ways(&mut self, server: &mut Server, lc_ways: usize, be_ways: usize) -> Result<(), IsolationError> {
+        let total = server.config().llc_ways;
+        if lc_ways == 0 || be_ways == 0 || lc_ways + be_ways > total {
+            return Err(IsolationError::InvalidWaySplit { lc_ways, be_ways, total_ways: total });
+        }
+        server.allocations_mut().set_cat(lc_ways, be_ways);
+        self.msr_writes += 1;
+        Ok(())
+    }
+
+    /// Grows the BE partition by one way (shrinking the LC partition),
+    /// returning the new split, or `None` if the LC partition is already at
+    /// its one-way minimum.
+    pub fn grow_be_way(&mut self, server: &mut Server) -> Option<(usize, usize)> {
+        let (lc, be) = self.current_split(server);
+        if lc <= 1 {
+            return None;
+        }
+        self.set_ways(server, lc - 1, be + 1).ok()?;
+        Some((lc - 1, be + 1))
+    }
+
+    /// Shrinks the BE partition by one way (growing the LC partition),
+    /// returning the new split, or `None` if the BE partition is already at
+    /// its one-way minimum.
+    pub fn shrink_be_way(&mut self, server: &mut Server) -> Option<(usize, usize)> {
+        let (lc, be) = self.current_split(server);
+        if be <= 1 {
+            return None;
+        }
+        self.set_ways(server, lc + 1, be - 1).ok()?;
+        Some((lc + 1, be - 1))
+    }
+
+    /// The current `(lc_ways, be_ways)` split.  When CAT is disabled the LC
+    /// class notionally owns every way.
+    pub fn current_split(&self, server: &Server) -> (usize, usize) {
+        let alloc = server.allocations();
+        if alloc.cat_enabled() {
+            (alloc.lc_ways(), alloc.be_ways())
+        } else {
+            (server.config().llc_ways, 0)
+        }
+    }
+
+    /// Disables partitioning (both classes compete for the whole LLC).
+    pub fn disable(&mut self, server: &mut Server) {
+        server.allocations_mut().clear_cat();
+        self.msr_writes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heracles_hw::ServerConfig;
+
+    fn server() -> Server {
+        Server::new(ServerConfig::default_haswell())
+    }
+
+    #[test]
+    fn set_ways_programs_partitions() {
+        let mut s = server();
+        let mut cat = CatPartitioner::new();
+        cat.set_ways(&mut s, 15, 5).unwrap();
+        assert!(s.allocations().cat_enabled());
+        assert_eq!(cat.current_split(&s), (15, 5));
+        assert_eq!(cat.msr_writes(), 1);
+    }
+
+    #[test]
+    fn invalid_splits_are_rejected() {
+        let mut s = server();
+        let mut cat = CatPartitioner::new();
+        assert!(cat.set_ways(&mut s, 0, 5).is_err());
+        assert!(cat.set_ways(&mut s, 5, 0).is_err());
+        assert!(cat.set_ways(&mut s, 19, 2).is_err());
+        assert!(!s.allocations().cat_enabled());
+    }
+
+    #[test]
+    fn grow_and_shrink_walk_the_split() {
+        let mut s = server();
+        let mut cat = CatPartitioner::new();
+        cat.set_ways(&mut s, 18, 2).unwrap();
+        assert_eq!(cat.grow_be_way(&mut s), Some((17, 3)));
+        assert_eq!(cat.shrink_be_way(&mut s), Some((18, 2)));
+        // Walk BE down to its minimum.
+        assert_eq!(cat.shrink_be_way(&mut s), Some((19, 1)));
+        assert_eq!(cat.shrink_be_way(&mut s), None);
+    }
+
+    #[test]
+    fn grow_stops_at_lc_minimum() {
+        let mut s = server();
+        let mut cat = CatPartitioner::new();
+        cat.set_ways(&mut s, 2, 18).unwrap();
+        assert_eq!(cat.grow_be_way(&mut s), Some((1, 19)));
+        assert_eq!(cat.grow_be_way(&mut s), None);
+    }
+
+    #[test]
+    fn disable_restores_sharing() {
+        let mut s = server();
+        let mut cat = CatPartitioner::new();
+        cat.set_ways(&mut s, 10, 10).unwrap();
+        cat.disable(&mut s);
+        assert!(!s.allocations().cat_enabled());
+        assert_eq!(cat.current_split(&s), (20, 0));
+    }
+
+    #[test]
+    fn apply_latency_is_a_few_ms() {
+        let ms = CatPartitioner::new().apply_latency().as_millis_f64();
+        assert!((1.0..=10.0).contains(&ms));
+    }
+}

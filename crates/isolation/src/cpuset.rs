@@ -1,0 +1,181 @@
+//! Core isolation via cgroups `cpuset`.
+//!
+//! Heracles pins the LC workload to one set of physical cores and the BE
+//! tasks to a disjoint set (the paper shows that sharing a core — even just a
+//! HyperThread — between the two classes causes SLO violations).  Reassigning
+//! a core is not instantaneous: Linux migrates the affected threads in tens
+//! of milliseconds, which is why the core allocation is the slowest of the
+//! four mechanisms.
+
+use heracles_hw::Server;
+use heracles_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::error::IsolationError;
+
+/// The cpuset-based core partitioning mechanism.
+///
+/// # Example
+///
+/// ```
+/// use heracles_hw::{Server, ServerConfig};
+/// use heracles_isolation::Cpuset;
+/// let mut server = Server::new(ServerConfig::default_haswell());
+/// let mut cpuset = Cpuset::new();
+/// cpuset.pin(&mut server, 30, 6).unwrap();
+/// assert_eq!(server.allocations().be_cores(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cpuset {
+    migration_latency: SimDuration,
+    migrations: u64,
+}
+
+impl Default for Cpuset {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cpuset {
+    /// Creates the mechanism with the default (30 ms) migration latency.
+    pub fn new() -> Self {
+        Cpuset { migration_latency: SimDuration::from_millis(30), migrations: 0 }
+    }
+
+    /// How long a core reassignment takes to become effective.
+    pub fn migration_latency(&self) -> SimDuration {
+        self.migration_latency
+    }
+
+    /// Total number of core-set changes applied so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Pins `lc_cores` to the LC workload and `be_cores` to BE tasks.
+    ///
+    /// The two sets are disjoint; any remaining cores stay idle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsolationError::InvalidCoreAllocation`] if the LC class would
+    /// receive no cores or the total exceeds the machine size.
+    pub fn pin(&mut self, server: &mut Server, lc_cores: usize, be_cores: usize) -> Result<(), IsolationError> {
+        let total = server.topology().total_cores();
+        if lc_cores == 0 || lc_cores + be_cores > total {
+            return Err(IsolationError::InvalidCoreAllocation { lc_cores, be_cores, total_cores: total });
+        }
+        let alloc = server.allocations_mut();
+        alloc.set_be_shares_lc_cores(false);
+        alloc.set_lc_cores(lc_cores);
+        alloc.set_be_cores(be_cores);
+        self.migrations += 1;
+        Ok(())
+    }
+
+    /// Moves `n` cores from the BE set to the LC set (as many as are
+    /// available), returning how many were actually moved.
+    pub fn move_be_to_lc(&mut self, server: &mut Server, n: usize) -> usize {
+        let lc = server.allocations().lc_cores();
+        let be = server.allocations().be_cores();
+        let moved = n.min(be);
+        if moved > 0 {
+            // Growing the LC set cannot fail while the BE set shrinks by the
+            // same amount.
+            let _ = self.pin(server, lc + moved, be - moved);
+        }
+        moved
+    }
+
+    /// Moves `n` cores from the LC set to the BE set, never leaving the LC
+    /// workload with fewer than `min_lc` cores.  Returns how many were moved.
+    pub fn move_lc_to_be(&mut self, server: &mut Server, n: usize, min_lc: usize) -> usize {
+        let lc = server.allocations().lc_cores();
+        let be = server.allocations().be_cores();
+        let movable = lc.saturating_sub(min_lc.max(1));
+        let moved = n.min(movable);
+        if moved > 0 {
+            let _ = self.pin(server, lc - moved, be + moved);
+        }
+        moved
+    }
+
+    /// Allows BE tasks to time-share the LC cores (the OS-only baseline and
+    /// the HyperThread-antagonist experiment).  Heracles never calls this.
+    pub fn allow_core_sharing(&mut self, server: &mut Server, be_threads: usize) {
+        let alloc = server.allocations_mut();
+        alloc.set_be_shares_lc_cores(true);
+        alloc.set_be_cores(be_threads);
+        self.migrations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heracles_hw::ServerConfig;
+
+    fn server() -> Server {
+        Server::new(ServerConfig::default_haswell())
+    }
+
+    #[test]
+    fn pin_sets_disjoint_allocations() {
+        let mut s = server();
+        let mut c = Cpuset::new();
+        c.pin(&mut s, 20, 16).unwrap();
+        assert_eq!(s.allocations().lc_cores(), 20);
+        assert_eq!(s.allocations().be_cores(), 16);
+        assert_eq!(s.allocations().idle_cores(), 0);
+        assert_eq!(c.migrations(), 1);
+    }
+
+    #[test]
+    fn overcommitted_pin_is_rejected() {
+        let mut s = server();
+        let mut c = Cpuset::new();
+        assert!(c.pin(&mut s, 30, 10).is_err());
+        assert!(c.pin(&mut s, 0, 10).is_err());
+        assert_eq!(c.migrations(), 0);
+    }
+
+    #[test]
+    fn moving_cores_between_classes() {
+        let mut s = server();
+        let mut c = Cpuset::new();
+        c.pin(&mut s, 20, 16).unwrap();
+        assert_eq!(c.move_be_to_lc(&mut s, 4), 4);
+        assert_eq!(s.allocations().lc_cores(), 24);
+        assert_eq!(s.allocations().be_cores(), 12);
+        assert_eq!(c.move_be_to_lc(&mut s, 100), 12);
+        assert_eq!(s.allocations().be_cores(), 0);
+    }
+
+    #[test]
+    fn lc_floor_is_respected_when_growing_be() {
+        let mut s = server();
+        let mut c = Cpuset::new();
+        c.pin(&mut s, 10, 0).unwrap();
+        assert_eq!(c.move_lc_to_be(&mut s, 100, 4), 6);
+        assert_eq!(s.allocations().lc_cores(), 4);
+        assert_eq!(s.allocations().be_cores(), 6);
+    }
+
+    #[test]
+    fn core_sharing_flag_for_baseline() {
+        let mut s = server();
+        let mut c = Cpuset::new();
+        c.pin(&mut s, 36, 0).unwrap();
+        c.allow_core_sharing(&mut s, 36);
+        assert!(s.allocations().be_shares_lc_cores());
+        assert_eq!(s.allocations().be_cores(), 36);
+    }
+
+    #[test]
+    fn migration_latency_is_tens_of_ms() {
+        let c = Cpuset::new();
+        let ms = c.migration_latency().as_millis_f64();
+        assert!((10.0..=100.0).contains(&ms));
+    }
+}

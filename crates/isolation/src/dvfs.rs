@@ -1,0 +1,194 @@
+//! Power isolation via per-core DVFS.
+//!
+//! Heracles shifts power between the two classes by capping the frequency of
+//! the cores running BE tasks: lowering the cap frees thermal headroom so the
+//! LC cores can stay at (or above) their guaranteed frequency.  Frequency
+//! changes step in 100 MHz increments across the whole operating range,
+//! including Turbo frequencies, and take effect within a few milliseconds.
+
+use heracles_hw::Server;
+use heracles_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::error::IsolationError;
+
+/// The per-core DVFS mechanism applied to the best-effort cores.
+///
+/// # Example
+///
+/// ```
+/// use heracles_hw::{Server, ServerConfig};
+/// use heracles_isolation::PerCoreDvfs;
+/// let mut server = Server::new(ServerConfig::default_haswell());
+/// let mut dvfs = PerCoreDvfs::new(&server);
+/// dvfs.lower_be(&mut server).unwrap();
+/// assert!(server.allocations().be_freq_cap_ghz().unwrap() < 3.3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerCoreDvfs {
+    min_ghz: f64,
+    max_ghz: f64,
+    step_ghz: f64,
+    apply_latency: SimDuration,
+    changes: u64,
+}
+
+impl PerCoreDvfs {
+    /// Creates the mechanism for a server's frequency range.
+    pub fn new(server: &Server) -> Self {
+        let cfg = server.config();
+        PerCoreDvfs {
+            min_ghz: cfg.min_freq_ghz,
+            max_ghz: cfg.max_turbo_freq_ghz,
+            step_ghz: cfg.freq_step_ghz,
+            apply_latency: SimDuration::from_millis(3),
+            changes: 0,
+        }
+    }
+
+    /// How long a frequency change takes to become effective.
+    pub fn apply_latency(&self) -> SimDuration {
+        self.apply_latency
+    }
+
+    /// Number of frequency-cap changes applied so far.
+    pub fn changes(&self) -> u64 {
+        self.changes
+    }
+
+    /// The current BE frequency cap, defaulting to the maximum Turbo
+    /// frequency when no cap is set.
+    pub fn be_cap_ghz(&self, server: &Server) -> f64 {
+        server.allocations().be_freq_cap_ghz().unwrap_or(self.max_ghz)
+    }
+
+    /// Sets (or clears) the BE frequency cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsolationError::InvalidFrequency`] if the cap lies outside
+    /// the chip's supported range.
+    pub fn set_be_cap_ghz(&mut self, server: &mut Server, cap: Option<f64>) -> Result<(), IsolationError> {
+        if let Some(ghz) = cap {
+            if !(self.min_ghz..=self.max_ghz).contains(&ghz) {
+                return Err(IsolationError::InvalidFrequency {
+                    requested_ghz: ghz,
+                    min_ghz: self.min_ghz,
+                    max_ghz: self.max_ghz,
+                });
+            }
+        }
+        server.allocations_mut().set_be_freq_cap_ghz(cap);
+        self.changes += 1;
+        Ok(())
+    }
+
+    /// Lowers the BE cap by one DVFS step, returning the new cap.  The cap
+    /// never goes below the chip's minimum frequency.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature matches [`set_be_cap_ghz`]
+    /// (the value written is always in range).
+    ///
+    /// [`set_be_cap_ghz`]: PerCoreDvfs::set_be_cap_ghz
+    pub fn lower_be(&mut self, server: &mut Server) -> Result<f64, IsolationError> {
+        let current = self.be_cap_ghz(server);
+        let next = quantize(current - self.step_ghz, self.step_ghz).max(self.min_ghz);
+        self.set_be_cap_ghz(server, Some(next))?;
+        Ok(next)
+    }
+
+    /// Raises the BE cap by one DVFS step, returning the new cap.  The cap
+    /// never goes above the maximum Turbo frequency.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; see [`lower_be`](PerCoreDvfs::lower_be).
+    pub fn raise_be(&mut self, server: &mut Server) -> Result<f64, IsolationError> {
+        let current = self.be_cap_ghz(server);
+        let next = quantize(current + self.step_ghz, self.step_ghz).min(self.max_ghz);
+        self.set_be_cap_ghz(server, Some(next))?;
+        Ok(next)
+    }
+
+    /// True if the BE cores are already pinned at the minimum frequency.
+    pub fn be_at_minimum(&self, server: &Server) -> bool {
+        (self.be_cap_ghz(server) - self.min_ghz).abs() < self.step_ghz / 2.0
+    }
+}
+
+fn quantize(freq: f64, step: f64) -> f64 {
+    (freq / step).round() * step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heracles_hw::ServerConfig;
+
+    fn server() -> Server {
+        Server::new(ServerConfig::default_haswell())
+    }
+
+    #[test]
+    fn default_cap_is_max_turbo() {
+        let s = server();
+        let dvfs = PerCoreDvfs::new(&s);
+        assert_eq!(dvfs.be_cap_ghz(&s), 3.3);
+        assert!(!dvfs.be_at_minimum(&s));
+    }
+
+    #[test]
+    fn out_of_range_caps_rejected() {
+        let mut s = server();
+        let mut dvfs = PerCoreDvfs::new(&s);
+        assert!(dvfs.set_be_cap_ghz(&mut s, Some(0.5)).is_err());
+        assert!(dvfs.set_be_cap_ghz(&mut s, Some(5.0)).is_err());
+        assert!(dvfs.set_be_cap_ghz(&mut s, Some(2.0)).is_ok());
+    }
+
+    #[test]
+    fn lower_walks_down_to_minimum() {
+        let mut s = server();
+        let mut dvfs = PerCoreDvfs::new(&s);
+        let mut last = dvfs.be_cap_ghz(&s);
+        for _ in 0..40 {
+            let next = dvfs.lower_be(&mut s).unwrap();
+            assert!(next <= last + 1e-9);
+            last = next;
+        }
+        assert!(dvfs.be_at_minimum(&s));
+        assert!((last - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn raise_walks_back_up_to_turbo() {
+        let mut s = server();
+        let mut dvfs = PerCoreDvfs::new(&s);
+        dvfs.set_be_cap_ghz(&mut s, Some(1.2)).unwrap();
+        for _ in 0..40 {
+            dvfs.raise_be(&mut s).unwrap();
+        }
+        assert!((dvfs.be_cap_ghz(&s) - 3.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steps_are_on_the_100mhz_grid() {
+        let mut s = server();
+        let mut dvfs = PerCoreDvfs::new(&s);
+        dvfs.set_be_cap_ghz(&mut s, Some(2.25)).unwrap();
+        let next = dvfs.lower_be(&mut s).unwrap();
+        let steps = next / 0.1;
+        assert!((steps - steps.round()).abs() < 1e-9, "cap {next} not on grid");
+    }
+
+    #[test]
+    fn change_counter_increments() {
+        let mut s = server();
+        let mut dvfs = PerCoreDvfs::new(&s);
+        dvfs.lower_be(&mut s).unwrap();
+        dvfs.raise_be(&mut s).unwrap();
+        assert_eq!(dvfs.changes(), 2);
+    }
+}

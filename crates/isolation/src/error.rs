@@ -1,0 +1,91 @@
+//! Errors reported by the isolation mechanism actuators.
+
+use std::error::Error;
+use std::fmt;
+
+/// An actuation request that the mechanism cannot satisfy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IsolationError {
+    /// A core-count request exceeded the machine size or left a class empty.
+    InvalidCoreAllocation {
+        /// Requested LC core count.
+        lc_cores: usize,
+        /// Requested BE core count.
+        be_cores: usize,
+        /// Physical cores in the machine.
+        total_cores: usize,
+    },
+    /// A CAT way split was invalid (zero ways or more ways than the LLC has).
+    InvalidWaySplit {
+        /// Requested LC ways.
+        lc_ways: usize,
+        /// Requested BE ways.
+        be_ways: usize,
+        /// Ways in the LLC.
+        total_ways: usize,
+    },
+    /// A DVFS cap was outside the chip's frequency range.
+    InvalidFrequency {
+        /// Requested cap in GHz.
+        requested_ghz: f64,
+        /// Minimum supported frequency in GHz.
+        min_ghz: f64,
+        /// Maximum supported frequency in GHz.
+        max_ghz: f64,
+    },
+    /// An HTB ceiling was negative or above the line rate.
+    InvalidBandwidth {
+        /// Requested ceiling in Gbps.
+        requested_gbps: f64,
+        /// NIC line rate in Gbps.
+        link_gbps: f64,
+    },
+}
+
+impl fmt::Display for IsolationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsolationError::InvalidCoreAllocation { lc_cores, be_cores, total_cores } => write!(
+                f,
+                "cannot pin {lc_cores} LC + {be_cores} BE cores on a {total_cores}-core machine"
+            ),
+            IsolationError::InvalidWaySplit { lc_ways, be_ways, total_ways } => write!(
+                f,
+                "cannot partition {lc_ways} LC + {be_ways} BE ways in a {total_ways}-way LLC"
+            ),
+            IsolationError::InvalidFrequency { requested_ghz, min_ghz, max_ghz } => write!(
+                f,
+                "frequency cap {requested_ghz} GHz outside supported range [{min_ghz}, {max_ghz}] GHz"
+            ),
+            IsolationError::InvalidBandwidth { requested_gbps, link_gbps } => write!(
+                f,
+                "bandwidth ceiling {requested_gbps} Gbps outside [0, {link_gbps}] Gbps"
+            ),
+        }
+    }
+}
+
+impl Error for IsolationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let e = IsolationError::InvalidCoreAllocation { lc_cores: 40, be_cores: 10, total_cores: 36 };
+        assert!(e.to_string().contains("36-core"));
+        let e = IsolationError::InvalidWaySplit { lc_ways: 30, be_ways: 1, total_ways: 20 };
+        assert!(e.to_string().contains("20-way"));
+        let e = IsolationError::InvalidFrequency { requested_ghz: 9.0, min_ghz: 1.2, max_ghz: 3.3 };
+        assert!(e.to_string().contains("9 GHz"));
+        let e = IsolationError::InvalidBandwidth { requested_gbps: -1.0, link_gbps: 10.0 };
+        assert!(e.to_string().contains("[0, 10] Gbps"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<IsolationError>();
+    }
+}

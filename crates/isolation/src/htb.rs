@@ -1,0 +1,152 @@
+//! Network isolation via Linux traffic control (HTB qdisc).
+//!
+//! Heracles shapes only the *outgoing* traffic of the BE class: an HTB class
+//! with a `ceil` equal to the bandwidth the controller grants it.  The LC
+//! class is never limited.  New ceilings take effect in well under a second.
+
+use heracles_hw::Server;
+use heracles_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::error::IsolationError;
+
+/// The HTB egress shaper for the best-effort traffic class.
+///
+/// # Example
+///
+/// ```
+/// use heracles_hw::{Server, ServerConfig};
+/// use heracles_isolation::HtbShaper;
+/// let mut server = Server::new(ServerConfig::default_haswell());
+/// let mut htb = HtbShaper::new(&server);
+/// let ceil = htb.apply_heracles_policy(&mut server, 6.0).unwrap();
+/// // LinkRate - LCBandwidth - max(0.05 * LinkRate, 0.10 * LCBandwidth)
+/// assert!((ceil - 3.4).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HtbShaper {
+    link_gbps: f64,
+    apply_latency: SimDuration,
+    updates: u64,
+}
+
+impl HtbShaper {
+    /// Creates the shaper for a server's NIC.
+    pub fn new(server: &Server) -> Self {
+        HtbShaper {
+            link_gbps: server.config().nic_gbps,
+            apply_latency: SimDuration::from_millis(200),
+            updates: 0,
+        }
+    }
+
+    /// How long a ceiling update takes to settle.
+    pub fn apply_latency(&self) -> SimDuration {
+        self.apply_latency
+    }
+
+    /// Number of ceiling updates applied so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The NIC line rate in Gbps.
+    pub fn link_gbps(&self) -> f64 {
+        self.link_gbps
+    }
+
+    /// Sets (or clears) the BE egress ceiling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsolationError::InvalidBandwidth`] if the ceiling is negative
+    /// or exceeds the line rate.
+    pub fn set_be_ceil_gbps(&mut self, server: &mut Server, ceil: Option<f64>) -> Result<(), IsolationError> {
+        if let Some(gbps) = ceil {
+            if !(0.0..=self.link_gbps).contains(&gbps) {
+                return Err(IsolationError::InvalidBandwidth { requested_gbps: gbps, link_gbps: self.link_gbps });
+            }
+        }
+        server.allocations_mut().set_be_net_ceil_gbps(ceil);
+        self.updates += 1;
+        Ok(())
+    }
+
+    /// The BE ceiling Heracles' network sub-controller would set for a given
+    /// measured LC transmit bandwidth (Algorithm 4 of the paper):
+    ///
+    /// `LinkRate − LCBandwidth − max(0.05·LinkRate, 0.10·LCBandwidth)`
+    ///
+    /// clamped to `[0, LinkRate]`.
+    pub fn heracles_ceiling(&self, lc_tx_gbps: f64) -> f64 {
+        let headroom = (0.05 * self.link_gbps).max(0.10 * lc_tx_gbps);
+        (self.link_gbps - lc_tx_gbps - headroom).clamp(0.0, self.link_gbps)
+    }
+
+    /// Computes and applies the Heracles ceiling, returning the value set.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the computed ceiling is always in range.
+    pub fn apply_heracles_policy(&mut self, server: &mut Server, lc_tx_gbps: f64) -> Result<f64, IsolationError> {
+        let ceil = self.heracles_ceiling(lc_tx_gbps);
+        self.set_be_ceil_gbps(server, Some(ceil))?;
+        Ok(ceil)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heracles_hw::ServerConfig;
+
+    fn server() -> Server {
+        Server::new(ServerConfig::default_haswell())
+    }
+
+    #[test]
+    fn ceiling_formula_matches_algorithm_4() {
+        let s = server();
+        let htb = HtbShaper::new(&s);
+        // Low LC bandwidth: the 5%-of-link headroom dominates.
+        assert!((htb.heracles_ceiling(1.0) - (10.0 - 1.0 - 0.5)).abs() < 1e-9);
+        // High LC bandwidth: the 10%-of-LC headroom dominates.
+        assert!((htb.heracles_ceiling(8.0) - (10.0 - 8.0 - 0.8)).abs() < 1e-9);
+        // Saturated LC traffic: BE gets nothing (clamped at zero).
+        assert_eq!(htb.heracles_ceiling(9.9), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_ceilings_rejected() {
+        let mut s = server();
+        let mut htb = HtbShaper::new(&s);
+        assert!(htb.set_be_ceil_gbps(&mut s, Some(-1.0)).is_err());
+        assert!(htb.set_be_ceil_gbps(&mut s, Some(99.0)).is_err());
+        assert!(htb.set_be_ceil_gbps(&mut s, Some(5.0)).is_ok());
+        assert_eq!(s.allocations().be_net_ceil_gbps(), Some(5.0));
+    }
+
+    #[test]
+    fn applying_policy_updates_the_server() {
+        let mut s = server();
+        let mut htb = HtbShaper::new(&s);
+        let ceil = htb.apply_heracles_policy(&mut s, 4.0).unwrap();
+        assert_eq!(s.allocations().be_net_ceil_gbps(), Some(ceil));
+        assert_eq!(htb.updates(), 1);
+    }
+
+    #[test]
+    fn clearing_the_ceiling() {
+        let mut s = server();
+        let mut htb = HtbShaper::new(&s);
+        htb.set_be_ceil_gbps(&mut s, Some(2.0)).unwrap();
+        htb.set_be_ceil_gbps(&mut s, None).unwrap();
+        assert_eq!(s.allocations().be_net_ceil_gbps(), None);
+    }
+
+    #[test]
+    fn apply_latency_is_sub_second() {
+        let s = server();
+        assert!(HtbShaper::new(&s).apply_latency().as_secs_f64() < 1.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! The four isolation mechanisms Heracles coordinates, plus the monitors and
+//! the OS-only baseline mechanism.
+//!
+//! Each mechanism is a thin, stateful actuator over the allocation state of a
+//! [`heracles_hw::Server`]:
+//!
+//! * [`Cpuset`] — core pinning via cgroups `cpuset` (software, tens of ms to
+//!   take effect),
+//! * [`CatPartitioner`] — LLC way-partitioning via Intel CAT MSRs (hardware,
+//!   a few ms),
+//! * [`PerCoreDvfs`] — per-core frequency caps for the best-effort cores
+//!   (hardware, a few ms, 100 MHz steps),
+//! * [`HtbShaper`] — egress bandwidth ceiling for the best-effort traffic
+//!   class via Linux HTB qdiscs (software, sub-second),
+//!
+//! and the monitors the controller reads:
+//!
+//! * [`RaplMonitor`] — package power vs TDP,
+//! * [`DramBwMonitor`] — total and per-class DRAM bandwidth,
+//! * [`FreqMonitor`] — per-class core frequencies.
+//!
+//! [`CfsShares`] models the OS-only baseline (no pinning, CFS `shares`),
+//! which the paper shows is insufficient for colocation.
+//!
+//! # Example
+//!
+//! ```
+//! use heracles_hw::{Server, ServerConfig};
+//! use heracles_isolation::{CatPartitioner, Cpuset, HtbShaper, PerCoreDvfs};
+//!
+//! let mut server = Server::new(ServerConfig::default_haswell());
+//! let mut cpuset = Cpuset::new();
+//! let mut cat = CatPartitioner::new();
+//! let mut dvfs = PerCoreDvfs::new(&server);
+//! let mut htb = HtbShaper::new(&server);
+//!
+//! cpuset.pin(&mut server, 28, 8).unwrap();
+//! cat.set_ways(&mut server, 16, 4).unwrap();
+//! dvfs.set_be_cap_ghz(&mut server, Some(1.8)).unwrap();
+//! htb.set_be_ceil_gbps(&mut server, Some(2.0)).unwrap();
+//! assert_eq!(server.allocations().lc_cores(), 28);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cat;
+pub mod cfs;
+pub mod cpuset;
+pub mod dram_monitor;
+pub mod dvfs;
+pub mod error;
+pub mod htb;
+pub mod monitors;
+
+pub use cat::CatPartitioner;
+pub use cfs::CfsShares;
+pub use cpuset::Cpuset;
+pub use dram_monitor::{DramBwMonitor, DramBwReading};
+pub use dvfs::PerCoreDvfs;
+pub use error::IsolationError;
+pub use htb::HtbShaper;
+pub use monitors::{FreqMonitor, FreqReading, PowerReading, RaplMonitor};

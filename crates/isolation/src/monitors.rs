@@ -1,0 +1,113 @@
+//! RAPL power and per-core frequency monitoring.
+//!
+//! The power sub-controller needs two readings each cycle: the package power
+//! relative to TDP (from RAPL) and the frequency of the cores running the LC
+//! workload (from the per-core frequency counters).  Both are derived from
+//! the [`CounterSnapshot`] the server exposes.
+
+use heracles_hw::CounterSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// A RAPL package-power reading.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerReading {
+    /// Package power in watts (all sockets).
+    pub watts: f64,
+    /// Package TDP in watts (all sockets).
+    pub tdp_w: f64,
+}
+
+impl PowerReading {
+    /// Power as a fraction of TDP.
+    pub fn fraction_of_tdp(&self) -> f64 {
+        if self.tdp_w > 0.0 {
+            self.watts / self.tdp_w
+        } else {
+            0.0
+        }
+    }
+
+    /// True if the package is operating close to its TDP (the threshold the
+    /// paper's power sub-controller uses is 90%).
+    pub fn near_tdp(&self, threshold: f64) -> bool {
+        self.fraction_of_tdp() > threshold
+    }
+}
+
+/// A per-class core-frequency reading.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FreqReading {
+    /// Average frequency of LC cores in GHz.
+    pub lc_ghz: f64,
+    /// Average frequency of BE cores in GHz.
+    pub be_ghz: f64,
+}
+
+/// Reads package power through the RAPL interface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RaplMonitor;
+
+impl RaplMonitor {
+    /// Creates the monitor.
+    pub fn new() -> Self {
+        RaplMonitor
+    }
+
+    /// Reads the package power from a counter snapshot.
+    pub fn read(&self, counters: &CounterSnapshot) -> PowerReading {
+        PowerReading { watts: counters.package_power_w, tdp_w: counters.tdp_w }
+    }
+}
+
+/// Reads per-class core frequencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FreqMonitor;
+
+impl FreqMonitor {
+    /// Creates the monitor.
+    pub fn new() -> Self {
+        FreqMonitor
+    }
+
+    /// Reads the per-class frequencies from a counter snapshot.
+    pub fn read(&self, counters: &CounterSnapshot) -> FreqReading {
+        FreqReading { lc_ghz: counters.lc_freq_ghz, be_ghz: counters.be_freq_ghz }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters() -> CounterSnapshot {
+        CounterSnapshot {
+            package_power_w: 270.0,
+            tdp_w: 290.0,
+            lc_freq_ghz: 2.2,
+            be_freq_ghz: 1.4,
+            ..CounterSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn rapl_reading_and_threshold() {
+        let r = RaplMonitor::new().read(&counters());
+        assert!((r.fraction_of_tdp() - 270.0 / 290.0).abs() < 1e-12);
+        assert!(r.near_tdp(0.90));
+        assert!(!r.near_tdp(0.95));
+    }
+
+    #[test]
+    fn zero_tdp_reads_zero_fraction() {
+        let r = PowerReading { watts: 100.0, tdp_w: 0.0 };
+        assert_eq!(r.fraction_of_tdp(), 0.0);
+        assert!(!r.near_tdp(0.9));
+    }
+
+    #[test]
+    fn freq_monitor_reports_both_classes() {
+        let f = FreqMonitor::new().read(&counters());
+        assert_eq!(f.lc_ghz, 2.2);
+        assert_eq!(f.be_ghz, 1.4);
+    }
+}

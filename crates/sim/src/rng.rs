@@ -1,0 +1,215 @@
+//! Deterministic random number generation.
+//!
+//! Every stochastic component of the simulation draws from a [`SimRng`] seeded
+//! from the experiment configuration, so a given experiment is exactly
+//! reproducible.  Independent sub-streams can be split off with
+//! [`SimRng::fork`], which keeps components statistically independent while
+//! remaining deterministic regardless of the order in which they draw.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic pseudo-random number generator with the distributions used
+/// by the workload and hardware models.
+///
+/// # Example
+///
+/// ```
+/// use heracles_sim::SimRng;
+/// let mut rng = SimRng::new(7);
+/// let service_time = rng.lognormal(0.010, 0.5); // mean 10 ms, CoV 0.5
+/// assert!(service_time > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng { inner: StdRng::seed_from_u64(seed), seed }
+    }
+
+    /// The seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Creates an independent generator for a named sub-stream.
+    ///
+    /// The fork is a pure function of the parent seed and `stream`, so the
+    /// sub-stream does not depend on how many values the parent has produced.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        // SplitMix64-style mixing of (seed, stream) into a new seed.
+        let mut z = self.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::new(z)
+    }
+
+    /// A uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform_range: lo {lo} > hi {hi}");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// A uniform integer sample in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index: empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Returns true with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// An exponential sample with the given mean.
+    ///
+    /// Returns zero when `mean <= 0`.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // Inverse-transform sampling; 1-u avoids ln(0).
+        -mean * (1.0 - self.uniform()).ln()
+    }
+
+    /// A standard normal sample (Box–Muller transform).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = 1.0 - self.uniform();
+        let u2: f64 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// A normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// A log-normal sample parameterised by its mean and coefficient of
+    /// variation (`std_dev / mean`).
+    ///
+    /// Service-time distributions in the workload models are log-normal, which
+    /// matches the heavy-but-not-pathological tails of request service times
+    /// in serving systems.  Returns zero when `mean <= 0`.
+    pub fn lognormal(&mut self, mean: f64, cov: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        if cov <= 0.0 {
+            return mean;
+        }
+        let sigma2 = (1.0 + cov * cov).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        (mu + sigma2.sqrt() * self.standard_normal()).exp()
+    }
+
+    /// A bounded Pareto sample with shape `alpha` on `[lo, hi]`.
+    ///
+    /// Used for heavy-tailed best-effort task sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo <= 0`, `hi < lo`, or `alpha <= 0`.
+    pub fn bounded_pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
+        assert!(lo > 0.0 && hi >= lo && alpha > 0.0, "invalid bounded pareto parameters");
+        let u = self.uniform();
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        let x = -(u * ha - u * la - ha) / (ha * la);
+        x.powf(-1.0 / alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(samples: &[f64]) -> f64 {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn forks_are_order_independent() {
+        let parent = SimRng::new(99);
+        let mut f1 = parent.fork(3);
+        let mut p2 = SimRng::new(99);
+        let _ = p2.uniform(); // advancing the parent must not change the fork
+        let mut f2 = p2.fork(3);
+        assert_eq!(f1.uniform(), f2.uniform());
+    }
+
+    #[test]
+    fn exp_has_requested_mean() {
+        let mut rng = SimRng::new(5);
+        let samples: Vec<f64> = (0..50_000).map(|_| rng.exp(2.0)).collect();
+        let m = mean_of(&samples);
+        assert!((m - 2.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_has_requested_mean() {
+        let mut rng = SimRng::new(6);
+        let samples: Vec<f64> = (0..50_000).map(|_| rng.lognormal(0.01, 0.7)).collect();
+        let m = mean_of(&samples);
+        assert!((m - 0.01).abs() < 0.0005, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_degenerate_cases() {
+        let mut rng = SimRng::new(7);
+        assert_eq!(rng.lognormal(0.0, 0.5), 0.0);
+        assert_eq!(rng.lognormal(3.0, 0.0), 3.0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(8);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let mut rng = SimRng::new(9);
+        for _ in 0..10_000 {
+            let x = rng.bounded_pareto(1.5, 1.0, 100.0);
+            assert!((1.0..=100.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn uniform_range_bounds() {
+        let mut rng = SimRng::new(10);
+        for _ in 0..1000 {
+            let x = rng.uniform_range(5.0, 6.0);
+            assert!((5.0..6.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Time-series recording for experiment output.
+//!
+//! The figure-reproduction binaries record per-window measurements (latency,
+//! utilization, bandwidth, power) as [`TimeSeries`] and render them as the
+//! rows/series the paper reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// A single time-stamped observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimePoint {
+    /// When the observation was made.
+    pub time: SimTime,
+    /// The observed value.
+    pub value: f64,
+}
+
+/// An append-only series of time-stamped values.
+///
+/// # Example
+///
+/// ```
+/// use heracles_sim::{TimeSeries, SimTime};
+/// let mut s = TimeSeries::new("cpu_utilization");
+/// s.push(SimTime::from_secs(0), 0.4);
+/// s.push(SimTime::from_secs(15), 0.6);
+/// assert_eq!(s.mean(), 0.5);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<TimePoint>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a descriptive name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries { name: name.into(), points: Vec::new() }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends an observation. Non-finite values are ignored.
+    pub fn push(&mut self, time: SimTime, value: f64) {
+        if value.is_finite() {
+            self.points.push(TimePoint { time, value });
+        }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the series has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates over observations in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &TimePoint> {
+        self.points.iter()
+    }
+
+    /// The most recent observation, if any.
+    pub fn last(&self) -> Option<TimePoint> {
+        self.points.last().copied()
+    }
+
+    /// Mean of all values, or zero if empty.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|p| p.value).sum::<f64>() / self.points.len() as f64
+        }
+    }
+
+    /// Maximum value, or zero if empty.
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|p| p.value).fold(0.0, f64::max)
+    }
+
+    /// Minimum value, or zero if empty.
+    pub fn min(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|p| p.value).fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Fraction of observations for which `predicate` holds, or zero if empty.
+    pub fn fraction_where(&self, predicate: impl Fn(f64) -> bool) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().filter(|p| predicate(p.value)).count() as f64 / self.points.len() as f64
+    }
+
+    /// Renders the series as `time_s,value` CSV lines (with a header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,value\n");
+        for p in &self.points {
+            out.push_str(&format!("{:.3},{:.6}\n", p.time.as_secs_f64(), p.value));
+        }
+        out
+    }
+}
+
+impl Extend<TimePoint> for TimeSeries {
+    fn extend<T: IntoIterator<Item = TimePoint>>(&mut self, iter: T) {
+        for p in iter {
+            self.push(p.time, p.value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> TimeSeries {
+        let mut s = TimeSeries::new("test");
+        s.push(SimTime::from_secs(0), 1.0);
+        s.push(SimTime::from_secs(1), 3.0);
+        s.push(SimTime::from_secs(2), 2.0);
+        s
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = sample_series();
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.last().unwrap().value, 2.0);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_series_defaults() {
+        let s = TimeSeries::new("empty");
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert!(s.last().is_none());
+    }
+
+    #[test]
+    fn non_finite_values_dropped() {
+        let mut s = TimeSeries::new("nan");
+        s.push(SimTime::ZERO, f64::NAN);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn fraction_where_counts_correctly() {
+        let s = sample_series();
+        let frac = s.fraction_where(|v| v >= 2.0);
+        assert!((frac - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let s = sample_series();
+        let csv = s.to_csv();
+        assert!(csv.starts_with("time_s,value\n"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the simulation kernel.
+
+use heracles_sim::{LatencyRecorder, MultiServerQueue, SimDuration, SimRng, SimTime, StreamingStats};
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantiles are monotone in the quantile argument and bounded by min/max.
+    #[test]
+    fn quantiles_are_monotone(samples in proptest::collection::vec(0.0f64..1000.0, 1..200)) {
+        let mut rec = LatencyRecorder::new();
+        for &s in &samples {
+            rec.record(s);
+        }
+        let q50 = rec.quantile(0.5);
+        let q90 = rec.quantile(0.9);
+        let q99 = rec.quantile(0.99);
+        prop_assert!(q50 <= q90);
+        prop_assert!(q90 <= q99);
+        prop_assert!(q99 <= rec.quantile(1.0));
+        prop_assert!(rec.quantile(0.0) <= q50);
+    }
+
+    /// Merging recorders is equivalent to recording everything in one.
+    #[test]
+    fn recorder_merge_is_concatenation(
+        a in proptest::collection::vec(0.0f64..100.0, 0..100),
+        b in proptest::collection::vec(0.0f64..100.0, 0..100),
+    ) {
+        let mut merged = LatencyRecorder::new();
+        let mut left = LatencyRecorder::new();
+        let mut right = LatencyRecorder::new();
+        for &x in &a { merged.record(x); left.record(x); }
+        for &x in &b { merged.record(x); right.record(x); }
+        left.merge(&right);
+        prop_assert_eq!(left.len(), merged.len());
+        prop_assert_eq!(left.quantile(0.95), merged.quantile(0.95));
+    }
+
+    /// Streaming statistics stay within the sample bounds.
+    #[test]
+    fn streaming_stats_bounds(samples in proptest::collection::vec(-1e6f64..1e6, 1..500)) {
+        let mut s = StreamingStats::new();
+        for &v in &samples {
+            s.push(v);
+        }
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(s.mean() >= lo - 1e-9 && s.mean() <= hi + 1e-9);
+        prop_assert!(s.min() == lo && s.max() == hi);
+        prop_assert!(s.variance() >= 0.0);
+    }
+
+    /// Simulated sojourn times are never smaller than the (constant) service time.
+    #[test]
+    fn sojourn_at_least_service(
+        seed in 0u64..1000,
+        servers in 1usize..16,
+        service_ms in 0.1f64..10.0,
+        utilization in 0.05f64..0.9,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let q = MultiServerQueue::new(servers);
+        let service = service_ms / 1000.0;
+        let lambda = utilization * servers as f64 / service;
+        let mut lat = q.run(&mut rng, lambda, 500, |_| service);
+        prop_assert!(lat.quantile(0.0) >= service - 1e-12);
+    }
+
+    /// Identical seeds give identical latency distributions (determinism).
+    #[test]
+    fn queue_is_deterministic(seed in 0u64..500) {
+        let run = |seed| {
+            let mut rng = SimRng::new(seed);
+            let q = MultiServerQueue::new(4);
+            let mut lat = q.run(&mut rng, 1000.0, 2000, |r| r.exp(0.002));
+            (lat.quantile(0.5), lat.quantile(0.99), lat.mean())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Time arithmetic: (t + d) - t == d for any time and duration.
+    #[test]
+    fn time_add_then_subtract(t_ns in 0u64..u64::MAX / 4, d_ns in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(t_ns);
+        let d = SimDuration::from_nanos(d_ns);
+        prop_assert_eq!((t + d) - t, d);
+    }
+
+    /// Exponential and log-normal samples are always non-negative and finite.
+    #[test]
+    fn distributions_are_well_formed(seed in 0u64..1000, mean in 1e-6f64..10.0, cov in 0.0f64..3.0) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            let e = rng.exp(mean);
+            let l = rng.lognormal(mean, cov);
+            prop_assert!(e.is_finite() && e >= 0.0);
+            prop_assert!(l.is_finite() && l >= 0.0);
+        }
+    }
+}

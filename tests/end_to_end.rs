@@ -1,0 +1,158 @@
+//! Integration tests spanning the whole workspace: hardware model, isolation
+//! mechanisms, workload models, the Heracles controller, the baselines and
+//! the colocation harness working together.
+
+use heracles_baselines::{LcOnly, OsOnly, StaticPartition};
+use heracles_colo::{ColoConfig, ColoRunner, ColoSummary};
+use heracles_core::{ColocationPolicy, Heracles, HeraclesConfig, OfflineDramModel};
+use heracles_hw::ServerConfig;
+use heracles_workloads::{BeWorkload, LcWorkload};
+
+fn heracles(lc: &LcWorkload, server: &ServerConfig) -> Box<dyn ColocationPolicy> {
+    Box::new(Heracles::new(HeraclesConfig::fast(), lc.slo(), OfflineDramModel::profile(lc, server)))
+}
+
+fn run(
+    lc: LcWorkload,
+    be: Option<BeWorkload>,
+    policy: Box<dyn ColocationPolicy>,
+    load: f64,
+    windows: usize,
+) -> (ColoSummary, ColoRunner) {
+    let server = ServerConfig::default_haswell();
+    let mut runner = ColoRunner::new(server, lc, be, policy, ColoConfig::fast_test());
+    runner.run_steady(load, windows);
+    (runner.summary_of_last(windows / 2), runner)
+}
+
+#[test]
+fn heracles_colocates_every_lc_with_every_production_be_without_violations() {
+    let server = ServerConfig::default_haswell();
+    for lc in LcWorkload::all() {
+        for be in BeWorkload::production_set() {
+            let policy = heracles(&lc, &server);
+            let (summary, _) = run(lc.clone(), Some(be.clone()), policy, 0.5, 70);
+            assert_eq!(
+                summary.slo_violation_fraction, 0.0,
+                "{} + {} violated the SLO: {:?}",
+                lc.name(),
+                be.name(),
+                summary
+            );
+            assert!(
+                summary.mean_emu > 0.55,
+                "{} + {}: EMU only {:.2}",
+                lc.name(),
+                be.name(),
+                summary.mean_emu
+            );
+        }
+    }
+}
+
+#[test]
+fn heracles_beats_a_conservative_static_partition_on_utilization_at_low_load() {
+    // The paper's argument (§3.3): a static partition conservative enough to
+    // protect the SLO across all loads leaves utilization on the table.
+    let server = ServerConfig::default_haswell();
+    let lc = LcWorkload::websearch();
+    let be = BeWorkload::brain();
+    let (heracles_summary, _) =
+        run(lc.clone(), Some(be.clone()), heracles(&lc, &server), 0.2, 140);
+    let (static_summary, _) = run(
+        lc.clone(),
+        Some(be),
+        Box::new(StaticPartition::conservative()),
+        0.2,
+        140,
+    );
+    assert!(
+        heracles_summary.mean_emu > static_summary.mean_emu,
+        "heracles {:.2} <= static {:.2}",
+        heracles_summary.mean_emu,
+        static_summary.mean_emu
+    );
+}
+
+#[test]
+fn os_only_isolation_is_insufficient_for_colocation() {
+    let lc = LcWorkload::memkeyval();
+    let (summary, _) = run(lc, Some(BeWorkload::brain()), Box::new(OsOnly::new()), 0.5, 20);
+    assert!(
+        summary.worst_normalized_latency > 1.5,
+        "expected large SLO violations, got {:.2}",
+        summary.worst_normalized_latency
+    );
+}
+
+#[test]
+fn lc_only_baseline_meets_slo_at_every_load_for_every_workload() {
+    for lc in LcWorkload::all() {
+        for load in [0.1, 0.5, 0.9] {
+            let (summary, _) = run(lc.clone(), None, Box::new(LcOnly::new()), load, 20);
+            assert_eq!(
+                summary.slo_violation_fraction, 0.0,
+                "{} at load {load} violated its SLO",
+                lc.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn heracles_disables_colocation_at_high_load_and_resumes_at_low_load() {
+    let server = ServerConfig::default_haswell();
+    let lc = LcWorkload::websearch();
+    let policy = heracles(&lc, &server);
+    let mut runner = ColoRunner::new(
+        server,
+        lc,
+        Some(BeWorkload::streetview()),
+        policy,
+        ColoConfig::fast_test(),
+    );
+    // Converge at moderate load.
+    runner.run_steady(0.4, 50);
+    assert!(runner.history().last().unwrap().be_cores > 2);
+    // Spike to 95% load: BE must be disabled within a poll period.
+    runner.run_steady(0.95, 25);
+    assert_eq!(
+        runner.history().last().unwrap().be_cores,
+        0,
+        "BE tasks must be evicted at 95% load"
+    );
+    // Return to low load: colocation resumes once any cooldown expires
+    // (the fast configuration uses a 60 s cooldown).
+    runner.run_steady(0.3, 90);
+    assert!(
+        runner.history().last().unwrap().be_cores > 0,
+        "BE tasks should come back once load drops"
+    );
+}
+
+#[test]
+fn heracles_protects_memkeyval_from_network_antagonist() {
+    let server = ServerConfig::default_haswell();
+    let lc = LcWorkload::memkeyval();
+    let (summary, runner) =
+        run(lc.clone(), Some(BeWorkload::iperf()), heracles(&lc, &server), 0.6, 60);
+    assert_eq!(
+        summary.slo_violation_fraction, 0.0,
+        "memkeyval + iperf under Heracles violated the SLO: {summary:?}"
+    );
+    // The network sub-controller must have installed an egress ceiling.
+    assert!(runner.server().allocations().be_net_ceil_gbps().is_some());
+}
+
+#[test]
+fn offline_model_error_does_not_break_the_controller() {
+    // The paper notes Heracles tolerated a stale DRAM model; emulate a 30%
+    // profiling error and check the SLO still holds.
+    let server = ServerConfig::default_haswell();
+    let lc = LcWorkload::websearch();
+    let model = OfflineDramModel::profile(&lc, &server).perturbed(0.7);
+    let policy: Box<dyn ColocationPolicy> =
+        Box::new(Heracles::new(HeraclesConfig::fast(), lc.slo(), model));
+    let (summary, _) = run(lc, Some(BeWorkload::streetview()), policy, 0.5, 70);
+    assert_eq!(summary.slo_violation_fraction, 0.0, "{summary:?}");
+}
