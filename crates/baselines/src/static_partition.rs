@@ -71,7 +71,12 @@ impl StaticPartition {
                 && (0.0..=1.0).contains(&be_net_fraction),
             "fractions must be in [0, 1]"
         );
-        StaticPartition { be_core_fraction, be_llc_fraction, be_net_fraction, be_freq_cap_ghz: None }
+        StaticPartition {
+            be_core_fraction,
+            be_llc_fraction,
+            be_net_fraction,
+            be_freq_cap_ghz: None,
+        }
     }
 }
 

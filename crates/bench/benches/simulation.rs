@@ -52,7 +52,13 @@ fn bench_characterization_cell(c: &mut Criterion) {
     let colo = ColoConfig::fast_test();
     c.bench_function("characterization_cell", |b| {
         b.iter(|| {
-            characterize_cell(&LcWorkload::ml_cluster(), &BeWorkload::llc_medium(), 0.5, &server, &colo)
+            characterize_cell(
+                &LcWorkload::ml_cluster(),
+                &BeWorkload::llc_medium(),
+                0.5,
+                &server,
+                &colo,
+            )
         });
     });
 }

@@ -16,11 +16,7 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let server = ServerConfig::default_haswell();
     let colo = if quick { ColoConfig::fast_test() } else { ColoConfig::default() };
-    let loads = if quick {
-        vec![0.1, 0.3, 0.5, 0.7, 0.9]
-    } else {
-        figure1_loads()
-    };
+    let loads = if quick { vec![0.1, 0.3, 0.5, 0.7, 0.9] } else { figure1_loads() };
 
     println!("Figure 1: tail latency under single-resource interference (% of SLO)");
     println!();

@@ -29,10 +29,8 @@ fn main() {
     }
     println!();
 
-    let grid: Vec<(f64, f64)> = fractions
-        .iter()
-        .flat_map(|&c| fractions.iter().map(move |&l| (c, l)))
-        .collect();
+    let grid: Vec<(f64, f64)> =
+        fractions.iter().flat_map(|&c| fractions.iter().map(move |&l| (c, l))).collect();
     let results = parallel_map(&grid, |&(cores, llc)| {
         max_load_under_slo(&websearch, cores, llc, &server, &colo)
     });

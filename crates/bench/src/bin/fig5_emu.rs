@@ -40,10 +40,7 @@ fn main() {
     println!("Figure 5: Effective Machine Utilization under Heracles (%)");
     println!();
     print_load_header("colocation", &loads);
-    print_row(
-        "baseline",
-        &loads.iter().map(|l| format!("{:.0}%", l * 100.0)).collect::<Vec<_>>(),
-    );
+    print_row("baseline", &loads.iter().map(|l| format!("{:.0}%", l * 100.0)).collect::<Vec<_>>());
     let mut sum = 0.0;
     let mut count = 0usize;
     for lc in LcWorkload::all() {
@@ -54,11 +51,17 @@ fn main() {
             });
             sum += emu.iter().sum::<f64>();
             count += emu.len();
-            print_row(&label, &emu.iter().map(|&v| format!("{:.0}%", v * 100.0)).collect::<Vec<_>>());
+            print_row(
+                &label,
+                &emu.iter().map(|&v| format!("{:.0}%", v * 100.0)).collect::<Vec<_>>(),
+            );
         }
     }
     println!();
-    println!("average EMU across all colocations and loads: {:.0}%", 100.0 * sum / count.max(1) as f64);
+    println!(
+        "average EMU across all colocations and loads: {:.0}%",
+        100.0 * sum / count.max(1) as f64
+    );
     println!("(paper: Figure 5 — EMU between ~60% and ~120%, averaging ~90%; websearch+streetview");
     println!(" exceeds 100% because their resource needs are complementary.)");
 }

@@ -33,9 +33,14 @@ fn main() {
     let server = ServerConfig::default_haswell();
     let colo = if quick { ColoConfig::fast_test() } else { ColoConfig::default() };
     let windows = if quick { 60 } else { 120 };
-    let loads: Vec<f64> = if quick { vec![0.2, 0.4, 0.6, 0.8] } else { vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] };
+    let loads: Vec<f64> = if quick {
+        vec![0.2, 0.4, 0.6, 0.8]
+    } else {
+        vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    };
 
-    let metrics: [(&str, fn(&ColoSummary) -> f64); 3] = [
+    type Metric = fn(&ColoSummary) -> f64;
+    let metrics: [(&str, Metric); 3] = [
         ("DRAM BW (% of peak)", |s| s.mean_dram_utilization),
         ("CPU utilization (%)", |s| s.mean_cpu_utilization),
         ("CPU power (% of TDP)", |s| s.mean_power_fraction),

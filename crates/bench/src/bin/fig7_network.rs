@@ -11,7 +11,13 @@ use heracles_core::{ColocationPolicy, Heracles, HeraclesConfig, OfflineDramModel
 use heracles_hw::ServerConfig;
 use heracles_workloads::{BeWorkload, LcWorkload};
 
-fn steady_state(load: f64, be: Option<&BeWorkload>, server: &ServerConfig, colo: &ColoConfig, windows: usize) -> ColoSummary {
+fn steady_state(
+    load: f64,
+    be: Option<&BeWorkload>,
+    server: &ServerConfig,
+    colo: &ColoConfig,
+    windows: usize,
+) -> ColoSummary {
     let kv = LcWorkload::memkeyval();
     let policy: Box<dyn ColocationPolicy> = Box::new(Heracles::new(
         HeraclesConfig::default(),
@@ -28,7 +34,11 @@ fn main() {
     let server = ServerConfig::default_haswell();
     let colo = if quick { ColoConfig::fast_test() } else { ColoConfig::default() };
     let windows = if quick { 60 } else { 120 };
-    let loads: Vec<f64> = if quick { vec![0.2, 0.4, 0.6, 0.8] } else { vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] };
+    let loads: Vec<f64> = if quick {
+        vec![0.2, 0.4, 0.6, 0.8]
+    } else {
+        vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    };
     let link = server.nic_gbps;
 
     println!("Figure 7: memkeyval network bandwidth with iperf under Heracles (% of link rate)");
@@ -38,22 +48,35 @@ fn main() {
     let baseline = parallel_map(&loads, |&load| steady_state(load, None, &server, &colo, windows));
     print_row(
         "baseline (LC)",
-        &baseline.iter().map(|s| format!("{:.0}%", s.mean_lc_net_gbps / link * 100.0)).collect::<Vec<_>>(),
+        &baseline
+            .iter()
+            .map(|s| format!("{:.0}%", s.mean_lc_net_gbps / link * 100.0))
+            .collect::<Vec<_>>(),
     );
 
     let iperf = BeWorkload::iperf();
-    let colocated = parallel_map(&loads, |&load| steady_state(load, Some(&iperf), &server, &colo, windows));
+    let colocated =
+        parallel_map(&loads, |&load| steady_state(load, Some(&iperf), &server, &colo, windows));
     print_row(
         "heracles (LC)",
-        &colocated.iter().map(|s| format!("{:.0}%", s.mean_lc_net_gbps / link * 100.0)).collect::<Vec<_>>(),
+        &colocated
+            .iter()
+            .map(|s| format!("{:.0}%", s.mean_lc_net_gbps / link * 100.0))
+            .collect::<Vec<_>>(),
     );
     print_row(
         "heracles (BE)",
-        &colocated.iter().map(|s| format!("{:.0}%", s.mean_be_net_gbps / link * 100.0)).collect::<Vec<_>>(),
+        &colocated
+            .iter()
+            .map(|s| format!("{:.0}%", s.mean_be_net_gbps / link * 100.0))
+            .collect::<Vec<_>>(),
     );
     print_row(
         "worst lat/SLO",
-        &colocated.iter().map(|s| format!("{:.0}%", s.worst_normalized_latency * 100.0)).collect::<Vec<_>>(),
+        &colocated
+            .iter()
+            .map(|s| format!("{:.0}%", s.worst_normalized_latency * 100.0))
+            .collect::<Vec<_>>(),
     );
     println!();
     println!("(paper: Figure 7 — the LC traffic follows the baseline curve; the BE flows get");

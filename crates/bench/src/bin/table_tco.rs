@@ -9,13 +9,23 @@ use heracles_cluster::TcoModel;
 fn main() {
     let tco = TcoModel::paper_case_study();
     println!("TCO case study (Barroso et al. calculator, low per-server-cost datacenter)");
-    println!("  server ${:.0} over {:.0} years, infra ${:.0} over {:.0} years,",
-        tco.server_capex, tco.server_lifetime_years, tco.infra_capex_per_server, tco.infra_lifetime_years);
-    println!("  PUE {:.1}, {:.0} W peak per server, ${:.2}/kWh, {} servers",
-        tco.pue, tco.peak_power_w, tco.electricity_per_kwh, tco.cluster_servers);
+    println!(
+        "  server ${:.0} over {:.0} years, infra ${:.0} over {:.0} years,",
+        tco.server_capex,
+        tco.server_lifetime_years,
+        tco.infra_capex_per_server,
+        tco.infra_lifetime_years
+    );
+    println!(
+        "  PUE {:.1}, {:.0} W peak per server, ${:.2}/kWh, {} servers",
+        tco.pue, tco.peak_power_w, tco.electricity_per_kwh, tco.cluster_servers
+    );
     println!();
 
-    println!("{:>24} {:>14} {:>14} {:>16}", "initial utilization", "target util.", "throughput/TCO", "energy-prop only");
+    println!(
+        "{:>24} {:>14} {:>14} {:>16}",
+        "initial utilization", "target util.", "throughput/TCO", "energy-prop only"
+    );
     for &(from, to) in &[(0.75, 0.90), (0.50, 0.90), (0.20, 0.90)] {
         let heracles = tco.throughput_per_tco_improvement(from, to);
         let energy_prop = tco.energy_proportionality_improvement(from, 0.35);

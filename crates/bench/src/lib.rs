@@ -26,12 +26,13 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(items.len().max(1));
+    let threads =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(items.len().max(1));
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if idx >= items.len() {
                     break;
@@ -40,8 +41,7 @@ where
                 results.lock().expect("no panics while holding the lock")[idx] = Some(value);
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
     results
         .into_inner()
         .expect("all workers finished")

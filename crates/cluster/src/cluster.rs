@@ -205,7 +205,11 @@ impl WebsearchCluster {
             ClusterPolicy::Heracles => {
                 // brain on half of the leaves, streetview on the other half,
                 // as in the paper's cluster experiment.
-                let be = if index % 2 == 0 { BeWorkload::brain() } else { BeWorkload::streetview() };
+                let be = if index.is_multiple_of(2) {
+                    BeWorkload::brain()
+                } else {
+                    BeWorkload::streetview()
+                };
                 // All leaves share one offline DRAM model even though each
                 // serves a different shard (the paper does the same and notes
                 // the controller tolerates the resulting model error).
@@ -215,11 +219,8 @@ impl WebsearchCluster {
                 // latency is the average of the leaf tails, the per-leaf
                 // target is the cluster target itself.
                 let leaf_slo = Slo::new(self.slo_target_s, websearch.slo().percentile);
-                let policy: Box<dyn ColocationPolicy> = Box::new(Heracles::new(
-                    HeraclesConfig::default(),
-                    leaf_slo,
-                    dram_model,
-                ));
+                let policy: Box<dyn ColocationPolicy> =
+                    Box::new(Heracles::new(HeraclesConfig::default(), leaf_slo, dram_model));
                 ColoRunner::new(self.server_config.clone(), websearch, Some(be), policy, colo)
             }
         }
@@ -227,7 +228,8 @@ impl WebsearchCluster {
 
     /// Runs the experiment and returns the per-step results.
     pub fn run(&self) -> ClusterResult {
-        let mut leaves: Vec<ColoRunner> = (0..self.config.leaves.max(1)).map(|i| self.make_leaf(i)).collect();
+        let mut leaves: Vec<ColoRunner> =
+            (0..self.config.leaves.max(1)).map(|i| self.make_leaf(i)).collect();
         let step_duration = self.config.colo.window * self.config.windows_per_step as u64;
         let mut steps = Vec::with_capacity(self.config.steps);
         for step_idx in 0..self.config.steps {
@@ -269,7 +271,8 @@ mod tests {
 
     #[test]
     fn slo_target_is_calibrated_from_ninety_percent_load() {
-        let cluster = WebsearchCluster::new(ClusterConfig::fast_test(), ServerConfig::default_haswell());
+        let cluster =
+            WebsearchCluster::new(ClusterConfig::fast_test(), ServerConfig::default_haswell());
         let target = cluster.slo_target_s();
         // Root latency at 90% load is positive and below the per-leaf SLO.
         assert!(target > 0.001);
@@ -278,7 +281,8 @@ mod tests {
 
     #[test]
     fn baseline_cluster_meets_its_slo_and_tracks_load() {
-        let config = ClusterConfig { policy: ClusterPolicy::Baseline, ..ClusterConfig::fast_test() };
+        let config =
+            ClusterConfig { policy: ClusterPolicy::Baseline, ..ClusterConfig::fast_test() };
         let result = WebsearchCluster::new(config, ServerConfig::default_haswell()).run();
         assert_eq!(result.steps.len(), config.steps);
         assert_eq!(result.violation_fraction(), 0.0);
@@ -300,14 +304,23 @@ mod tests {
         // colocation than the standalone per-leaf SLO, so the EMU gain in
         // this short run is modest — but it must be a gain, with zero
         // violations (see EXPERIMENTS.md for the discussion).
-        assert!(heracles.mean_emu() > baseline.mean_emu() + 0.02,
-            "heracles EMU {:.2} vs baseline {:.2}", heracles.mean_emu(), baseline.mean_emu());
-        assert_eq!(heracles.violation_fraction(), 0.0, "violations in {:?}", heracles
-            .steps
-            .iter()
-            .filter(|s| s.normalized_root_latency > 1.0)
-            .map(|s| s.normalized_root_latency)
-            .collect::<Vec<_>>());
+        assert!(
+            heracles.mean_emu() > baseline.mean_emu() + 0.02,
+            "heracles EMU {:.2} vs baseline {:.2}",
+            heracles.mean_emu(),
+            baseline.mean_emu()
+        );
+        assert_eq!(
+            heracles.violation_fraction(),
+            0.0,
+            "violations in {:?}",
+            heracles
+                .steps
+                .iter()
+                .filter(|s| s.normalized_root_latency > 1.0)
+                .map(|s| s.normalized_root_latency)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

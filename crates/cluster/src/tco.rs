@@ -105,7 +105,11 @@ impl TcoModel {
     ///
     /// `savings_fraction` is how much of the idle-power waste the controller
     /// recovers (PEGASUS-style controllers recover roughly a third).
-    pub fn energy_proportionality_improvement(&self, utilization: f64, savings_fraction: f64) -> f64 {
+    pub fn energy_proportionality_improvement(
+        &self,
+        utilization: f64,
+        savings_fraction: f64,
+    ) -> f64 {
         let u = utilization.clamp(0.0, 1.0);
         let waste_w = (self.server_power_w(u) - self.peak_power_w * u.max(0.05)).max(0.0);
         let saved_w = waste_w * savings_fraction.clamp(0.0, 1.0);

@@ -1,18 +1,44 @@
+//! Prints a per-window trace of one Heracles colocation run.
+//!
+//! Usage: `debug_trace [LOAD] [WINDOWS] [BE]` — e.g.
+//! `cargo run -p heracles_colo --example debug_trace -- 0.2 140 brain`.
+
 use heracles_colo::{ColoConfig, ColoRunner};
-use heracles_core::{Heracles, HeraclesConfig, OfflineDramModel, ColocationPolicy};
+use heracles_core::{ColocationPolicy, Heracles, HeraclesConfig, OfflineDramModel};
 use heracles_hw::ServerConfig;
 use heracles_workloads::{BeWorkload, LcWorkload};
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let load: f64 = args.next().map_or(0.4, |a| a.parse().expect("LOAD must be a number"));
+    let windows: usize = args.next().map_or(60, |a| a.parse().expect("WINDOWS must be an integer"));
+    let be = match args.next().as_deref() {
+        None | Some("brain") => BeWorkload::brain(),
+        Some("streetview") => BeWorkload::streetview(),
+        Some("iperf") => BeWorkload::iperf(),
+        Some(other) => panic!("unknown BE workload {other:?}"),
+    };
+
     let cfg = ServerConfig::default_haswell();
     let lc = LcWorkload::websearch();
     let model = OfflineDramModel::profile(&lc, &cfg);
-    let policy: Box<dyn ColocationPolicy> = Box::new(Heracles::new(HeraclesConfig::fast(), lc.slo(), model));
-    let mut runner = ColoRunner::new(cfg, lc, Some(BeWorkload::brain()), policy, ColoConfig::fast_test());
-    for i in 0..60 {
-        let r = runner.step(0.4);
-        println!("w{:02} lc_cores={:2} be_cores={:2} be_ways={:2} norm_lat={:.2} dram={:.2} pwr={:.2} lc_freq={:.2} lc_cache={:.1}",
-            i, r.lc_cores, r.be_cores, r.be_ways, r.normalized_latency,
-            r.counters.dram_utilization(), r.counters.power_fraction(), r.outcome.lc_freq_ghz, r.outcome.lc_cache_mb);
+    let policy: Box<dyn ColocationPolicy> =
+        Box::new(Heracles::new(HeraclesConfig::fast(), lc.slo(), model));
+    let mut runner = ColoRunner::new(cfg, lc, Some(be), policy, ColoConfig::fast_test());
+    for i in 0..windows {
+        let r = runner.step(load);
+        println!(
+            "w{:03} lc_cores={:2} be_cores={:2} be_ways={:2} norm_lat={:.2} emu={:.2} dram={:.2} pwr={:.2} lc_freq={:.2} lc_cache={:.1}",
+            i,
+            r.lc_cores,
+            r.be_cores,
+            r.be_ways,
+            r.normalized_latency,
+            r.emu,
+            r.counters.dram_utilization(),
+            r.counters.power_fraction(),
+            r.outcome.lc_freq_ghz,
+            r.outcome.lc_cache_mb
+        );
     }
 }

@@ -186,8 +186,7 @@ pub fn max_load_under_slo(
     let meets = |load: f64| -> bool {
         let server_cfg = server_config.clone();
         let policy = RestrictedLayout { lc_cores, lc_ways };
-        let mut runner =
-            ColoRunner::new(server_cfg, lc.clone(), None, Box::new(policy), *colo);
+        let mut runner = ColoRunner::new(server_cfg, lc.clone(), None, Box::new(policy), *colo);
         let records = runner.run_steady(load, 2);
         records.iter().all(|r| r.slo_met)
     };
@@ -281,20 +280,10 @@ mod tests {
     #[test]
     fn network_antagonist_hurts_only_memkeyval() {
         let (server, colo) = cfg();
-        let kv = characterize_cell(
-            &LcWorkload::memkeyval(),
-            &BeWorkload::iperf(),
-            0.5,
-            &server,
-            &colo,
-        );
-        let ws = characterize_cell(
-            &LcWorkload::websearch(),
-            &BeWorkload::iperf(),
-            0.5,
-            &server,
-            &colo,
-        );
+        let kv =
+            characterize_cell(&LcWorkload::memkeyval(), &BeWorkload::iperf(), 0.5, &server, &colo);
+        let ws =
+            characterize_cell(&LcWorkload::websearch(), &BeWorkload::iperf(), 0.5, &server, &colo);
         assert!(kv.normalized_latency > 3.0, "memkeyval got {:.2}", kv.normalized_latency);
         assert!(ws.normalized_latency < 1.0, "websearch got {:.2}", ws.normalized_latency);
     }
@@ -302,13 +291,8 @@ mod tests {
     #[test]
     fn brain_under_os_isolation_violates_slo() {
         let (server, colo) = cfg();
-        let cell = characterize_cell(
-            &LcWorkload::ml_cluster(),
-            &BeWorkload::brain(),
-            0.5,
-            &server,
-            &colo,
-        );
+        let cell =
+            characterize_cell(&LcWorkload::ml_cluster(), &BeWorkload::brain(), 0.5, &server, &colo);
         assert!(cell.normalized_latency > 1.2, "got {:.2}", cell.normalized_latency);
     }
 

@@ -87,7 +87,7 @@ impl ColoSummary {
             };
         }
         let n = records.len() as f64;
-        let mean = |f: &dyn Fn(&WindowRecord) -> f64| records.iter().map(|r| f(r)).sum::<f64>() / n;
+        let mean = |f: &dyn Fn(&WindowRecord) -> f64| records.iter().map(f).sum::<f64>() / n;
         ColoSummary {
             windows: records.len(),
             worst_normalized_latency: records

@@ -154,7 +154,8 @@ impl ColoRunner {
         // BE threads on the LC cores (the OS-only baseline).
         let sched_pressure = if be_running && alloc.be_shares_lc_cores() {
             let be = self.be.as_ref().expect("be_running implies a BE workload");
-            (alloc.be_cores() as f64 * be.compute_activity() / alloc.total_cores() as f64).clamp(0.0, 1.0)
+            (alloc.be_cores() as f64 * be.compute_activity() / alloc.total_cores() as f64)
+                .clamp(0.0, 1.0)
         } else {
             0.0
         };
@@ -203,7 +204,16 @@ impl ColoRunner {
         };
         let be_throughput = be_progress / self.be_alone_progress;
         let lc_throughput = load;
-        let counters = self.server.counters(&outcome);
+        let mut counters = self.server.counters(&outcome);
+        // The hardware model reports the LC pool's utilization from the
+        // *offered* demand at nominal service times, but a real utilization
+        // counter measures wall-clock busy time — which inflates with the
+        // frequency drop and memory stalls of the contended window.  The
+        // controller's utilization guard must see the inflated value, or it
+        // keeps granting cores while the LC queue sits on its latency knee.
+        let effective_busy_cores = window.qps * self.lc.service_time_s(load, &outcome, &cfg);
+        counters.lc_cpu_utilization =
+            (effective_busy_cores / alloc.lc_cores().max(1) as f64).clamp(0.0, 1.0);
 
         let measurements = Measurements { tail_latency_s, load, be_progress, counters };
         self.policy.tick(self.now, &mut self.server, &measurements);
@@ -300,13 +310,8 @@ mod tests {
         let cfg = ServerConfig::default_haswell();
         let lc = LcWorkload::websearch();
         let policy = heracles_for(&lc, &cfg);
-        let mut runner = ColoRunner::new(
-            cfg,
-            lc,
-            Some(BeWorkload::brain()),
-            policy,
-            ColoConfig::fast_test(),
-        );
+        let mut runner =
+            ColoRunner::new(cfg, lc, Some(BeWorkload::brain()), policy, ColoConfig::fast_test());
         let records = runner.run_steady(0.4, 60);
         // After convergence the BE job holds a nontrivial share of the machine.
         let final_be_cores = records.last().unwrap().be_cores;

@@ -116,7 +116,9 @@ impl HeraclesConfig {
         if self.slack_reclaim_cores > self.slack_disallow_growth {
             return Err("core-reclaim slack must not exceed growth-disallow slack".into());
         }
-        if !(0.0..=1.0).contains(&self.dram_limit_fraction) || !(0.0..=1.5).contains(&self.power_threshold) {
+        if !(0.0..=1.0).contains(&self.dram_limit_fraction)
+            || !(0.0..=1.5).contains(&self.power_threshold)
+        {
             return Err("resource limits must be fractions".into());
         }
         if self.guaranteed_lc_freq_ghz <= 0.0 {
@@ -154,20 +156,16 @@ mod tests {
 
     #[test]
     fn validation_catches_inconsistencies() {
-        let mut cfg = HeraclesConfig::default();
-        cfg.load_enable_threshold = 0.95;
+        let cfg = HeraclesConfig { load_enable_threshold: 0.95, ..Default::default() };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = HeraclesConfig::default();
-        cfg.slack_reclaim_cores = 0.5;
+        let cfg = HeraclesConfig { slack_reclaim_cores: 0.5, ..Default::default() };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = HeraclesConfig::default();
-        cfg.poll_period = SimDuration::ZERO;
+        let cfg = HeraclesConfig { poll_period: SimDuration::ZERO, ..Default::default() };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = HeraclesConfig::default();
-        cfg.guaranteed_lc_freq_ghz = 0.0;
+        let cfg = HeraclesConfig { guaranteed_lc_freq_ghz: 0.0, ..Default::default() };
         assert!(cfg.validate().is_err());
     }
 }

@@ -196,16 +196,10 @@ impl Heracles {
             }
         }
 
-        if self.state == BeState::Enabled {
-            self.growth_allowed = slack >= cfg.slack_disallow_growth;
-            if slack < cfg.slack_reclaim_cores {
-                let keep = cfg.be_cores_kept_on_reclaim;
-                let subs = self.ensure_subs(server);
-                subs.core_mem.reclaim_be_cores(server, keep);
-            }
-        } else {
-            self.growth_allowed = false;
-        }
+        // The slack < `slack_reclaim_cores` core give-back runs inside the
+        // core & memory sub-controller's own cycle (its Rule 2), which reacts
+        // within one sub-controller period instead of one top-level poll.
+        self.growth_allowed = self.state == BeState::Enabled && slack >= cfg.slack_disallow_growth;
     }
 }
 
@@ -344,7 +338,9 @@ mod tests {
         h.tick(SimTime::from_secs(90), &mut server, &healthy(0.4));
         assert!(!h.be_enabled());
         // After the cooldown expires colocation resumes.
-        let after = SimTime::from_secs(30) + HeraclesConfig::default().cooldown + SimDuration::from_secs(30);
+        let after = SimTime::from_secs(30)
+            + HeraclesConfig::default().cooldown
+            + SimDuration::from_secs(30);
         h.tick(after, &mut server, &healthy(0.4));
         assert!(h.be_enabled());
     }
@@ -413,8 +409,7 @@ mod tests {
         let config = ServerConfig::default_haswell();
         let ws = LcWorkload::websearch();
         let model = OfflineDramModel::profile(&ws, &config);
-        let mut bad = HeraclesConfig::default();
-        bad.load_enable_threshold = 0.99;
+        let bad = HeraclesConfig { load_enable_threshold: 0.99, ..Default::default() };
         let _ = Heracles::new(bad, ws.slo(), model);
     }
 }

@@ -47,6 +47,8 @@ pub struct CoreMemoryController {
     dram_model: OfflineDramModel,
     dram_limit_fraction: f64,
     slack_grow_threshold: f64,
+    slack_reclaim_threshold: f64,
+    reclaim_keep_cores: usize,
     be_initial_cores: usize,
     be_initial_llc_fraction: f64,
     can_grow: bool,
@@ -71,6 +73,8 @@ impl CoreMemoryController {
             dram_model,
             dram_limit_fraction: config.dram_limit_fraction,
             slack_grow_threshold: config.slack_disallow_growth,
+            slack_reclaim_threshold: config.slack_reclaim_cores,
+            reclaim_keep_cores: config.be_cores_kept_on_reclaim,
             be_initial_cores: config.be_initial_cores.max(1),
             be_initial_llc_fraction: config.be_initial_llc_fraction,
             can_grow: false,
@@ -114,7 +118,8 @@ impl CoreMemoryController {
         let total = server.topology().total_cores();
         let ways = server.config().llc_ways;
         let be_cores = self.be_initial_cores.min(total - 1);
-        let be_ways = ((ways as f64 * self.be_initial_llc_fraction).round() as usize).clamp(1, ways - 1);
+        let be_ways =
+            ((ways as f64 * self.be_initial_llc_fraction).round() as usize).clamp(1, ways - 1);
         let _ = self.cpuset.pin(server, total - be_cores, be_cores);
         let _ = self.cat.set_ways(server, ways - be_ways, be_ways);
         self.phase = GradientPhase::GrowLlc;
@@ -165,6 +170,17 @@ impl CoreMemoryController {
             return;
         }
 
+        // Rule 2: when slack gets critically small, give cores back *now*
+        // rather than waiting for the next top-level poll — Algorithm 1's
+        // "give back cores immediately" reaction runs at this sub-controller's
+        // cadence, because tail latency can cross from tight to violating
+        // within a couple of measurement windows.
+        if slack < self.slack_reclaim_threshold && be_cores > self.reclaim_keep_cores {
+            self.reclaim_be_cores(server, self.reclaim_keep_cores);
+            self.last_be_progress = measurements.be_progress;
+            return;
+        }
+
         if !self.can_grow || be_cores == 0 {
             self.pending_llc_growth = false;
             self.last_be_progress = measurements.be_progress;
@@ -187,7 +203,14 @@ impl CoreMemoryController {
         self.dram_model.lc_bandwidth_gbps(load, lc_ways)
     }
 
-    fn grow_llc_step(&mut self, server: &mut Server, m: &Measurements, be_bw: f64, limit: f64, slack: f64) {
+    fn grow_llc_step(
+        &mut self,
+        server: &mut Server,
+        m: &Measurements,
+        be_bw: f64,
+        limit: f64,
+        slack: f64,
+    ) {
         if self.pending_llc_growth {
             // We grew the BE partition last cycle; check whether it helped.
             self.pending_llc_growth = false;
@@ -211,7 +234,8 @@ impl CoreMemoryController {
         if slack <= self.slack_grow_threshold {
             return;
         }
-        let predicted = self.lc_bw_model_gbps(server, m.load) + be_bw + self.dram_monitor.derivative_gbps();
+        let predicted =
+            self.lc_bw_model_gbps(server, m.load) + be_bw + self.dram_monitor.derivative_gbps();
         if predicted > limit {
             self.phase = GradientPhase::GrowCores;
             return;

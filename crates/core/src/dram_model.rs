@@ -140,7 +140,8 @@ mod tests {
 
     #[test]
     fn bandwidth_grows_when_cache_shrinks() {
-        let m = OfflineDramModel::profile(&LcWorkload::ml_cluster(), &ServerConfig::default_haswell());
+        let m =
+            OfflineDramModel::profile(&LcWorkload::ml_cluster(), &ServerConfig::default_haswell());
         let starved = m.lc_bandwidth_gbps(0.8, 1);
         let comfortable = m.lc_bandwidth_gbps(0.8, 20);
         assert!(starved > comfortable);

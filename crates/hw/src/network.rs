@@ -114,7 +114,12 @@ impl NicModel {
             let shortfall = 1.0 - lc_achieved / lc_offered;
             delay += 0.002 + 0.010 * shortfall;
         }
-        NetOutcome { lc_achieved_gbps: lc_achieved, be_achieved_gbps: be_achieved, utilization, lc_extra_delay_s: delay }
+        NetOutcome {
+            lc_achieved_gbps: lc_achieved,
+            be_achieved_gbps: be_achieved,
+            utilization,
+            lc_extra_delay_s: delay,
+        }
     }
 }
 

@@ -104,7 +104,10 @@ impl PowerModel {
         if cores <= 0.0 || activity <= 0.0 {
             return 0.0;
         }
-        cores * activity * self.core_dyn_w_nominal * (freq_ghz / self.nominal_ghz).powf(self.exponent)
+        cores
+            * activity
+            * self.core_dyn_w_nominal
+            * (freq_ghz / self.nominal_ghz).powf(self.exponent)
     }
 
     /// Total package power for a candidate chip frequency, respecting the

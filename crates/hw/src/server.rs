@@ -328,9 +328,8 @@ impl Server {
         let alloc = &self.allocations;
 
         // Cache capacity split.
-        let cache = self
-            .partitioned_llc()
-            .split(demand.lc_llc_footprint_mb, demand.be_llc_footprint_mb);
+        let cache =
+            self.partitioned_llc().split(demand.lc_llc_footprint_mb, demand.be_llc_footprint_mb);
 
         // Package power and frequencies.
         let lc_active = demand.lc_active_cores.clamp(0.0, alloc.lc_cores as f64);
@@ -362,7 +361,8 @@ impl Server {
         // HyperThread interference.
         let smt_slowdown = if alloc.be_shares_lc_cores && demand.smt_antagonist_intensity > 0.0 {
             let t = demand.smt_antagonist_intensity.clamp(0.0, 1.0);
-            self.config.smt_min_penalty + (self.config.smt_max_penalty - self.config.smt_min_penalty) * t
+            self.config.smt_min_penalty
+                + (self.config.smt_max_penalty - self.config.smt_min_penalty) * t
         } else {
             1.0
         };

@@ -57,7 +57,12 @@ impl CatPartitioner {
     ///
     /// Returns [`IsolationError::InvalidWaySplit`] if either class would get
     /// zero ways or the split exceeds the LLC's way count.
-    pub fn set_ways(&mut self, server: &mut Server, lc_ways: usize, be_ways: usize) -> Result<(), IsolationError> {
+    pub fn set_ways(
+        &mut self,
+        server: &mut Server,
+        lc_ways: usize,
+        be_ways: usize,
+    ) -> Result<(), IsolationError> {
         let total = server.config().llc_ways;
         if lc_ways == 0 || be_ways == 0 || lc_ways + be_ways > total {
             return Err(IsolationError::InvalidWaySplit { lc_ways, be_ways, total_ways: total });

@@ -147,9 +147,8 @@ mod tests {
     fn many_requests_are_undisturbed() {
         let cfs = CfsShares::default();
         let mut rng = SimRng::new(12);
-        let undisturbed = (0..10_000)
-            .filter(|_| cfs.scheduling_delay_s(&mut rng, 0.5) == 0.0)
-            .count();
+        let undisturbed =
+            (0..10_000).filter(|_| cfs.scheduling_delay_s(&mut rng, 0.5) == 0.0).count();
         assert!(undisturbed > 5_000);
     }
 }

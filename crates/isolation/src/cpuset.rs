@@ -61,10 +61,19 @@ impl Cpuset {
     ///
     /// Returns [`IsolationError::InvalidCoreAllocation`] if the LC class would
     /// receive no cores or the total exceeds the machine size.
-    pub fn pin(&mut self, server: &mut Server, lc_cores: usize, be_cores: usize) -> Result<(), IsolationError> {
+    pub fn pin(
+        &mut self,
+        server: &mut Server,
+        lc_cores: usize,
+        be_cores: usize,
+    ) -> Result<(), IsolationError> {
         let total = server.topology().total_cores();
         if lc_cores == 0 || lc_cores + be_cores > total {
-            return Err(IsolationError::InvalidCoreAllocation { lc_cores, be_cores, total_cores: total });
+            return Err(IsolationError::InvalidCoreAllocation {
+                lc_cores,
+                be_cores,
+                total_cores: total,
+            });
         }
         let alloc = server.allocations_mut();
         alloc.set_be_shares_lc_cores(false);

@@ -68,7 +68,11 @@ impl PerCoreDvfs {
     ///
     /// Returns [`IsolationError::InvalidFrequency`] if the cap lies outside
     /// the chip's supported range.
-    pub fn set_be_cap_ghz(&mut self, server: &mut Server, cap: Option<f64>) -> Result<(), IsolationError> {
+    pub fn set_be_cap_ghz(
+        &mut self,
+        server: &mut Server,
+        cap: Option<f64>,
+    ) -> Result<(), IsolationError> {
         if let Some(ghz) = cap {
             if !(self.min_ghz..=self.max_ghz).contains(&ghz) {
                 return Err(IsolationError::InvalidFrequency {

@@ -73,7 +73,8 @@ mod tests {
 
     #[test]
     fn messages_are_descriptive() {
-        let e = IsolationError::InvalidCoreAllocation { lc_cores: 40, be_cores: 10, total_cores: 36 };
+        let e =
+            IsolationError::InvalidCoreAllocation { lc_cores: 40, be_cores: 10, total_cores: 36 };
         assert!(e.to_string().contains("36-core"));
         let e = IsolationError::InvalidWaySplit { lc_ways: 30, be_ways: 1, total_ways: 20 };
         assert!(e.to_string().contains("20-way"));

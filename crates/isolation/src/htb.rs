@@ -61,10 +61,17 @@ impl HtbShaper {
     ///
     /// Returns [`IsolationError::InvalidBandwidth`] if the ceiling is negative
     /// or exceeds the line rate.
-    pub fn set_be_ceil_gbps(&mut self, server: &mut Server, ceil: Option<f64>) -> Result<(), IsolationError> {
+    pub fn set_be_ceil_gbps(
+        &mut self,
+        server: &mut Server,
+        ceil: Option<f64>,
+    ) -> Result<(), IsolationError> {
         if let Some(gbps) = ceil {
             if !(0.0..=self.link_gbps).contains(&gbps) {
-                return Err(IsolationError::InvalidBandwidth { requested_gbps: gbps, link_gbps: self.link_gbps });
+                return Err(IsolationError::InvalidBandwidth {
+                    requested_gbps: gbps,
+                    link_gbps: self.link_gbps,
+                });
             }
         }
         server.allocations_mut().set_be_net_ceil_gbps(ceil);
@@ -88,7 +95,11 @@ impl HtbShaper {
     /// # Errors
     ///
     /// Never fails in practice; the computed ceiling is always in range.
-    pub fn apply_heracles_policy(&mut self, server: &mut Server, lc_tx_gbps: f64) -> Result<f64, IsolationError> {
+    pub fn apply_heracles_policy(
+        &mut self,
+        server: &mut Server,
+        lc_tx_gbps: f64,
+    ) -> Result<f64, IsolationError> {
         let ceil = self.heracles_ceiling(lc_tx_gbps);
         self.set_be_ceil_gbps(server, Some(ceil))?;
         Ok(ceil)

@@ -177,9 +177,11 @@ mod tests {
         let mut rng = SimRng::new(7);
         let mean_service = 0.001;
         let lambda = 3000.0;
-        let mut small = MultiServerQueue::new(4).run(&mut rng, lambda, 50_000, |r| r.exp(mean_service));
+        let mut small =
+            MultiServerQueue::new(4).run(&mut rng, lambda, 50_000, |r| r.exp(mean_service));
         let mut rng2 = SimRng::new(7);
-        let mut large = MultiServerQueue::new(8).run(&mut rng2, lambda, 50_000, |r| r.exp(mean_service));
+        let mut large =
+            MultiServerQueue::new(8).run(&mut rng2, lambda, 50_000, |r| r.exp(mean_service));
         assert!(large.quantile(0.99) < small.quantile(0.99));
     }
 }

@@ -1,6 +1,8 @@
 //! Property-based tests for the simulation kernel.
 
-use heracles_sim::{LatencyRecorder, MultiServerQueue, SimDuration, SimRng, SimTime, StreamingStats};
+use heracles_sim::{
+    LatencyRecorder, MultiServerQueue, SimDuration, SimRng, SimTime, StreamingStats,
+};
 use proptest::prelude::*;
 
 proptest! {

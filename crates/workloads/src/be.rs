@@ -334,7 +334,8 @@ impl BeWorkload {
     /// DRAM bandwidth demanded per busy core given how much cache it has, GB/s.
     pub fn dram_gbps_per_core(&self, cache_mb: f64) -> f64 {
         let deficit = self.cache_deficit(cache_mb);
-        self.dram_gbps_per_core_min + (self.dram_gbps_per_core_max - self.dram_gbps_per_core_min) * deficit
+        self.dram_gbps_per_core_min
+            + (self.dram_gbps_per_core_max - self.dram_gbps_per_core_min) * deficit
     }
 
     /// Egress bandwidth offered by `cores` busy cores, in Gbps.
@@ -525,9 +526,11 @@ mod tests {
         let brain = BeWorkload::brain();
         let sv = BeWorkload::streetview();
         let brain_loss = 1.0
-            - brain.progress(8, 2.3, 0.0, 100.0, 1.0, &cfg) / brain.progress(8, 2.3, 100.0, 100.0, 1.0, &cfg);
+            - brain.progress(8, 2.3, 0.0, 100.0, 1.0, &cfg)
+                / brain.progress(8, 2.3, 100.0, 100.0, 1.0, &cfg);
         let sv_loss = 1.0
-            - sv.progress(8, 2.3, 0.0, 100.0, 1.0, &cfg) / sv.progress(8, 2.3, 100.0, 100.0, 1.0, &cfg);
+            - sv.progress(8, 2.3, 0.0, 100.0, 1.0, &cfg)
+                / sv.progress(8, 2.3, 100.0, 100.0, 1.0, &cfg);
         assert!(brain_loss > sv_loss);
     }
 

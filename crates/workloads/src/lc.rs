@@ -197,7 +197,8 @@ impl LcWorkload {
 
     fn memory_stall_s(&self, bytes: f64, latency_multiplier: f64, config: &ServerConfig) -> f64 {
         let misses = bytes / 64.0;
-        misses * config.dram_base_latency_ns * 1e-9 * latency_multiplier / self.memory_level_parallelism
+        misses * config.dram_base_latency_ns * 1e-9 * latency_multiplier
+            / self.memory_level_parallelism
     }
 
     /// The LLC footprint the service would like to keep resident at a given
@@ -248,7 +249,13 @@ impl LcWorkload {
 
     /// The resource demand this workload contributes for a measurement
     /// window, given its load and the cache capacity it currently enjoys.
-    pub fn demand(&self, load: f64, allocated_cores: usize, cache_mb: f64, config: &ServerConfig) -> ResourceDemand {
+    pub fn demand(
+        &self,
+        load: f64,
+        allocated_cores: usize,
+        cache_mb: f64,
+        config: &ServerConfig,
+    ) -> ResourceDemand {
         let deficit = self.cache_deficit(load, cache_mb, config);
         ResourceDemand {
             lc_active_cores: self.cpu_demand_cores(load, config).min(allocated_cores as f64),
@@ -262,7 +269,12 @@ impl LcWorkload {
 
     /// Mean per-request service time under the effective resources of a
     /// window, in seconds.
-    pub fn service_time_s(&self, load: f64, outcome: &ContentionOutcome, config: &ServerConfig) -> f64 {
+    pub fn service_time_s(
+        &self,
+        load: f64,
+        outcome: &ContentionOutcome,
+        config: &ServerConfig,
+    ) -> f64 {
         let freq_scale = if outcome.lc_freq_ghz > 0.0 {
             config.nominal_freq_ghz / outcome.lc_freq_ghz
         } else {

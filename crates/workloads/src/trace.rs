@@ -46,10 +46,18 @@ impl DiurnalTrace {
     ///
     /// Panics if the bounds are not `0 <= min <= max <= 1` or the duration is
     /// zero.
-    pub fn new(duration: SimDuration, min_load: f64, max_load: f64, noise_amplitude: f64, seed: u64) -> Self {
+    pub fn new(
+        duration: SimDuration,
+        min_load: f64,
+        max_load: f64,
+        noise_amplitude: f64,
+        seed: u64,
+    ) -> Self {
         assert!(!duration.is_zero(), "trace duration must be positive");
         assert!(
-            (0.0..=1.0).contains(&min_load) && (0.0..=1.0).contains(&max_load) && min_load <= max_load,
+            (0.0..=1.0).contains(&min_load)
+                && (0.0..=1.0).contains(&max_load)
+                && min_load <= max_load,
             "load bounds must satisfy 0 <= min <= max <= 1"
         );
         let noise_interval = SimDuration::from_secs(300);
@@ -114,8 +122,8 @@ mod tests {
         let samples = trace.samples(SimDuration::from_secs(60));
         let min = samples.iter().map(|(_, l)| *l).fold(f64::INFINITY, f64::min);
         let max = samples.iter().map(|(_, l)| *l).fold(0.0, f64::max);
-        assert!(min >= 0.15 && min <= 0.30, "min {min}");
-        assert!(max >= 0.80 && max <= 0.95, "max {max}");
+        assert!((0.15..=0.30).contains(&min), "min {min}");
+        assert!((0.80..=0.95).contains(&max), "max {max}");
     }
 
     #[test]

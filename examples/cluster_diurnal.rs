@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example cluster_diurnal`
 
-use heracles_cluster::{ClusterConfig, WebsearchCluster};
 use heracles_cluster::cluster::ClusterPolicy;
+use heracles_cluster::{ClusterConfig, WebsearchCluster};
 use heracles_colo::ColoConfig;
 use heracles_hw::ServerConfig;
 
@@ -29,7 +29,8 @@ fn main() {
     )
     .run();
     let heracles =
-        WebsearchCluster::new(ClusterConfig { policy: ClusterPolicy::Heracles, ..base }, server).run();
+        WebsearchCluster::new(ClusterConfig { policy: ClusterPolicy::Heracles, ..base }, server)
+            .run();
 
     println!(
         "{:>6} {:>6} | {:>16} {:>9} | {:>16} {:>9}",

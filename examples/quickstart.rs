@@ -23,11 +23,13 @@ fn main() {
     // Online step: run Heracles on the server.
     let policy: Box<dyn ColocationPolicy> =
         Box::new(Heracles::new(HeraclesConfig::default(), websearch.slo(), dram_model));
-    let mut runner =
-        ColoRunner::new(server, websearch, Some(brain), policy, ColoConfig::default());
+    let mut runner = ColoRunner::new(server, websearch, Some(brain), policy, ColoConfig::default());
 
     println!("colocating brain with websearch at 40% load under Heracles");
-    println!("{:>6} {:>9} {:>9} {:>12} {:>8} {:>8}", "time", "lc_cores", "be_cores", "latency/SLO", "EMU", "DRAM");
+    println!(
+        "{:>6} {:>9} {:>9} {:>12} {:>8} {:>8}",
+        "time", "lc_cores", "be_cores", "latency/SLO", "EMU", "DRAM"
+    );
     for minute in 0..3 {
         for _ in 0..60 {
             runner.step(0.40);
@@ -50,5 +52,8 @@ fn main() {
     println!("  worst latency: {:.0}% of SLO", summary.worst_normalized_latency * 100.0);
     println!("  SLO violations: {:.0}% of windows", summary.slo_violation_fraction * 100.0);
     println!("  effective machine utilization: {:.0}%", summary.mean_emu * 100.0);
-    println!("  best-effort throughput: {:.0}% of running alone", summary.mean_be_throughput * 100.0);
+    println!(
+        "  best-effort throughput: {:.0}% of running alone",
+        summary.mean_be_throughput * 100.0
+    );
 }

@@ -1,0 +1,29 @@
+//! Facade crate for the Heracles reproduction workspace.
+//!
+//! The actual implementation lives in the `crates/` workspace members; this
+//! crate re-exports each of them under a stable module name so downstream
+//! users (and the top-level `tests/` and `examples/`) can depend on a single
+//! package.  The crate map:
+//!
+//! * [`sim`] — deterministic simulation kernel (time, RNG, queues, stats),
+//! * [`hw`] — server hardware model (cores, LLC, DRAM, power, NIC),
+//! * [`isolation`] — the four isolation actuators plus monitors,
+//! * [`workloads`] — LC service and BE task models,
+//! * [`core`] — the Heracles controller (Algorithms 1–4),
+//! * [`baselines`] — LC-only / OS-only / static-partition policies,
+//! * [`colo`] — single-server colocation harness and characterization,
+//! * [`cluster`] — websearch fan-out cluster and the TCO model,
+//! * [`bench`] — shared helpers for the figure-reproduction binaries.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use heracles_baselines as baselines;
+pub use heracles_bench as bench;
+pub use heracles_cluster as cluster;
+pub use heracles_colo as colo;
+pub use heracles_core as core;
+pub use heracles_hw as hw;
+pub use heracles_isolation as isolation;
+pub use heracles_sim as sim;
+pub use heracles_workloads as workloads;

@@ -33,7 +33,8 @@ fn heracles_colocates_every_lc_with_every_production_be_without_violations() {
             let policy = heracles(&lc, &server);
             let (summary, _) = run(lc.clone(), Some(be.clone()), policy, 0.5, 70);
             assert_eq!(
-                summary.slo_violation_fraction, 0.0,
+                summary.slo_violation_fraction,
+                0.0,
                 "{} + {} violated the SLO: {:?}",
                 lc.name(),
                 be.name(),
@@ -57,15 +58,9 @@ fn heracles_beats_a_conservative_static_partition_on_utilization_at_low_load() {
     let server = ServerConfig::default_haswell();
     let lc = LcWorkload::websearch();
     let be = BeWorkload::brain();
-    let (heracles_summary, _) =
-        run(lc.clone(), Some(be.clone()), heracles(&lc, &server), 0.2, 140);
-    let (static_summary, _) = run(
-        lc.clone(),
-        Some(be),
-        Box::new(StaticPartition::conservative()),
-        0.2,
-        140,
-    );
+    let (heracles_summary, _) = run(lc.clone(), Some(be.clone()), heracles(&lc, &server), 0.2, 140);
+    let (static_summary, _) =
+        run(lc.clone(), Some(be), Box::new(StaticPartition::conservative()), 0.2, 140);
     assert!(
         heracles_summary.mean_emu > static_summary.mean_emu,
         "heracles {:.2} <= static {:.2}",
@@ -91,7 +86,8 @@ fn lc_only_baseline_meets_slo_at_every_load_for_every_workload() {
         for load in [0.1, 0.5, 0.9] {
             let (summary, _) = run(lc.clone(), None, Box::new(LcOnly::new()), load, 20);
             assert_eq!(
-                summary.slo_violation_fraction, 0.0,
+                summary.slo_violation_fraction,
+                0.0,
                 "{} at load {load} violated its SLO",
                 lc.name()
             );

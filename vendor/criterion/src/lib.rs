@@ -1,0 +1,147 @@
+//! Vendored stand-in for `criterion`.
+//!
+//! Crates.io is unreachable in the build environment, so this crate provides
+//! the subset of criterion's API the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`criterion_group!`] and [`criterion_main!`] — backed by plain
+//! `std::time::Instant` timing with a median-of-samples summary line.
+//!
+//! Under `cargo test` (cargo passes `--test` to `harness = false` bench
+//! binaries) each bench body runs exactly once as a smoke test, so the bench
+//! targets stay compiled and exercised without slowing the test suite.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (ignored by the stand-in).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small routine input: large batches.
+    SmallInput,
+    /// Large routine input: smaller batches.
+    LargeInput,
+    /// Fresh setup per iteration.
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, recording `sample_count` samples of `iters_per_sample` calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed().as_secs_f64() / self.iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_count {
+            let mut total = 0.0;
+            for _ in 0..self.iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed().as_secs_f64();
+            }
+            self.samples.push(total / self.iters_per_sample as f64);
+        }
+    }
+}
+
+/// Benchmark driver: registers and times named benchmark functions.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes `harness = false` bench targets with `--test` from
+        // `cargo test` so benches double as smoke tests.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 10, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::new();
+        let (sample_count, iters) = if self.test_mode { (1, 1) } else { (self.sample_size, 3) };
+        let mut bencher = Bencher { samples: &mut samples, iters_per_sample: iters, sample_count };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("{id}: ok (smoke)");
+        } else {
+            samples.sort_by(|a, b| a.total_cmp(b));
+            let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+            let (lo, hi) =
+                (samples.first().copied().unwrap_or(0.0), samples.last().copied().unwrap_or(0.0));
+            println!(
+                "{id}: median {:.3} ms/iter (min {:.3}, max {:.3}, {} samples)",
+                median * 1e3,
+                lo * 1e3,
+                hi * 1e3,
+                samples.len()
+            );
+        }
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,192 @@
+//! Vendored stand-in for `proptest`.
+//!
+//! Crates.io is unreachable in the build environment, so this crate
+//! implements the subset of proptest used by the workspace's property tests:
+//!
+//! * the [`proptest!`] macro wrapping `#[test] fn name(arg in strategy, ...)`,
+//! * range strategies over `f64`/integers and [`collection::vec`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] (mapped onto the std asserts).
+//!
+//! Each test body runs [`CASES`] times with inputs drawn from a generator
+//! seeded deterministically from the test's name, so failures are exactly
+//! reproducible run-to-run.  There is no shrinking: a failing case reports
+//! the assert message with the concrete inputs left to the assert text.
+
+#![forbid(unsafe_code)]
+
+/// Number of random cases each property runs.
+pub const CASES: usize = 64;
+
+/// Deterministic input generation for property tests.
+pub mod test_runner {
+    /// SplitMix64 generator used to drive strategy sampling.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator as a pure function of the test name.
+        pub fn from_name(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Strategies: deterministic samplers of test inputs.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A source of values of one type, sampled from a [`TestRng`].
+    pub trait Strategy {
+        /// The value type this strategy produces.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+    int_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of values from `element`, with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = Strategy::sample(&self.size, rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The usual one-stop import for property tests.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Wraps property functions into `#[test]` functions that sample each
+/// argument from its strategy [`CASES`](crate::CASES) times.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __proptest_rng =
+                $crate::test_runner::TestRng::from_name(stringify!($name));
+            for __proptest_case in 0..$crate::CASES {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), &mut __proptest_rng);
+                )+
+                { $body }
+            }
+        }
+    )*};
+}
+
+/// `assert!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// `assert_ne!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    // `proptest!` / `prop_assert!` are `#[macro_export]` macros defined above,
+    // already in textual scope inside the defining crate.
+    proptest! {
+        /// The macro machinery itself: ranges stay in bounds.
+        #[test]
+        fn ranges_in_bounds(x in 0.5f64..2.0, n in 3usize..9) {
+            prop_assert!((0.5..2.0).contains(&x));
+            prop_assert!((3..9).contains(&n));
+        }
+
+        /// Vec strategy respects element and size bounds.
+        #[test]
+        fn vec_in_bounds(v in crate::collection::vec(-1.0f64..1.0, 1..50)) {
+            prop_assert!((1..50).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::from_name("t");
+        let mut b = crate::test_runner::TestRng::from_name("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,20 @@
+//! Vendored stand-in for `serde`.
+//!
+//! Crates.io is unreachable in the build environment.  The workspace uses
+//! serde only as `#[derive(Serialize, Deserialize)]` annotations on model
+//! structs; nothing constrains on the traits or serializes data yet.  This
+//! crate supplies the two trait names plus the (no-op) derive macros so the
+//! annotations compile.  Swap in the real serde when serialization lands.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The vendored derive does not implement it; it exists so code can name the
+/// trait in bounds or `dyn` positions without pulling in real serde.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, and the workspace only
+//! uses `#[derive(Serialize, Deserialize)]` as forward-looking annotations —
+//! nothing serializes through serde yet.  These derives therefore accept the
+//! attribute (including `#[serde(...)]` helper attributes) and expand to an
+//! empty token stream.  If real serialization is ever needed, replace the
+//! `vendor/serde*` crates with the real ones.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
