@@ -3,17 +3,22 @@
 //! Reports root latency relative to the cluster SLO and Effective Machine
 //! Utilization over time.
 //!
-//! Run with: `cargo run --release -p heracles-bench --bin fig8_cluster [--quick]`
+//! Run with: `cargo run --release -p heracles_bench --bin fig8_cluster --
+//! [--fast] [--leaves N] [--steps N] [--seed N]`
+//!
+//! (`--quick` is accepted as an alias of `--fast` for compatibility.)
 
+use heracles_bench::cli::Args;
 use heracles_cluster::cluster::ClusterPolicy;
 use heracles_cluster::{ClusterConfig, WebsearchCluster};
 use heracles_colo::ColoConfig;
 use heracles_hw::ServerConfig;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args = Args::from_env();
+    let fast = args.flag("--fast") || args.flag("--quick");
     let server = ServerConfig::default_haswell();
-    let base = if quick {
+    let defaults = if fast {
         ClusterConfig {
             leaves: 6,
             steps: 36,
@@ -23,6 +28,12 @@ fn main() {
         }
     } else {
         ClusterConfig::default()
+    };
+    let base = ClusterConfig {
+        leaves: args.value("--leaves", defaults.leaves),
+        steps: args.value("--steps", defaults.steps),
+        seed: args.value("--seed", defaults.seed),
+        ..defaults
     };
 
     println!("Figure 8: websearch cluster over a 12-hour diurnal trace");

@@ -1,0 +1,106 @@
+//! Minimal command-line parsing shared by the figure binaries.
+//!
+//! The binaries take a handful of `--name value` overrides on top of their
+//! defaults; this helper keeps the parsing in one place without pulling in
+//! an argument-parsing dependency.  Both `--name value` and `--name=value`
+//! spellings are accepted.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// A parsed argument list.
+///
+/// # Example
+///
+/// ```
+/// use heracles_bench::cli::Args;
+/// let args = Args::from_vec(vec!["--fast".into(), "--leaves=6".into()]);
+/// assert!(args.flag("--fast"));
+/// assert_eq!(args.value("--leaves", 12usize), 6);
+/// assert_eq!(args.value("--steps", 144usize), 144);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Args {
+    argv: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments (without the program name).
+    pub fn from_env() -> Self {
+        Args { argv: std::env::args().skip(1).collect() }
+    }
+
+    /// Wraps an explicit argument list (used by tests).
+    pub fn from_vec(argv: Vec<String>) -> Self {
+        Args { argv }
+    }
+
+    /// True if the bare flag is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.argv.iter().any(|a| a == name)
+    }
+
+    /// The value following `name` (or inline after `name=`), parsed as `T`;
+    /// `default` when the option is absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message if the option is present but has no value
+    /// or the value does not parse — these binaries have no error channel
+    /// beyond exiting.
+    pub fn value<T>(&self, name: &str, default: T) -> T
+    where
+        T: FromStr,
+        T::Err: Display,
+    {
+        let prefix = format!("{name}=");
+        for (i, arg) in self.argv.iter().enumerate() {
+            let raw = if let Some(inline) = arg.strip_prefix(&prefix) {
+                inline
+            } else if arg == name {
+                self.argv.get(i + 1).unwrap_or_else(|| panic!("option {name} expects a value"))
+            } else {
+                continue;
+            };
+            return raw.parse().unwrap_or_else(|e| panic!("invalid value {raw:?} for {name}: {e}"));
+        }
+        default
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::from_vec(list.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn flags_and_values_parse_in_both_spellings() {
+        let a = args(&["--fast", "--leaves", "8", "--seed=7"]);
+        assert!(a.flag("--fast"));
+        assert!(!a.flag("--quick"));
+        assert_eq!(a.value("--leaves", 12usize), 8);
+        assert_eq!(a.value("--seed", 42u64), 7);
+        assert_eq!(a.value("--steps", 144usize), 144);
+    }
+
+    #[test]
+    fn string_values_parse_too() {
+        let a = args(&["--policy", "first-fit"]);
+        assert_eq!(a.value("--policy", "all".to_string()), "first-fit");
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a value")]
+    fn trailing_option_without_value_panics() {
+        args(&["--leaves"]).value("--leaves", 1usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn unparsable_value_panics() {
+        args(&["--leaves", "many"]).value("--leaves", 1usize);
+    }
+}

@@ -2,53 +2,18 @@
 //!
 //! Each binary in `src/bin/` regenerates one table or figure from the paper's
 //! evaluation section.  The experiments consist of many independent cells
-//! (workload × antagonist × load), so [`parallel_map`] fans them out over the
-//! machine's cores, and [`percent`] / [`print_row`] render the same
-//! percent-of-SLO format the paper uses.
+//! (workload × antagonist × load), so [`parallel_map`] (re-exported from
+//! `heracles_sim`, which also serves the fleet simulator) fans them out over
+//! the machine's cores, [`cli`] parses the binaries' `--flag value`
+//! overrides, and [`percent`] / [`print_row`] render the same percent-of-SLO
+//! format the paper uses.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use std::sync::Mutex;
+pub mod cli;
 
-/// Applies `f` to every item, running cells in parallel across threads, and
-/// returns the results in input order.
-///
-/// # Example
-///
-/// ```
-/// let squares = heracles_bench::parallel_map(&[1, 2, 3, 4], |&x| x * x);
-/// assert_eq!(squares, vec![1, 4, 9, 16]);
-/// ```
-pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let threads =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(items.len().max(1));
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= items.len() {
-                    break;
-                }
-                let value = f(&items[idx]);
-                results.lock().expect("no panics while holding the lock")[idx] = Some(value);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("all workers finished")
-        .into_iter()
-        .map(|r| r.expect("every cell computed"))
-        .collect()
-}
+pub use heracles_sim::{parallel_map, parallel_map_mut};
 
 /// Formats a ratio the way the paper's figures print it: as a percentage,
 /// saturated at ">300%" (used for latencies normalized to the SLO).
@@ -94,16 +59,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parallel_map_preserves_order() {
+    fn parallel_map_reexport_preserves_order() {
         let items: Vec<usize> = (0..100).collect();
         let doubled = parallel_map(&items, |&x| x * 2);
         assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn parallel_map_handles_empty_input() {
-        let empty: Vec<u32> = vec![];
-        assert!(parallel_map(&empty, |&x| x).is_empty());
+        let mut mutable = vec![1u32, 2, 3];
+        assert_eq!(parallel_map_mut(&mut mutable, |x| *x + 1), vec![2, 3, 4]);
     }
 
     #[test]

@@ -114,8 +114,30 @@ impl ClusterResult {
     }
 
     /// Minimum Effective Machine Utilization over the run.
+    ///
+    /// Returns 0.0 for an empty run (rather than the fold identity `+inf`),
+    /// matching the other aggregates' empty-run behaviour.
     pub fn min_emu(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
         self.steps.iter().map(|s| s.emu).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Renders the per-step records as a CSV document for plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,load,normalized_root_latency,emu,be_throughput\n");
+        for s in &self.steps {
+            out.push_str(&format!(
+                "{:.6},{:.4},{:.4},{:.4},{:.4}\n",
+                s.time.as_secs_f64(),
+                s.load,
+                s.normalized_root_latency,
+                s.emu,
+                s.be_throughput
+            ));
+        }
+        out
     }
 
     /// The latency series (normalized to the SLO) for plotting.
@@ -329,5 +351,22 @@ mod tests {
         let result = WebsearchCluster::new(config, ServerConfig::default_haswell()).run();
         assert_eq!(result.latency_series().len(), 6);
         assert_eq!(result.emu_series().len(), 6);
+        // CSV: header plus one row per step.
+        assert_eq!(result.to_csv().lines().count(), 7);
+    }
+
+    #[test]
+    fn empty_result_aggregates_are_zero_not_nan() {
+        let empty = ClusterResult {
+            policy: ClusterPolicy::Heracles,
+            steps: Vec::new(),
+            slo_target_s: 0.02,
+        };
+        assert_eq!(empty.mean_emu(), 0.0);
+        assert_eq!(empty.min_emu(), 0.0);
+        assert_eq!(empty.violation_fraction(), 0.0);
+        assert!(empty.mean_emu().is_finite());
+        assert!(empty.min_emu().is_finite());
+        assert_eq!(empty.to_csv().lines().count(), 1);
     }
 }

@@ -35,6 +35,51 @@ pub struct WindowRecord {
     pub outcome: ContentionOutcome,
 }
 
+impl WindowRecord {
+    /// Column names of [`WindowRecord::csv_row`], in order.
+    pub const CSV_HEADER: &'static str = "time_s,load,tail_latency_s,normalized_latency,slo_met,\
+         lc_throughput,be_throughput,emu,lc_cores,be_cores,be_ways";
+
+    /// The record as one CSV row (columns per [`WindowRecord::CSV_HEADER`]).
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{:.6},{:.4},{:.6},{:.4},{},{:.4},{:.4},{:.4},{},{},{}",
+            self.time.as_secs_f64(),
+            self.load,
+            self.tail_latency_s,
+            self.normalized_latency,
+            self.slo_met as u8,
+            self.lc_throughput,
+            self.be_throughput,
+            self.emu,
+            self.lc_cores,
+            self.be_cores,
+            self.be_ways
+        )
+    }
+}
+
+/// Renders a window history as a CSV document (header plus one row per
+/// window), ready to be dumped to a file for plotting.
+///
+/// # Example
+///
+/// ```
+/// use heracles_colo::record::records_to_csv;
+/// let csv = records_to_csv(&[]);
+/// assert!(csv.starts_with("time_s,load"));
+/// ```
+pub fn records_to_csv(records: &[WindowRecord]) -> String {
+    let mut out = String::with_capacity(64 * (records.len() + 1));
+    out.push_str(WindowRecord::CSV_HEADER);
+    out.push('\n');
+    for r in records {
+        out.push_str(&r.csv_row());
+        out.push('\n');
+    }
+    out
+}
+
 /// Summary statistics over a sequence of windows.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ColoSummary {
@@ -138,6 +183,23 @@ mod tests {
         let s = ColoSummary::from_records(&[]);
         assert_eq!(s.windows, 0);
         assert_eq!(s.mean_emu, 0.0);
+    }
+
+    #[test]
+    fn csv_export_has_one_row_per_window_plus_header() {
+        let records = vec![record(0.5, 0.8), record(1.2, 0.9)];
+        let csv = records_to_csv(&records);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], WindowRecord::CSV_HEADER);
+        // Every row has exactly as many fields as the header.
+        let columns = lines[0].split(',').count();
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), columns, "row {row}");
+        }
+        // slo_met renders as 1/0.
+        assert!(lines[1].contains(",1,"));
+        assert!(lines[2].contains(",0,"));
     }
 
     #[test]

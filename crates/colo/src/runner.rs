@@ -85,6 +85,44 @@ impl ColoRunner {
         self.be.as_ref()
     }
 
+    /// Replaces the colocated BE workload (or removes it with `None`).
+    ///
+    /// The fleet scheduler attaches and detaches jobs as they are placed,
+    /// preempted and completed; the EMU normalization denominator is
+    /// re-profiled for the new workload.  The policy is re-initialised so
+    /// the incoming job starts from the conservative initial allocation
+    /// rather than inheriting the share grown for the previous job — handing
+    /// a DRAM-hungry antagonist twenty cores that were tuned for a benign
+    /// predecessor would blow through the SLO faster than the controller's
+    /// poll can react, exactly like restarting the BE container does on a
+    /// real node.
+    pub fn set_be(&mut self, be: Option<BeWorkload>) {
+        self.be_alone_progress =
+            be.as_ref().map_or(1.0, |b| b.alone_progress(self.server.config()));
+        self.be = be;
+        self.policy.init(&mut self.server);
+    }
+
+    /// True if the policy currently allows BE tasks to execute.
+    pub fn be_enabled(&self) -> bool {
+        self.policy.be_enabled()
+    }
+
+    /// Progress (in core-equivalents) the current BE workload achieves when
+    /// it runs alone on the whole machine — the denominator that turns a
+    /// window's raw BE progress into the normalized `be_throughput`.
+    /// Multiplying `be_throughput` back by this value recovers the window's
+    /// progress in core-equivalents, which is how the fleet scheduler
+    /// accounts job demand in core·seconds.
+    pub fn be_alone_progress(&self) -> f64 {
+        self.be_alone_progress
+    }
+
+    /// The most recent window's record, if any window has run.
+    pub fn last_record(&self) -> Option<&WindowRecord> {
+        self.history.last()
+    }
+
     /// The simulated server (allocations, counters, configuration).
     pub fn server(&self) -> &Server {
         &self.server
@@ -337,6 +375,34 @@ mod tests {
         assert_eq!(runner.summary().windows, 5);
         assert_eq!(runner.summary_of_last(2).windows, 2);
         assert!(runner.now().as_secs_f64() >= 5.0);
+    }
+
+    #[test]
+    fn set_be_swaps_the_workload_and_renormalizes_emu() {
+        let cfg = ServerConfig::default_haswell();
+        let lc = LcWorkload::websearch();
+        let policy = heracles_for(&lc, &cfg);
+        let mut runner =
+            ColoRunner::new(cfg, lc, Some(BeWorkload::brain()), policy, ColoConfig::fast_test());
+        runner.run_steady(0.4, 30);
+        let brain_alone = runner.be_alone_progress();
+        assert!(runner.last_record().is_some());
+
+        // Detach the job: BE throughput drops to zero, EMU falls back to load.
+        runner.set_be(None);
+        assert_eq!(runner.be_alone_progress(), 1.0);
+        let idle = runner.step(0.4);
+        assert_eq!(idle.be_throughput, 0.0);
+
+        // Attach a different job: the normalization denominator is re-profiled.
+        runner.set_be(Some(BeWorkload::streetview()));
+        assert!(runner.be().is_some());
+        assert_ne!(runner.be_alone_progress(), brain_alone);
+        let resumed = runner.run_steady(0.4, 30);
+        assert!(
+            resumed.last().unwrap().be_throughput > 0.0,
+            "streetview made no progress after the swap"
+        );
     }
 
     #[test]

@@ -12,7 +12,11 @@ use heracles_sim::SimTime;
 use crate::measurements::Measurements;
 
 /// A controller that decides how LC and BE tasks share a server.
-pub trait ColocationPolicy {
+///
+/// Policies are `Send` so that a harness holding one (a `ColoRunner` leaf in
+/// a cluster or fleet) can be stepped on a worker thread; all policies are
+/// plain owned state, so the bound costs implementations nothing.
+pub trait ColocationPolicy: Send {
     /// Short human-readable name used in experiment output.
     fn name(&self) -> &str;
 

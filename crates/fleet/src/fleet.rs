@@ -1,0 +1,521 @@
+//! The discrete-time fleet simulator.
+//!
+//! A fleet is N servers, each serving websearch under its own per-server
+//! Heracles controller (a [`ColoRunner`] leaf, exactly the harness the
+//! single-server experiments use), plus one fleet-level scheduler placing a
+//! stream of BE jobs onto the servers' BE slots.  Load is diurnal with
+//! per-server phase offsets, so at any moment the fleet spans the whole
+//! load range — some servers are colocation-friendly, others are near their
+//! latency knee.
+//!
+//! Each step the simulator:
+//!
+//! 1. samples every server's LC load from its phase-shifted diurnal trace,
+//! 2. admits this step's job arrivals into the queue,
+//! 3. dispatches queued jobs through the [`PlacementPolicy`] against the
+//!    [`PlacementStore`],
+//! 4. advances every server by `windows_per_step` measurement windows — in
+//!    parallel across servers via [`parallel_map_mut`], since servers only
+//!    interact through the scheduler between steps,
+//! 5. credits BE progress to resident jobs, completes jobs whose demand is
+//!    served, and preempts/requeues jobs whose server kept BE disabled
+//!    beyond the grace period (the controller's verdict is final: Heracles
+//!    defends the local SLO, the scheduler routes around it),
+//! 6. refreshes the store with each server's slack, EMU and admission
+//!    verdict.
+//!
+//! Everything is a pure function of the seed: the job stream, the traces,
+//! every per-server RNG and the policy's tie-breaking all derive from it,
+//! so identical seeds give identical schedules.
+
+use heracles_colo::{ColoConfig, ColoRunner};
+use heracles_core::{ColocationPolicy, Heracles, HeraclesConfig, OfflineDramModel};
+use heracles_hw::ServerConfig;
+use heracles_sim::{parallel_map_mut, SimRng, SimTime};
+use heracles_workloads::{BeWorkload, DiurnalTrace, LcWorkload};
+use serde::{Deserialize, Serialize};
+
+use crate::job::{JobQueue, JobStreamConfig};
+use crate::metrics::{FleetEvent, FleetEventKind, FleetResult, FleetStep};
+use crate::policy::{
+    FirstFit, InterferenceAware, InterferenceModel, LeastLoaded, PlacementPolicy, PolicyKind,
+    RandomPlacement,
+};
+use crate::store::{PlacementStore, ServerId};
+
+/// Configuration of a fleet run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of servers in the fleet.
+    pub servers: usize,
+    /// BE job slots per server.
+    pub be_slots_per_server: usize,
+    /// Number of scheduler steps to simulate.
+    pub steps: usize,
+    /// Measurement windows each server advances per step.
+    pub windows_per_step: usize,
+    /// Seed for the job stream, traces and every per-server random stream.
+    pub seed: u64,
+    /// Fraction of the diurnal period the per-server phase offsets span
+    /// (1.0 spreads the fleet across the whole cycle; 0.0 moves every
+    /// server in lockstep).
+    pub load_spread: f64,
+    /// Steps a server may sit occupied with BE disabled before its jobs are
+    /// preempted and requeued.
+    pub preemption_grace_steps: usize,
+    /// Per-server harness configuration.
+    pub colo: ColoConfig,
+    /// The job arrival process.
+    pub jobs: JobStreamConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            servers: 50,
+            be_slots_per_server: 2,
+            steps: 144,
+            windows_per_step: 4,
+            seed: 42,
+            load_spread: 1.0,
+            preemption_grace_steps: 2,
+            colo: ColoConfig { requests_per_window: 1_200, ..ColoConfig::default() },
+            jobs: JobStreamConfig { arrivals_per_step: 5.0, ..JobStreamConfig::default() },
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A scaled-down configuration for tests and `--fast` runs.
+    pub fn fast_test() -> Self {
+        FleetConfig {
+            servers: 8,
+            steps: 30,
+            windows_per_step: 3,
+            colo: ColoConfig { requests_per_window: 900, ..ColoConfig::fast_test() },
+            jobs: JobStreamConfig { arrivals_per_step: 1.5, ..JobStreamConfig::default() },
+            ..Self::default()
+        }
+    }
+}
+
+/// Observation returned by one server's step (computed on a worker thread).
+struct StepObservation {
+    last_emu: f64,
+    last_be_throughput: f64,
+    worst_normalized_latency: f64,
+    progress_core_s: f64,
+    be_enabled: bool,
+}
+
+/// The fleet simulator: servers, scheduler state and the job stream.
+pub struct FleetSim {
+    config: FleetConfig,
+    trace: DiurnalTrace,
+    runners: Vec<ColoRunner>,
+    store: PlacementStore,
+    queue: JobQueue,
+    policy: Box<dyn PlacementPolicy>,
+    rng: SimRng,
+}
+
+impl FleetSim {
+    /// Creates a fleet under one of the built-in placement policies.
+    ///
+    /// For [`PolicyKind::InterferenceAware`] this runs the §3.2
+    /// characterization cells for the job mix's workloads (in parallel)
+    /// to measure their hostility scores.
+    pub fn new(config: FleetConfig, server_config: ServerConfig, policy: PolicyKind) -> Self {
+        let policy: Box<dyn PlacementPolicy> = match policy {
+            PolicyKind::Random => Box::new(RandomPlacement),
+            PolicyKind::FirstFit => Box::new(FirstFit),
+            PolicyKind::LeastLoaded => Box::new(LeastLoaded),
+            PolicyKind::InterferenceAware => {
+                let probe = ColoConfig { requests_per_window: 1_000, ..ColoConfig::default() }
+                    .with_seed(config.seed ^ 0xCAFE);
+                let model = InterferenceModel::characterize(
+                    &config.jobs.mix.workloads(),
+                    &LcWorkload::websearch(),
+                    &server_config,
+                    &probe,
+                );
+                Box::new(InterferenceAware::new(model))
+            }
+        };
+        Self::with_policy(config, server_config, policy)
+    }
+
+    /// Creates a fleet under a caller-supplied placement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers`, `be_slots_per_server`, `steps` or
+    /// `windows_per_step` is zero.
+    pub fn with_policy(
+        config: FleetConfig,
+        server_config: ServerConfig,
+        policy: Box<dyn PlacementPolicy>,
+    ) -> Self {
+        assert!(config.servers > 0, "a fleet needs at least one server");
+        assert!(config.steps > 0 && config.windows_per_step > 0, "steps must be positive");
+        let websearch = LcWorkload::websearch();
+        // One offline DRAM model serves every leaf (the paper shares it
+        // across the cluster too; the controller tolerates the model error).
+        let dram_model = OfflineDramModel::profile(&websearch, &server_config);
+        let runners = (0..config.servers)
+            .map(|i| {
+                let leaf_policy: Box<dyn ColocationPolicy> = Box::new(Heracles::new(
+                    HeraclesConfig::fast(),
+                    websearch.slo(),
+                    dram_model.clone(),
+                ));
+                ColoRunner::new(
+                    server_config.clone(),
+                    websearch.clone(),
+                    None,
+                    leaf_policy,
+                    config.colo.with_seed(config.seed ^ (0xF1EE7 + i as u64 * 7919)),
+                )
+            })
+            .collect();
+        FleetSim {
+            trace: DiurnalTrace::websearch_12h(config.seed),
+            runners,
+            store: PlacementStore::new(config.servers, config.be_slots_per_server),
+            queue: JobQueue::new(config.jobs, config.seed),
+            policy,
+            rng: SimRng::new(config.seed).fork(0x9C4ED),
+            config,
+        }
+    }
+
+    /// The configuration this fleet runs under.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The placement policy's name.
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// Server `id`'s LC load at `time`: the shared diurnal trace shifted by
+    /// the server's phase offset (wrapping around the trace period).
+    pub fn server_load(&self, id: ServerId, time: SimTime) -> f64 {
+        let period_s = self.trace.duration().as_secs_f64();
+        let phase_s = period_s * self.config.load_spread * id as f64 / self.config.servers as f64;
+        let t = (time.as_secs_f64() + phase_s) % period_s;
+        self.trace.load_at(SimTime::from_secs_f64(t))
+    }
+
+    /// Points the runner's BE workload at its head resident job (or detaches
+    /// it).  Jobs of the same kind share a profile, so a swap between them
+    /// is a no-op.
+    ///
+    /// When several jobs share a server, the head job's profile stands in
+    /// for the whole BE slice: the co-residents share the slice's
+    /// throughput (see the progress crediting in [`FleetSim::run`]) but do
+    /// not add their own contention to the hardware model.  This
+    /// approximation understates interference when a hostile job hides
+    /// behind a benign head — one reason the informed policies' occupancy
+    /// penalty steers away from double-packing, and the first candidate to
+    /// refine if multi-slot fidelity starts to matter.
+    fn sync_attachment(&mut self, id: ServerId) {
+        let head: Option<BeWorkload> =
+            self.store.server(id).resident.first().map(|&job| self.queue.job(job).workload.clone());
+        let current = self.runners[id].be().map(|b| b.kind());
+        if current != head.as_ref().map(|w| w.kind()) {
+            self.runners[id].set_be(head);
+        }
+        let attached = self.runners[id].be().map(|b| b.kind());
+        self.store.set_attached_kind(id, attached);
+    }
+
+    /// Runs the fleet to the configured horizon and returns the result.
+    pub fn run(mut self) -> FleetResult {
+        let step_duration = self.config.colo.window * self.config.windows_per_step as u64;
+        let window_s = self.config.colo.window.as_secs_f64();
+        let mut steps = Vec::with_capacity(self.config.steps);
+        let mut events = Vec::new();
+        let mut completed_total = 0usize;
+
+        for step_idx in 0..self.config.steps {
+            let now = SimTime::ZERO + step_duration * (step_idx as u64 + 1);
+
+            // 1. This step's per-server loads.
+            let loads: Vec<f64> =
+                (0..self.config.servers).map(|i| self.server_load(i, now)).collect();
+            for (id, &load) in loads.iter().enumerate() {
+                self.store.set_load(id, load);
+            }
+
+            // 2. Arrivals.
+            self.queue.arrive(now);
+
+            // 3. Dispatch: FIFO with skipping.
+            let pending = self.queue.take_pending();
+            let mut unplaced = Vec::new();
+            for job_id in pending {
+                match self.policy.place(self.queue.job(job_id), &self.store, &mut self.rng) {
+                    Some(server) => {
+                        self.store.place(job_id, server);
+                        let job = self.queue.job_mut(job_id);
+                        if job.first_start.is_none() {
+                            job.first_start = Some(now);
+                        }
+                        events.push(FleetEvent {
+                            step: step_idx,
+                            job: job_id,
+                            server,
+                            kind: FleetEventKind::Placed,
+                        });
+                    }
+                    None => unplaced.push(job_id),
+                }
+            }
+            self.queue.restore_pending(unplaced);
+            for id in 0..self.config.servers {
+                self.sync_attachment(id);
+            }
+
+            // 4. Advance every server, in parallel.
+            let windows = self.config.windows_per_step;
+            let mut paired: Vec<(f64, &mut ColoRunner)> =
+                loads.iter().copied().zip(self.runners.iter_mut()).collect();
+            let observations: Vec<StepObservation> = parallel_map_mut(&mut paired, |entry| {
+                let (load, runner) = (entry.0, &mut *entry.1);
+                let mut worst = 0.0f64;
+                let mut progress = 0.0;
+                for _ in 0..windows {
+                    let record = runner.step(load);
+                    worst = worst.max(record.normalized_latency);
+                    progress += record.be_throughput * runner.be_alone_progress() * window_s;
+                }
+                let last = runner.last_record().expect("at least one window ran");
+                StepObservation {
+                    last_emu: last.emu,
+                    last_be_throughput: last.be_throughput,
+                    worst_normalized_latency: worst,
+                    progress_core_s: progress,
+                    be_enabled: runner.be_enabled(),
+                }
+            });
+
+            // 5. Credit progress, complete, preempt; 6. refresh the store.
+            let mut step_progress = 0.0;
+            for (id, obs) in observations.iter().enumerate() {
+                let resident = self.store.server(id).resident.clone();
+                // Split the step's progress evenly across residents,
+                // redistributing overshoot past a job's remaining demand to
+                // its co-residents; only work actually absorbed counts as
+                // served.
+                let mut budget = obs.progress_core_s;
+                if !resident.is_empty() {
+                    let mut open = resident.clone();
+                    while budget > 1e-9 && !open.is_empty() {
+                        let share = budget / open.len() as f64;
+                        budget = 0.0;
+                        let mut still_open = Vec::with_capacity(open.len());
+                        for job_id in open {
+                            let job = self.queue.job_mut(job_id);
+                            let take = share.min(job.remaining_core_s.max(0.0));
+                            job.remaining_core_s -= take;
+                            step_progress += take;
+                            if take < share {
+                                budget += share - take;
+                            } else if !job.is_complete() {
+                                still_open.push(job_id);
+                            }
+                        }
+                        open = still_open;
+                    }
+                }
+                for &job_id in &resident {
+                    if self.queue.job(job_id).is_complete() {
+                        self.queue.job_mut(job_id).completion = Some(now);
+                        self.store.release(job_id, id);
+                        completed_total += 1;
+                        events.push(FleetEvent {
+                            step: step_idx,
+                            job: job_id,
+                            server: id,
+                            kind: FleetEventKind::Completed,
+                        });
+                    }
+                }
+                self.store.observe(
+                    id,
+                    now,
+                    1.0 - obs.worst_normalized_latency,
+                    obs.last_emu,
+                    obs.last_be_throughput,
+                    obs.be_enabled,
+                );
+                if self.store.server(id).disabled_streak > self.config.preemption_grace_steps {
+                    // The server's controller has kept BE parked past the
+                    // grace period: route the jobs elsewhere.  Requeue in
+                    // reverse so the earliest resident ends up frontmost.
+                    let evicted = self.store.server(id).resident.clone();
+                    for &job_id in evicted.iter().rev() {
+                        self.store.release(job_id, id);
+                        self.queue.requeue_front(job_id);
+                        events.push(FleetEvent {
+                            step: step_idx,
+                            job: job_id,
+                            server: id,
+                            kind: FleetEventKind::Preempted,
+                        });
+                    }
+                }
+                self.sync_attachment(id);
+            }
+
+            // 7. Record the step.
+            let n = self.config.servers as f64;
+            steps.push(FleetStep {
+                time: now,
+                mean_load: loads.iter().sum::<f64>() / n,
+                fleet_emu: observations.iter().map(|o| o.last_emu).sum::<f64>() / n,
+                worst_normalized_latency: observations
+                    .iter()
+                    .map(|o| o.worst_normalized_latency)
+                    .fold(0.0, f64::max),
+                violating_server_fraction: observations
+                    .iter()
+                    .filter(|o| o.worst_normalized_latency > 1.0)
+                    .count() as f64
+                    / n,
+                queued_jobs: self.queue.pending_len(),
+                running_jobs: self.store.running_jobs(),
+                completed_jobs: completed_total,
+                be_progress_core_s: step_progress,
+            });
+        }
+
+        FleetResult {
+            policy: self.policy.name().to_string(),
+            steps,
+            jobs: self.queue.into_jobs(),
+            events,
+        }
+    }
+}
+
+impl std::fmt::Debug for FleetSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetSim")
+            .field("servers", &self.config.servers)
+            .field("policy", &self.policy.name())
+            .field("queued", &self.queue.pending_len())
+            .finish()
+    }
+}
+
+/// SLO violation fraction of the paper's single-server Heracles deployment
+/// over the same diurnal trace: one websearch server colocating brain under
+/// Heracles, stepped like a fleet member at phase 0.  This is the bar the
+/// fleet scheduler must not regress — fleet-level placement may add and
+/// remove jobs, but each server's controller still defends its SLO.
+pub fn single_server_baseline_violations(config: &FleetConfig, server: &ServerConfig) -> f64 {
+    let websearch = LcWorkload::websearch();
+    let dram_model = OfflineDramModel::profile(&websearch, server);
+    let policy: Box<dyn ColocationPolicy> =
+        Box::new(Heracles::new(HeraclesConfig::fast(), websearch.slo(), dram_model));
+    let mut runner = ColoRunner::new(
+        server.clone(),
+        websearch,
+        Some(BeWorkload::brain()),
+        policy,
+        config.colo.with_seed(config.seed ^ 0xBA5E),
+    );
+    let trace = DiurnalTrace::websearch_12h(config.seed);
+    let step_duration = config.colo.window * config.windows_per_step as u64;
+    let mut violating_steps = 0usize;
+    for step_idx in 0..config.steps {
+        let now = SimTime::ZERO + step_duration * (step_idx as u64 + 1);
+        let load = {
+            let period_s = trace.duration().as_secs_f64();
+            trace.load_at(SimTime::from_secs_f64(now.as_secs_f64() % period_s))
+        };
+        let worst = (0..config.windows_per_step)
+            .map(|_| runner.step(load).normalized_latency)
+            .fold(0.0, f64::max);
+        if worst > 1.0 {
+            violating_steps += 1;
+        }
+    }
+    violating_steps as f64 / config.steps.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FleetConfig {
+        FleetConfig {
+            servers: 4,
+            steps: 10,
+            windows_per_step: 2,
+            colo: ColoConfig { requests_per_window: 600, ..ColoConfig::fast_test() },
+            jobs: JobStreamConfig { arrivals_per_step: 1.0, ..JobStreamConfig::default() },
+            ..FleetConfig::fast_test()
+        }
+    }
+
+    #[test]
+    fn server_loads_span_the_diurnal_range() {
+        let sim = FleetSim::new(tiny(), ServerConfig::default_haswell(), PolicyKind::FirstFit);
+        let t = SimTime::from_secs(60);
+        let loads: Vec<f64> = (0..4).map(|i| sim.server_load(i, t)).collect();
+        // With full spread the phase offsets put servers at different points
+        // of the diurnal swing.
+        let min = loads.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = loads.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min > 0.2, "loads {loads:?}");
+        for l in loads {
+            assert!((0.0..=1.0).contains(&l));
+        }
+    }
+
+    #[test]
+    fn fleet_runs_place_serve_and_complete_jobs() {
+        let result =
+            FleetSim::new(tiny(), ServerConfig::default_haswell(), PolicyKind::LeastLoaded).run();
+        assert_eq!(result.steps.len(), 10);
+        assert!(!result.jobs.is_empty(), "the stream produced no jobs");
+        assert!(
+            result.events.iter().any(|e| e.kind == FleetEventKind::Placed),
+            "nothing was ever placed"
+        );
+        assert!(result.be_core_s_served() > 0.0, "no BE progress at all");
+        // EMU must exceed pure LC load once BE work is being served.
+        assert!(result.mean_fleet_emu() >= result.mean_lc_load());
+        // Step records are internally consistent.
+        for step in &result.steps {
+            assert!(step.fleet_emu >= 0.0 && step.worst_normalized_latency >= 0.0);
+            assert!(step.running_jobs <= 4 * 2, "slot capacity exceeded");
+        }
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_schedules() {
+        let run = |seed| {
+            let cfg = FleetConfig { seed, ..tiny() };
+            FleetSim::new(cfg, ServerConfig::default_haswell(), PolicyKind::Random).run()
+        };
+        let a = run(3);
+        let b = run(3);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.steps, b.steps);
+        let c = run(4);
+        assert!(a.events != c.events || a.jobs != c.jobs, "different seeds identical");
+    }
+
+    #[test]
+    fn baseline_violation_fraction_is_a_fraction() {
+        let cfg = tiny();
+        let v = single_server_baseline_violations(&cfg, &ServerConfig::default_haswell());
+        assert!((0.0..=1.0).contains(&v));
+    }
+}

@@ -1,0 +1,60 @@
+//! Fleet scheduler: cluster-wide BE job placement over per-server Heracles
+//! controllers.
+//!
+//! The paper's cluster experiment (§5.3) hard-wires one BE task per leaf;
+//! this crate asks the fleet-level question Heracles enables: given a stream
+//! of best-effort jobs and a diurnally loaded LC fleet, where should the
+//! work go, and how much machine utilization does the fleet recover?
+//!
+//! The subsystem follows the placement-store-plus-scheduler shape of cluster
+//! managers:
+//!
+//! * [`job`] — the BE job model and the seeded arrival [`JobQueue`]: Poisson
+//!   arrivals, bounded-Pareto core·second demands, workloads drawn from the
+//!   paper's production or evaluation set,
+//! * [`store`] — the [`PlacementStore`]: per-server BE slot occupancy plus
+//!   the live signals the per-server Heracles controllers expose (LC load,
+//!   latency slack, admission verdict, recent EMU),
+//! * [`policy`] — pluggable [`PlacementPolicy`] implementations: Random,
+//!   FirstFit, LeastLoaded and InterferenceAware (which consults the §3.2
+//!   interference characterization to keep hostile antagonists away from
+//!   near-knee LC services),
+//! * [`fleet`] — the [`FleetSim`] discrete-time simulator: dispatch,
+//!   parallel per-server stepping, job completion and preemption/requeue
+//!   when a leaf's controller disables BE,
+//! * [`metrics`] — [`FleetResult`]: BE throughput, queueing delay, fleet
+//!   EMU, SLO violation rate and throughput/TCO via the paper's TCO model.
+//!
+//! # Example
+//!
+//! ```
+//! use heracles_fleet::{FleetConfig, FleetSim, PolicyKind};
+//! use heracles_hw::ServerConfig;
+//!
+//! let config = FleetConfig {
+//!     servers: 4,
+//!     steps: 6,
+//!     ..FleetConfig::fast_test()
+//! };
+//! let result = FleetSim::new(config, ServerConfig::default_haswell(), PolicyKind::FirstFit).run();
+//! assert_eq!(result.steps.len(), 6);
+//! assert!(result.mean_fleet_emu() >= result.mean_lc_load());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fleet;
+pub mod job;
+pub mod metrics;
+pub mod policy;
+pub mod store;
+
+pub use fleet::{single_server_baseline_violations, FleetConfig, FleetSim};
+pub use job::{BeJob, JobId, JobMix, JobQueue, JobStreamConfig};
+pub use metrics::{FleetEvent, FleetEventKind, FleetResult, FleetStep};
+pub use policy::{
+    FirstFit, InterferenceAware, InterferenceModel, LeastLoaded, PlacementPolicy, PolicyKind,
+    RandomPlacement,
+};
+pub use store::{PlacementStore, ServerEntry, ServerId};

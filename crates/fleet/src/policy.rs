@@ -1,0 +1,447 @@
+//! Pluggable BE job placement policies.
+//!
+//! All four policies see the same [`PlacementStore`] table; they differ in
+//! how much of it they use:
+//!
+//! * [`RandomPlacement`] — any server with a free slot, chosen uniformly.
+//!   The naive baseline: it ignores the controllers entirely, so it keeps
+//!   feeding jobs to servers whose Heracles instance is about to squeeze
+//!   them back out.
+//! * [`FirstFit`] — the lowest-numbered server where the job *fits*, where
+//!   fitting means a free slot on a server healthy enough to admit BE work
+//!   (positive latency slack, per [`ServerEntry::admits_be`]).  This is the
+//!   classic packing heuristic of cluster placement stores, with the
+//!   admission verdict standing in for the capacity check.
+//! * [`LeastLoaded`] — among admitting servers, the one with the lowest
+//!   current LC load (most headroom for the sub-controllers to grow the BE
+//!   share).
+//! * [`InterferenceAware`] — additionally consults the §3.2 interference
+//!   characterization and the store's load trend: a job whose workload
+//!   devastates a near-knee LC service (stream-DRAM, streetview, …) is
+//!   steered onto servers far from their latency knee (and projected to
+//!   stay there), benign jobs fill moderately loaded servers, and
+//!   same-kind jobs are chained onto one server so a successor inherits
+//!   the grown BE allocation without a conservative controller restart.
+
+use std::collections::HashMap;
+
+use heracles_colo::characterize::characterize_cell;
+use heracles_colo::ColoConfig;
+use heracles_hw::ServerConfig;
+use heracles_sim::{parallel_map, SimRng};
+use heracles_workloads::{BeKind, BeWorkload, LcWorkload};
+
+use crate::job::BeJob;
+use crate::store::{PlacementStore, ServerId};
+
+/// A fleet-level policy deciding which server hosts a BE job.
+///
+/// Implementations must only return servers with a free BE slot (the store
+/// panics on oversubscription); returning `None` leaves the job queued for
+/// the next dispatch round.
+pub trait PlacementPolicy: Send {
+    /// Short human-readable name used in experiment output.
+    fn name(&self) -> &str;
+
+    /// Chooses a server for `job`, or `None` to leave it queued.
+    fn place(&mut self, job: &BeJob, store: &PlacementStore, rng: &mut SimRng) -> Option<ServerId>;
+}
+
+/// The built-in placement policies, in the order the sweeps report them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Uniform over servers with a free slot.
+    Random,
+    /// Lowest-numbered admitting server.
+    FirstFit,
+    /// Admitting server with the lowest LC load.
+    LeastLoaded,
+    /// Interference-characterization-guided placement.
+    InterferenceAware,
+}
+
+impl PolicyKind {
+    /// All built-in policies, in reporting order.
+    pub fn all() -> [PolicyKind; 4] {
+        [
+            PolicyKind::Random,
+            PolicyKind::FirstFit,
+            PolicyKind::LeastLoaded,
+            PolicyKind::InterferenceAware,
+        ]
+    }
+
+    /// The policy's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Random => "random",
+            PolicyKind::FirstFit => "first-fit",
+            PolicyKind::LeastLoaded => "least-loaded",
+            PolicyKind::InterferenceAware => "interference-aware",
+        }
+    }
+}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "random" => Ok(PolicyKind::Random),
+            "first-fit" => Ok(PolicyKind::FirstFit),
+            "least-loaded" => Ok(PolicyKind::LeastLoaded),
+            "interference-aware" => Ok(PolicyKind::InterferenceAware),
+            other => Err(format!(
+                "unknown policy {other:?} (expected random, first-fit, least-loaded or interference-aware)"
+            )),
+        }
+    }
+}
+
+/// Uniform choice over servers with a free slot.
+#[derive(Debug, Default)]
+pub struct RandomPlacement;
+
+impl PlacementPolicy for RandomPlacement {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn place(
+        &mut self,
+        _job: &BeJob,
+        store: &PlacementStore,
+        rng: &mut SimRng,
+    ) -> Option<ServerId> {
+        let candidates: Vec<ServerId> =
+            store.servers().iter().filter(|s| s.has_free_slot()).map(|s| s.id).collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[rng.index(candidates.len())])
+        }
+    }
+}
+
+/// Lowest-numbered server where the job fits (free slot + admission).
+#[derive(Debug, Default)]
+pub struct FirstFit;
+
+impl PlacementPolicy for FirstFit {
+    fn name(&self) -> &str {
+        "first-fit"
+    }
+
+    fn place(
+        &mut self,
+        _job: &BeJob,
+        store: &PlacementStore,
+        _rng: &mut SimRng,
+    ) -> Option<ServerId> {
+        store.servers().iter().find(|s| s.admits_be()).map(|s| s.id)
+    }
+}
+
+/// Admitting server with the lowest effective load: current LC load plus a
+/// penalty per already-resident BE job.
+///
+/// The occupancy penalty matters because resident jobs share their server's
+/// BE slice — the marginal throughput of a second job on an occupied server
+/// is far below that of a first job on an empty one, so the policy fills
+/// empty servers before doubling up.
+#[derive(Debug, Default)]
+pub struct LeastLoaded;
+
+/// Effective-load penalty per resident BE job (shared by [`LeastLoaded`] and
+/// [`InterferenceAware`]): a resident job claims about as much of the
+/// server's headroom as a fully loaded LC service would.
+const OCCUPANCY_PENALTY: f64 = 0.75;
+
+/// [`InterferenceAware`]'s reduced occupancy penalty when the incumbent BE
+/// workload is of the same kind as the job being placed (kind-affinity: the
+/// newcomer shares, then inherits, the grown allocation with no controller
+/// restart).
+const SAME_KIND_OCCUPANCY_PENALTY: f64 = 0.25;
+
+impl PlacementPolicy for LeastLoaded {
+    fn name(&self) -> &str {
+        "least-loaded"
+    }
+
+    fn place(
+        &mut self,
+        _job: &BeJob,
+        store: &PlacementStore,
+        _rng: &mut SimRng,
+    ) -> Option<ServerId> {
+        store
+            .servers()
+            .iter()
+            .filter(|s| s.admits_be())
+            .min_by(|a, b| {
+                let load_a = a.lc_load + OCCUPANCY_PENALTY * a.resident.len() as f64;
+                let load_b = b.lc_load + OCCUPANCY_PENALTY * b.resident.len() as f64;
+                load_a.partial_cmp(&load_b).expect("loads are finite").then(a.id.cmp(&b.id))
+            })
+            .map(|s| s.id)
+    }
+}
+
+/// How hostile each BE workload is to a colocated LC service, measured from
+/// the paper's §3.2 interference characterization (Figure 1).
+///
+/// Each workload is run as an antagonist against the LC workload at 20%
+/// load with the characterization's fixed layouts; the amount by which the
+/// resulting tail latency overshoots the SLO is the hostility score (0 for
+/// workloads that leave the SLO intact, ~1+ for DRAM streaming).  Low load
+/// is where Figure 1 separates the antagonists most sharply — the
+/// antagonist holds most of the machine, so the damage it can do is fully
+/// expressed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterferenceModel {
+    hostility: HashMap<BeKind, f64>,
+}
+
+impl InterferenceModel {
+    /// Load at which the characterization cells are measured.
+    const PROBE_LOAD: f64 = 0.2;
+
+    /// Measures hostility scores for `kinds` against `lc` by running the
+    /// characterization cells (in parallel — they are independent).
+    pub fn characterize(
+        kinds: &[BeWorkload],
+        lc: &LcWorkload,
+        server: &ServerConfig,
+        colo: &ColoConfig,
+    ) -> Self {
+        let cells = parallel_map(kinds, |w| {
+            (w.kind(), characterize_cell(lc, w, Self::PROBE_LOAD, server, colo))
+        });
+        let hostility = cells
+            .into_iter()
+            .map(|(kind, cell)| (kind, (cell.normalized_latency - 1.0).max(0.0)))
+            .collect();
+        InterferenceModel { hostility }
+    }
+
+    /// A model built from explicit scores (used by tests and callers that
+    /// already have characterization data).
+    pub fn from_scores(scores: impl IntoIterator<Item = (BeKind, f64)>) -> Self {
+        InterferenceModel { hostility: scores.into_iter().collect() }
+    }
+
+    /// The hostility score of a BE kind.  Unknown kinds get a cautious
+    /// middle-of-the-road score rather than zero.
+    pub fn hostility(&self, kind: BeKind) -> f64 {
+        self.hostility.get(&kind).copied().unwrap_or(0.5)
+    }
+}
+
+/// Interference-characterization-guided placement.
+///
+/// Raw hostility scores span orders of magnitude (an unmanaged stream-DRAM
+/// antagonist inflates websearch's tail by ~300×, brain by ~1.5×), so the
+/// policy works on the saturating *pressure* `h / (1 + h)` in `[0, 1)`.
+/// Mildly hostile jobs (brain) merely prefer emptier servers — a per-server
+/// Heracles controller contains them fine; extreme antagonists
+/// (stream-DRAM, streetview) are steered away from services near their
+/// latency knee, where the controller could only protect the SLO by
+/// disabling them and wasting the placement.
+#[derive(Debug, Clone)]
+pub struct InterferenceAware {
+    model: InterferenceModel,
+    /// LC load beyond which a service is considered near its latency knee.
+    knee_load: f64,
+    /// Steps ahead the policy projects a server's load trend when judging
+    /// knee proximity.  A placement is an investment — the controller ramps
+    /// the BE share from one core — so what matters is where the server's
+    /// diurnal trajectory will be while the ramp amortises, not where it is
+    /// now.
+    trend_horizon: f64,
+}
+
+impl InterferenceAware {
+    /// Creates the policy from a measured interference model.
+    pub fn new(model: InterferenceModel) -> Self {
+        InterferenceAware { model, knee_load: 0.70, trend_horizon: 8.0 }
+    }
+
+    /// The interference model the policy consults.
+    pub fn model(&self) -> &InterferenceModel {
+        &self.model
+    }
+
+    fn score(&self, pressure: f64, kind: BeKind, server: &crate::store::ServerEntry) -> f64 {
+        // Prefer empty, lightly loaded servers whose load is not climbing;
+        // punish pairing hostility with a near-knee service super-linearly
+        // so hostile jobs sort onto the emptiest servers while benign jobs
+        // fill the middle of the fleet, and sort servers projected past the
+        // controller's re-enable threshold (a looming disable, hence a
+        // wasted ramp) last for every job.  These are soft preferences, not
+        // gates: with every server defended by its own Heracles controller,
+        // a mediocre placement still beats holding the job at zero progress.
+        //
+        // Sharing a server is much cheaper with a job of the same kind: the
+        // newcomer rides the already-grown BE allocation and inherits it
+        // seamlessly when the incumbent finishes, instead of forcing a
+        // conservative controller restart — so kind-affinity discounts the
+        // occupancy penalty.
+        let occupancy = if server.attached_kind == Some(kind) {
+            SAME_KIND_OCCUPANCY_PENALTY
+        } else {
+            OCCUPANCY_PENALTY
+        };
+        let projected = server.projected_load(self.trend_horizon);
+        projected
+            + occupancy * server.resident.len() as f64
+            + pressure * (projected - self.knee_load).max(0.0) * 4.0
+            + (projected - crate::store::ADMISSION_LOAD_CEILING).max(0.0) * 10.0
+    }
+}
+
+impl PlacementPolicy for InterferenceAware {
+    fn name(&self) -> &str {
+        "interference-aware"
+    }
+
+    fn place(
+        &mut self,
+        job: &BeJob,
+        store: &PlacementStore,
+        _rng: &mut SimRng,
+    ) -> Option<ServerId> {
+        let hostility = self.model.hostility(job.workload.kind());
+        let pressure = hostility / (1.0 + hostility);
+        store
+            .servers()
+            .iter()
+            .filter(|s| s.admits_be())
+            .min_by(|a, b| {
+                self.score(pressure, job.workload.kind(), a)
+                    .partial_cmp(&self.score(pressure, job.workload.kind(), b))
+                    .expect("scores are finite")
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|s| s.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heracles_sim::SimTime;
+    use heracles_workloads::BeWorkload;
+
+    fn job_of(workload: BeWorkload) -> BeJob {
+        BeJob {
+            id: 0,
+            workload,
+            demand_core_s: 100.0,
+            remaining_core_s: 100.0,
+            arrival: SimTime::ZERO,
+            first_start: None,
+            completion: None,
+            preemptions: 0,
+        }
+    }
+
+    /// A store with three servers at loads 0.7 / 0.3 / 0.5, all healthy.
+    fn store() -> PlacementStore {
+        let mut store = PlacementStore::new(3, 1);
+        for (id, load) in [(0, 0.7), (1, 0.3), (2, 0.5)] {
+            store.set_load(id, load);
+            store.observe(id, SimTime::from_secs(1), 0.4, load, 0.0, true);
+        }
+        store
+    }
+
+    #[test]
+    fn policy_kind_round_trips_names() {
+        for kind in PolicyKind::all() {
+            assert_eq!(kind.name().parse::<PolicyKind>().unwrap(), kind);
+        }
+        assert!("nonsense".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn random_uses_any_free_slot_even_unhealthy() {
+        let mut store = store();
+        store.observe(0, SimTime::from_secs(2), -0.5, 0.7, 0.0, false);
+        let mut rng = SimRng::new(1);
+        let mut hits = [0usize; 3];
+        for _ in 0..300 {
+            let s = RandomPlacement
+                .place(&job_of(BeWorkload::brain()), &store, &mut rng)
+                .expect("slots are free");
+            hits[s] += 1;
+        }
+        // The unhealthy server 0 is still a candidate for Random.
+        assert!(hits.iter().all(|&h| h > 50), "{hits:?}");
+    }
+
+    #[test]
+    fn first_fit_takes_the_lowest_admitting_server() {
+        let mut store = store();
+        let mut rng = SimRng::new(1);
+        assert_eq!(FirstFit.place(&job_of(BeWorkload::brain()), &store, &mut rng), Some(0));
+        // Server 0 loses its slack: first fit moves on to server 1.
+        store.observe(0, SimTime::from_secs(2), 0.01, 0.7, 0.0, true);
+        assert_eq!(FirstFit.place(&job_of(BeWorkload::brain()), &store, &mut rng), Some(1));
+        // Fill every slot: nothing fits.
+        store.place(10, 1);
+        store.place(11, 2);
+        assert_eq!(FirstFit.place(&job_of(BeWorkload::brain()), &store, &mut rng), None);
+    }
+
+    #[test]
+    fn least_loaded_picks_the_emptiest_admitting_server() {
+        let store = store();
+        let mut rng = SimRng::new(1);
+        assert_eq!(LeastLoaded.place(&job_of(BeWorkload::brain()), &store, &mut rng), Some(1));
+    }
+
+    #[test]
+    fn interference_aware_steers_hostile_jobs_away_from_near_knee_servers() {
+        let mut rng = SimRng::new(1);
+        let model =
+            InterferenceModel::from_scores([(BeKind::StreamDram, 50.0), (BeKind::LlcSmall, 0.0)]);
+        let mut policy = InterferenceAware::new(model);
+        // The hostile job goes to the emptiest server of the 0.7/0.3/0.5
+        // fleet.
+        assert_eq!(policy.place(&job_of(BeWorkload::stream_dram()), &store(), &mut rng), Some(1));
+
+        // Two servers: a near-knee empty one (0.78) vs a lightly loaded one
+        // already hosting a job (0.30).  A benign job takes the empty
+        // near-knee server; a hostile antagonist accepts sharing the calm
+        // server instead of sitting next to a near-knee LC service.
+        let mut divided = PlacementStore::new(2, 2);
+        for (id, load) in [(0, 0.78), (1, 0.30)] {
+            divided.set_load(id, load);
+            divided.observe(id, SimTime::from_secs(1), 0.4, load, 0.0, true);
+        }
+        divided.place(20, 1);
+        assert_eq!(policy.place(&job_of(BeWorkload::llc_small()), &divided, &mut rng), Some(0));
+        assert_eq!(policy.place(&job_of(BeWorkload::stream_dram()), &divided, &mut rng), Some(1));
+
+        // The policy never holds a placeable job: when only the near-knee
+        // server has a slot, even the antagonist goes there.
+        divided.place(21, 1);
+        assert_eq!(policy.place(&job_of(BeWorkload::stream_dram()), &divided, &mut rng), Some(0));
+    }
+
+    #[test]
+    fn characterized_model_ranks_dram_streaming_above_small_llc() {
+        let model = InterferenceModel::characterize(
+            &[BeWorkload::stream_dram(), BeWorkload::llc_small()],
+            &LcWorkload::websearch(),
+            &ServerConfig::default_haswell(),
+            &ColoConfig::fast_test(),
+        );
+        let dram = model.hostility(BeKind::StreamDram);
+        let small = model.hostility(BeKind::LlcSmall);
+        assert!(dram > 0.5, "stream-DRAM hostility {dram:.2}");
+        assert!(dram > small, "dram {dram:.2} <= llc_small {small:.2}");
+        // Unknown kinds get the cautious default.
+        assert_eq!(model.hostility(BeKind::Iperf), 0.5);
+    }
+}

@@ -1,0 +1,315 @@
+//! The placement store: the scheduler's view of every server's live state.
+//!
+//! Mirrors the placement-store shape of cluster managers (a central table of
+//! per-host capacity and health that schedulers consult and commit into),
+//! specialised to what matters under Heracles: besides BE slot occupancy,
+//! each entry carries the server's current LC load from the diurnal trace
+//! and the latency slack / admission verdict observed from its per-server
+//! controller over the most recent step.  Placement policies read this table;
+//! the fleet simulator is the only writer.
+
+use heracles_sim::SimTime;
+use heracles_workloads::BeKind;
+use serde::{Deserialize, Serialize};
+
+use crate::job::JobId;
+
+/// Identifier of a server within the fleet (dense, starting at 0).
+pub type ServerId = usize;
+
+/// Latency slack below which a server is considered too close to its SLO to
+/// accept new BE work (the same 5% floor at which the paper's Algorithm 1
+/// starts reclaiming BE cores).
+pub const ADMISSION_SLACK_FLOOR: f64 = 0.05;
+
+/// LC load at or above which placement is futile: the paper's controller
+/// only (re-)enables BE execution below 80% load, so a job placed on a
+/// hotter server sits disabled until it is preempted.
+pub const ADMISSION_LOAD_CEILING: f64 = 0.80;
+
+/// What the store knows about one server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerEntry {
+    /// The server's identifier.
+    pub id: ServerId,
+    /// How many BE jobs the server may host at once.
+    pub be_slots: usize,
+    /// Jobs currently resident (placed and not yet completed or preempted).
+    pub resident: Vec<JobId>,
+    /// The BE workload kind currently attached to the server's runner (its
+    /// head resident job's kind), if any.  Placing a job of the same kind
+    /// lets it share — and later seamlessly inherit — the already-grown BE
+    /// allocation instead of restarting the controller's conservative ramp.
+    pub attached_kind: Option<BeKind>,
+    /// LC load offered during the current step (fraction of peak).
+    pub lc_load: f64,
+    /// Per-step change of the LC load (this step minus the previous one):
+    /// the diurnal trajectory signal a monitoring pipeline would expose.
+    /// Positive on servers climbing towards their peak.
+    pub load_trend: f64,
+    /// Whether `lc_load` has been set at least once (trend is meaningless
+    /// before that).
+    seen_load: bool,
+    /// Whether the server's Heracles controller currently allows BE
+    /// execution.
+    pub be_admitted: bool,
+    /// Latency slack observed over the most recent step: `1 -` the worst
+    /// window's SLO-normalized latency.  Positive means healthy; starts
+    /// optimistic at 1.0 before any window has run.
+    pub slack: f64,
+    /// Effective Machine Utilization of the most recent window.
+    pub recent_emu: f64,
+    /// Normalized BE throughput of the most recent window.
+    pub recent_be_throughput: f64,
+    /// Consecutive steps the server sat occupied with BE execution disabled
+    /// (the preemption trigger).
+    pub disabled_streak: usize,
+}
+
+impl ServerEntry {
+    /// Number of unoccupied BE slots.
+    pub fn free_slots(&self) -> usize {
+        self.be_slots.saturating_sub(self.resident.len())
+    }
+
+    /// True if at least one BE slot is unoccupied.
+    pub fn has_free_slot(&self) -> bool {
+        self.free_slots() > 0
+    }
+
+    /// True if the server is healthy enough to accept new BE work: a free
+    /// slot, enough latency slack that the controller would let the job run
+    /// rather than immediately squeeze it back out, and load below the
+    /// controller's BE re-enable threshold.
+    pub fn admits_be(&self) -> bool {
+        self.has_free_slot()
+            && self.slack > ADMISSION_SLACK_FLOOR
+            && self.lc_load < ADMISSION_LOAD_CEILING
+    }
+
+    /// The LC load projected `horizon` steps ahead by linear extrapolation
+    /// of the current trend, clamped to `[0, 1]`.
+    pub fn projected_load(&self, horizon: f64) -> f64 {
+        (self.lc_load + self.load_trend * horizon).clamp(0.0, 1.0)
+    }
+}
+
+/// The fleet-wide placement table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementStore {
+    servers: Vec<ServerEntry>,
+    last_updated: SimTime,
+}
+
+impl PlacementStore {
+    /// Creates a store for `servers` hosts with `be_slots` job slots each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` or `be_slots` is zero.
+    pub fn new(servers: usize, be_slots: usize) -> Self {
+        assert!(servers > 0, "a fleet needs at least one server");
+        assert!(be_slots > 0, "servers need at least one BE slot");
+        PlacementStore {
+            servers: (0..servers)
+                .map(|id| ServerEntry {
+                    id,
+                    be_slots,
+                    resident: Vec::new(),
+                    attached_kind: None,
+                    lc_load: 0.0,
+                    load_trend: 0.0,
+                    seen_load: false,
+                    be_admitted: true,
+                    slack: 1.0,
+                    recent_emu: 0.0,
+                    recent_be_throughput: 0.0,
+                    disabled_streak: 0,
+                })
+                .collect(),
+            last_updated: SimTime::ZERO,
+        }
+    }
+
+    /// All per-server entries, indexed by server id.
+    pub fn servers(&self) -> &[ServerEntry] {
+        &self.servers
+    }
+
+    /// One server's entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn server(&self, id: ServerId) -> &ServerEntry {
+        &self.servers[id]
+    }
+
+    /// When the store last absorbed step observations.
+    pub fn last_updated(&self) -> SimTime {
+        self.last_updated
+    }
+
+    /// Total BE jobs currently resident across the fleet.
+    pub fn running_jobs(&self) -> usize {
+        self.servers.iter().map(|s| s.resident.len()).sum()
+    }
+
+    /// Commits a placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server has no free slot or already hosts the job — a
+    /// placement policy returning such a server is a scheduler bug, and the
+    /// property tests lean on this assert.
+    pub fn place(&mut self, job: JobId, server: ServerId) {
+        let entry = &mut self.servers[server];
+        assert!(
+            entry.resident.len() < entry.be_slots,
+            "placement exceeds server {server}'s {} BE slots",
+            entry.be_slots
+        );
+        assert!(!entry.resident.contains(&job), "job {job} already resident on server {server}");
+        entry.resident.push(job);
+    }
+
+    /// Releases a job's slot (completion or preemption).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is not resident on the server.
+    pub fn release(&mut self, job: JobId, server: ServerId) {
+        let entry = &mut self.servers[server];
+        let idx = entry
+            .resident
+            .iter()
+            .position(|&j| j == job)
+            .unwrap_or_else(|| panic!("job {job} is not resident on server {server}"));
+        entry.resident.remove(idx);
+        if entry.resident.is_empty() {
+            // The streak tracks one occupancy episode; once the last job
+            // leaves, a future placement starts its grace period afresh.
+            entry.disabled_streak = 0;
+        }
+    }
+
+    /// Records which BE workload kind the server's runner currently has
+    /// attached (kept in sync by the fleet simulator after attachment
+    /// changes).
+    pub fn set_attached_kind(&mut self, id: ServerId, kind: Option<BeKind>) {
+        self.servers[id].attached_kind = kind;
+    }
+
+    /// Sets a server's LC load for the upcoming step (read by the policies
+    /// during dispatch, before the step runs) and updates its load trend.
+    pub fn set_load(&mut self, id: ServerId, lc_load: f64) {
+        let entry = &mut self.servers[id];
+        let load = lc_load.clamp(0.0, 1.0);
+        entry.load_trend = if entry.seen_load { load - entry.lc_load } else { 0.0 };
+        entry.seen_load = true;
+        entry.lc_load = load;
+    }
+
+    /// Absorbs one server's observations after a step: the controller's
+    /// admission verdict and the step's latency slack / utilization, plus the
+    /// disabled-streak bookkeeping that drives preemption.
+    pub fn observe(
+        &mut self,
+        id: ServerId,
+        now: SimTime,
+        slack: f64,
+        recent_emu: f64,
+        recent_be_throughput: f64,
+        be_admitted: bool,
+    ) {
+        let entry = &mut self.servers[id];
+        entry.slack = slack;
+        entry.recent_emu = recent_emu;
+        entry.recent_be_throughput = recent_be_throughput;
+        entry.be_admitted = be_admitted;
+        if !entry.resident.is_empty() && !be_admitted {
+            entry.disabled_streak += 1;
+        } else {
+            entry.disabled_streak = 0;
+        }
+        self.last_updated = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_occupies_and_release_frees_slots() {
+        let mut store = PlacementStore::new(2, 2);
+        assert_eq!(store.server(0).free_slots(), 2);
+        store.place(10, 0);
+        store.place(11, 0);
+        assert!(!store.server(0).has_free_slot());
+        assert!(store.server(1).has_free_slot());
+        assert_eq!(store.running_jobs(), 2);
+        store.release(10, 0);
+        assert_eq!(store.server(0).free_slots(), 1);
+        assert_eq!(store.server(0).resident, vec![11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds server")]
+    fn overfilling_a_server_panics() {
+        let mut store = PlacementStore::new(1, 1);
+        store.place(0, 0);
+        store.place(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn releasing_a_stranger_panics() {
+        let mut store = PlacementStore::new(1, 1);
+        store.release(3, 0);
+    }
+
+    #[test]
+    fn admission_requires_slack_and_a_slot() {
+        let mut store = PlacementStore::new(1, 1);
+        assert!(store.server(0).admits_be());
+        store.observe(0, SimTime::from_secs(1), 0.01, 0.5, 0.0, true);
+        assert!(!store.server(0).admits_be(), "no slack");
+        store.observe(0, SimTime::from_secs(2), 0.4, 0.5, 0.0, true);
+        assert!(store.server(0).admits_be());
+        store.place(0, 0);
+        assert!(!store.server(0).admits_be(), "no slot");
+    }
+
+    #[test]
+    fn disabled_streak_counts_only_occupied_disabled_steps() {
+        let mut store = PlacementStore::new(1, 1);
+        // Unoccupied: a disabled controller is not a stuck job.
+        store.observe(0, SimTime::from_secs(1), 0.5, 0.3, 0.0, false);
+        assert_eq!(store.server(0).disabled_streak, 0);
+        store.place(7, 0);
+        store.observe(0, SimTime::from_secs(2), 0.5, 0.3, 0.0, false);
+        store.observe(0, SimTime::from_secs(3), 0.5, 0.3, 0.0, false);
+        assert_eq!(store.server(0).disabled_streak, 2);
+        // Re-enablement resets the streak.
+        store.observe(0, SimTime::from_secs(4), 0.5, 0.3, 0.1, true);
+        assert_eq!(store.server(0).disabled_streak, 0);
+        assert_eq!(store.last_updated(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn emptying_a_server_resets_its_disabled_streak() {
+        let mut store = PlacementStore::new(1, 2);
+        store.place(7, 0);
+        store.place(8, 0);
+        store.observe(0, SimTime::from_secs(1), 0.5, 0.3, 0.0, false);
+        store.observe(0, SimTime::from_secs(2), 0.5, 0.3, 0.0, false);
+        assert_eq!(store.server(0).disabled_streak, 2);
+        // One job leaving does not end the occupancy episode...
+        store.release(7, 0);
+        assert_eq!(store.server(0).disabled_streak, 2);
+        // ...but the last one does: the next placement gets fresh grace.
+        store.release(8, 0);
+        assert_eq!(store.server(0).disabled_streak, 0);
+    }
+}

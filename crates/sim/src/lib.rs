@@ -12,7 +12,9 @@
 //! * [`queue`] — a discrete-event multi-server FCFS queue used to turn a
 //!   service-time model into a tail-latency distribution,
 //! * [`series`] — time-series recording for the figures,
-//! * [`event`] — a simple priority event queue for the cluster simulation.
+//! * [`event`] — a simple priority event queue for the cluster simulation,
+//! * [`parallel`] — scoped-thread fan-out used by the figure binaries and
+//!   the fleet simulator to run independent cells/servers concurrently.
 //!
 //! Everything is deterministic given a seed: the same experiment run twice
 //! produces bit-identical output, which the test suite relies on.
@@ -36,12 +38,14 @@
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod parallel;
 pub mod queue;
 pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod time;
 
+pub use parallel::{parallel_map, parallel_map_mut};
 pub use queue::MultiServerQueue;
 pub use rng::SimRng;
 pub use series::TimeSeries;

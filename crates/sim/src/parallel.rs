@@ -1,0 +1,139 @@
+//! Scoped-thread parallel helpers.
+//!
+//! The experiments consist of many independent units of work — figure cells
+//! (workload × antagonist × load) and fleet servers stepping through a
+//! window — so these helpers fan work out over the machine's cores with
+//! plain scoped threads.  Results always come back in input order, and the
+//! helpers spawn no threads at all for empty input, so callers stay
+//! deterministic regardless of the parallelism available.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+fn worker_threads(items: usize) -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(items.max(1))
+}
+
+/// Applies `f` to every item, running cells in parallel across threads, and
+/// returns the results in input order.
+///
+/// # Example
+///
+/// ```
+/// let squares = heracles_sim::parallel_map(&[1, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = worker_threads(items.len());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= items.len() {
+                    break;
+                }
+                let value = f(&items[idx]);
+                results.lock().expect("no panics while holding the lock")[idx] = Some(value);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("all workers finished")
+        .into_iter()
+        .map(|r| r.expect("every cell computed"))
+        .collect()
+}
+
+/// Applies `f` to every item through a mutable reference, running items in
+/// parallel across threads, and returns the results in input order.
+///
+/// This is the stepping primitive of the fleet simulator: each server owns
+/// mutable state (its runner, controller and RNG) and advances independently
+/// within a step, so a whole fleet advances one step in the wall-clock time
+/// of its slowest server.  Work is distributed in contiguous chunks, which
+/// keeps the borrow checker happy (`chunks_mut` hands each thread exclusive
+/// ownership of its slice) at the cost of no work stealing — fine here
+/// because the per-item cost is uniform.
+///
+/// # Example
+///
+/// ```
+/// let mut counters = vec![0u64; 8];
+/// let totals = heracles_sim::parallel_map_mut(&mut counters, |c| {
+///     *c += 1;
+///     *c
+/// });
+/// assert_eq!(totals, vec![1; 8]);
+/// assert_eq!(counters, vec![1; 8]);
+/// ```
+pub fn parallel_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = worker_threads(items.len());
+    let chunk_size = items.len().div_ceil(threads);
+    let mut results: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk_size)
+            .map(|chunk| scope.spawn(|| chunk.iter_mut().map(&f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("no panics in parallel_map_mut workers"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = parallel_map(&items, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_handles_empty_input() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn map_mut_mutates_and_preserves_order() {
+        let mut items: Vec<usize> = (0..97).collect();
+        let seen = parallel_map_mut(&mut items, |x| {
+            *x += 1;
+            *x
+        });
+        assert_eq!(seen, (1..98).collect::<Vec<_>>());
+        assert_eq!(items, (1..98).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_mut_handles_empty_and_single() {
+        let mut empty: Vec<u32> = vec![];
+        assert!(parallel_map_mut(&mut empty, |x| *x).is_empty());
+        let mut one = vec![7u32];
+        assert_eq!(parallel_map_mut(&mut one, |x| *x * 3), vec![21]);
+    }
+}

@@ -121,6 +121,42 @@ impl SimRng {
         (mu + sigma2.sqrt() * self.standard_normal()).exp()
     }
 
+    /// A Poisson sample with the given mean (Knuth's method).
+    ///
+    /// Used for per-step arrival counts in the fleet job stream.  Returns
+    /// zero when `mean <= 0`.  Large means are split into chunks and summed
+    /// (Poisson(a+b) = Poisson(a) + Poisson(b)), which keeps the method
+    /// exact where a single `exp(-mean)` would underflow to zero and break
+    /// the termination bound.
+    pub fn poisson(&mut self, mean: f64) -> usize {
+        if mean.is_nan() || mean <= 0.0 || !mean.is_finite() {
+            // NaN and non-positive means sample zero arrivals; an infinite
+            // mean would otherwise never terminate.
+            return 0;
+        }
+        const CHUNK: f64 = 200.0;
+        let mut remaining = mean;
+        let mut total = 0usize;
+        while remaining > CHUNK {
+            total += self.poisson_knuth(CHUNK);
+            remaining -= CHUNK;
+        }
+        total + self.poisson_knuth(remaining)
+    }
+
+    fn poisson_knuth(&mut self, mean: f64) -> usize {
+        let limit = (-mean).exp();
+        let mut k = 0usize;
+        let mut product = 1.0;
+        loop {
+            product *= self.uniform();
+            if product <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
     /// A bounded Pareto sample with shape `alpha` on `[lo, hi]`.
     ///
     /// Used for heavy-tailed best-effort task sizes.
@@ -211,5 +247,29 @@ mod tests {
             let x = rng.uniform_range(5.0, 6.0);
             assert!((5.0..6.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn poisson_has_requested_mean() {
+        let mut rng = SimRng::new(11);
+        let samples: Vec<f64> = (0..50_000).map(|_| rng.poisson(3.0) as f64).collect();
+        let m = mean_of(&samples);
+        assert!((m - 3.0).abs() < 0.05, "mean {m}");
+        assert_eq!(rng.poisson(0.0), 0);
+        assert_eq!(rng.poisson(-1.0), 0);
+        assert_eq!(rng.poisson(f64::INFINITY), 0);
+        assert_eq!(rng.poisson(f64::NAN), 0);
+    }
+
+    #[test]
+    fn poisson_survives_means_past_the_exp_underflow_point() {
+        // exp(-1000) underflows to 0.0; the chunked sampler must still
+        // return values distributed around the mean, not a constant.
+        let mut rng = SimRng::new(12);
+        let samples: Vec<f64> = (0..500).map(|_| rng.poisson(1_000.0) as f64).collect();
+        let m = mean_of(&samples);
+        assert!((m - 1_000.0).abs() < 10.0, "mean {m}");
+        let var = samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / samples.len() as f64;
+        assert!(var > 500.0, "variance collapsed: {var}");
     }
 }

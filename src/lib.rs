@@ -13,6 +13,8 @@
 //! * [`baselines`] — LC-only / OS-only / static-partition policies,
 //! * [`colo`] — single-server colocation harness and characterization,
 //! * [`cluster`] — websearch fan-out cluster and the TCO model,
+//! * [`fleet`] — cluster-wide BE job scheduler over per-server Heracles
+//!   controllers (job queue, placement store, placement policies),
 //! * [`bench`] — shared helpers for the figure-reproduction binaries.
 
 #![warn(missing_docs)]
@@ -23,6 +25,7 @@ pub use heracles_bench as bench;
 pub use heracles_cluster as cluster;
 pub use heracles_colo as colo;
 pub use heracles_core as core;
+pub use heracles_fleet as fleet;
 pub use heracles_hw as hw;
 pub use heracles_isolation as isolation;
 pub use heracles_sim as sim;
