@@ -2,19 +2,88 @@
 //! seeded job stream over a diurnally loaded websearch fleet, each server
 //! defended by its own Heracles controller.
 //!
-//! Reports per policy: fleet EMU (mean/min), SLO violation rate, jobs
-//! completed, BE core·seconds served, mean queueing delay, preemptions and
-//! the throughput/TCO gain over the uncolocated fleet — plus the
-//! single-server Heracles baseline's violation rate as the bar the fleet
-//! must not regress.
+//! By default the sweep runs twice — once over the homogeneous Haswell
+//! fleet and once over a mixed-generation datacenter (Sandy-Bridge-class,
+//! Haswell and Skylake-class boxes) — so the capacity-aware policies can be
+//! compared on both; `--mix` pins a single blend instead.
+//!
+//! Reports per policy: core-weighted fleet EMU (mean/min), SLO violation
+//! rate, jobs completed, BE core·seconds served, mean queueing delay (plus
+//! the count of jobs still stranded in the queue at the end of the run —
+//! survivors-only means flatter overloaded configs), preemptions and the
+//! throughput/TCO gain over the uncolocated fleet — plus the single-server
+//! Heracles baseline's violation rate as the bar the fleet must not
+//! regress.
 //!
 //! Run with: `cargo run --release -p heracles_bench --bin fleet_scale --
-//! [--fast] [--servers N] [--steps N] [--seed N] [--slots N] [--csv]`
+//! [--fast] [--servers N] [--steps N] [--seed N] [--slots N]
+//! [--mix homogeneous|mixed|O:N] [--csv]`
 
 use heracles_bench::cli::Args;
 use heracles_cluster::TcoModel;
-use heracles_fleet::{single_server_baseline_violations, FleetConfig, FleetSim, PolicyKind};
+use heracles_fleet::{
+    single_server_baseline_violations, FleetConfig, FleetSim, GenerationMix, PolicyKind,
+};
 use heracles_hw::ServerConfig;
+
+fn sweep(config: FleetConfig, server: &ServerConfig, tco: &TcoModel, csv: bool) {
+    let counts = config.mix.counts(config.servers);
+    println!(
+        "fleet mix: {} (sandy-bridge: {}, haswell: {}, skylake: {})",
+        config.mix, counts[0], counts[1], counts[2]
+    );
+    println!(
+        "{:<20} {:>8} {:>8} {:>7} {:>6} {:>10} {:>9} {:>8} {:>9} {:>9}",
+        "policy",
+        "EMU",
+        "min EMU",
+        "viol%",
+        "jobs",
+        "core.s",
+        "delay s",
+        "queued",
+        "preempts",
+        "TCO gain"
+    );
+
+    let mut mean_lc_load = 0.0;
+    let mut total_cores = 0;
+    for kind in PolicyKind::all() {
+        let result = FleetSim::new(config, server.clone(), kind).run();
+        mean_lc_load = result.mean_lc_load();
+        total_cores = result.total_cores();
+        let delay = result.queueing_delay();
+        println!(
+            "{:<20} {:>7.1}% {:>7.1}% {:>6.1}% {:>6} {:>10.0} {:>9.0} {:>8} {:>9} {:>8.1}%",
+            result.policy,
+            result.mean_fleet_emu() * 100.0,
+            result.min_fleet_emu() * 100.0,
+            result.slo_violation_fraction() * 100.0,
+            result.jobs_completed(),
+            result.be_core_s_served(),
+            delay.mean_started_s,
+            delay.censored,
+            result.preemptions(),
+            result.tco_improvement(tco) * 100.0
+        );
+        if csv {
+            println!();
+            print!("{}", result.to_csv());
+            println!();
+            // The job ledger includes censored jobs (still queued at the
+            // end of the run) with their accrued wait — the step CSV alone
+            // would hide the stranded tail.
+            print!("{}", result.jobs_to_csv());
+            println!();
+        }
+    }
+    println!(
+        "  ({} fleet cores; mean LC load without colocation: {:.1}%, core-weighted)",
+        total_cores,
+        mean_lc_load * 100.0
+    );
+    println!();
+}
 
 fn main() {
     let args = Args::from_env();
@@ -31,7 +100,7 @@ fn main() {
 
     println!("Fleet scheduler: BE job placement over per-server Heracles controllers");
     println!(
-        "  servers: {}, BE slots/server: {}, steps: {}, windows/step: {}, seed: {}",
+        "  servers: {}, BE slots/reference server: {}, steps: {}, windows/step: {}, seed: {}",
         config.servers,
         config.be_slots_per_server,
         config.steps,
@@ -44,37 +113,18 @@ fn main() {
         baseline * 100.0
     );
     println!();
-    println!(
-        "{:<20} {:>8} {:>8} {:>7} {:>6} {:>10} {:>9} {:>9} {:>9}",
-        "policy", "EMU", "min EMU", "viol%", "jobs", "core.s", "delay s", "preempts", "TCO gain"
-    );
 
-    let mut mean_lc_load = 0.0;
-    for kind in PolicyKind::all() {
-        let result = FleetSim::new(config, server.clone(), kind).run();
-        mean_lc_load = result.mean_lc_load();
-        println!(
-            "{:<20} {:>7.1}% {:>7.1}% {:>6.1}% {:>6} {:>10.0} {:>9.0} {:>9} {:>8.1}%",
-            result.policy,
-            result.mean_fleet_emu() * 100.0,
-            result.min_fleet_emu() * 100.0,
-            result.slo_violation_fraction() * 100.0,
-            result.jobs_completed(),
-            result.be_core_s_served(),
-            result.mean_queueing_delay_s(),
-            result.preemptions(),
-            result.tco_improvement(&tco) * 100.0
-        );
-        if args.flag("--csv") {
-            println!();
-            print!("{}", result.to_csv());
-            println!();
-        }
+    // With no --mix, sweep homogeneous and mixed back-to-back; with one,
+    // run exactly the requested blend.
+    let mixes: Vec<GenerationMix> =
+        if args.flag("--mix") || !args.value("--mix", String::new()).is_empty() {
+            vec![args.value("--mix", GenerationMix::homogeneous())]
+        } else {
+            vec![GenerationMix::homogeneous(), GenerationMix::mixed_datacenter()]
+        };
+    for mix in mixes {
+        sweep(FleetConfig { mix, ..config }, &server, &tco, args.flag("--csv"));
     }
-    println!();
-    println!(
-        "(mean LC load without colocation: {:.1}%; every policy schedules the identical",
-        mean_lc_load * 100.0
-    );
-    println!(" seeded job stream, so rows are directly comparable.)");
+    println!("(every policy schedules the identical seeded job stream within a mix,");
+    println!(" so rows are directly comparable; EMU and TCO are core-weighted.)");
 }

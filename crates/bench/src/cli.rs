@@ -93,6 +93,32 @@ mod tests {
     }
 
     #[test]
+    fn generation_mixes_parse_via_fromstr() {
+        use heracles_fleet::GenerationMix;
+        let a = args(&["--mix", "0.25:0.25"]);
+        assert_eq!(
+            a.value("--mix", GenerationMix::homogeneous()),
+            GenerationMix::mixed_datacenter()
+        );
+        let b = args(&["--mix=mixed"]);
+        assert_eq!(
+            b.value("--mix", GenerationMix::homogeneous()),
+            GenerationMix::mixed_datacenter()
+        );
+        assert_eq!(
+            args(&[]).value("--mix", GenerationMix::homogeneous()),
+            GenerationMix::homogeneous()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn bad_mix_value_panics() {
+        args(&["--mix", "lots-of-everything"])
+            .value("--mix", heracles_fleet::GenerationMix::homogeneous());
+    }
+
+    #[test]
     #[should_panic(expected = "expects a value")]
     fn trailing_option_without_value_panics() {
         args(&["--leaves"]).value("--leaves", 1usize);

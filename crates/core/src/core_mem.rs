@@ -181,6 +181,21 @@ impl CoreMemoryController {
             return;
         }
 
+        // Rule 3: the pool-size-aware utilization ceiling is enforced
+        // continuously, not only when a core step is tried — growing the BE
+        // cache partition or its bandwidth share inflates LC service times
+        // *after* the last core move passed its projection, and a small LC
+        // pool drifts into its latency knee without any new allocation
+        // event to re-trigger the growth guard.
+        let lc_cores = server.allocations().lc_cores();
+        if measurements.counters.lc_cpu_utilization > Self::utilization_ceiling(lc_cores) + 0.02
+            && be_cores > self.reclaim_keep_cores
+        {
+            self.remove_be_cores(server, 1);
+            self.last_be_progress = measurements.be_progress;
+            return;
+        }
+
         if !self.can_grow || be_cores == 0 {
             self.pending_llc_growth = false;
             self.last_be_progress = measurements.be_progress;
@@ -196,6 +211,19 @@ impl CoreMemoryController {
             }
         }
         self.last_be_progress = measurements.be_progress;
+    }
+
+    /// The LC pool utilization beyond which one more BE core is never
+    /// taken, as a function of the pool size *after* the step.
+    ///
+    /// The paper's 85% guard is calibrated for the wide pools of a 36-core
+    /// Haswell; by square-root staffing, a small pool hits its latency knee
+    /// at lower utilization (a tail burst has fewer servers to drain it),
+    /// which is exactly where the coarse one-core-at-a-time granularity of
+    /// a 16-core box would otherwise overshoot — so the ceiling backs off
+    /// as `1 - 0.55/sqrt(cores)`, capped at the paper's 85% for wide pools.
+    fn utilization_ceiling(cores: usize) -> f64 {
+        (1.0 - 0.55 / (cores.max(1) as f64).sqrt()).min(0.85)
     }
 
     fn lc_bw_model_gbps(&self, server: &Server, load: f64) -> f64 {
@@ -265,15 +293,19 @@ impl CoreMemoryController {
         }
         // Avoid trying an allocation that would push the LC workload below
         // the growth threshold: project the slack after taking one more core
-        // using the cost observed for previous core-growth steps (assuming a
-        // conservative minimum cost so the last step before the latency knee
-        // is never taken).
-        let projected = slack + self.slack_cost_per_core.min(-0.05);
+        // using the cost observed for previous core-growth steps.  The
+        // assumed minimum cost — which keeps the last step before the
+        // latency knee from ever being taken — scales with the fraction of
+        // the machine one core represents (5% on a 36-core box, as the
+        // paper's machines; proportionally more on a small one, where a
+        // single gradient step is that much coarser).
+        let cost_floor = -(1.8 / server.config().total_cores().max(1) as f64).max(0.05);
+        let projected = slack + self.slack_cost_per_core.min(cost_floor);
         // Project the LC pool's CPU utilization after giving up one more
-        // core; stepping past ~85% utilization would put the LC workload on
-        // the steep part of its latency curve, so such allocations are never
-        // tried (this is the "avoid trying suboptimal allocations" rule of
-        // Algorithm 2 applied to cores).
+        // core; stepping past the pool's utilization ceiling would put the
+        // LC workload on the steep part of its latency curve, so such
+        // allocations are never tried (this is the "avoid trying suboptimal
+        // allocations" rule of Algorithm 2 applied to cores).
         let lc_cores = server.allocations().lc_cores();
         let projected_util = if lc_cores > 1 {
             m.counters.lc_cpu_utilization * lc_cores as f64 / (lc_cores as f64 - 1.0)
@@ -282,7 +314,7 @@ impl CoreMemoryController {
         };
         if slack > self.slack_grow_threshold
             && projected > self.slack_grow_threshold
-            && projected_util < 0.85
+            && projected_util < Self::utilization_ceiling(lc_cores.saturating_sub(1))
         {
             // Keep at least two cores for the LC workload at all times.
             if lc_cores > 2 && self.cpuset.move_lc_to_be(server, 1, 2) > 0 {

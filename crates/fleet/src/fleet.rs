@@ -8,6 +8,15 @@
 //! load range — some servers are colocation-friendly, others are near their
 //! latency knee.
 //!
+//! The fleet may mix hardware generations (a [`GenerationMix`]): each
+//! generation runs its own [`ServerConfig`], serves a traffic share scaled
+//! to its compute capacity (modelling a capacity-weighted front-end load
+//! balancer, so a load fraction always means "fraction of what this box can
+//! serve"), and exposes its core count and DRAM bandwidth to the placement
+//! store.  Fleet-level EMU and the TCO comparison are core-weighted: a
+//! 48-core box at 80% contributes three times the machine time of a 16-core
+//! box at the same fraction.
+//!
 //! Each step the simulator:
 //!
 //! 1. samples every server's LC load from its phase-shifted diurnal trace,
@@ -35,20 +44,24 @@ use heracles_sim::{parallel_map_mut, SimRng, SimTime};
 use heracles_workloads::{BeWorkload, DiurnalTrace, LcWorkload};
 use serde::{Deserialize, Serialize};
 
+use crate::generation::{Generation, GenerationMix};
 use crate::job::{JobQueue, JobStreamConfig};
-use crate::metrics::{FleetEvent, FleetEventKind, FleetResult, FleetStep};
+use crate::metrics::{core_weighted_mean, FleetEvent, FleetEventKind, FleetResult, FleetStep};
 use crate::policy::{
     FirstFit, InterferenceAware, InterferenceModel, LeastLoaded, PlacementPolicy, PolicyKind,
     RandomPlacement,
 };
-use crate::store::{PlacementStore, ServerId};
+use crate::store::{PlacementStore, ServerCapacity, ServerId};
 
 /// Configuration of a fleet run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FleetConfig {
     /// Number of servers in the fleet.
     pub servers: usize,
-    /// BE job slots per server.
+    /// BE job slots per *reference-capacity* (Haswell, 36-core) server.
+    /// Other generations scale this with their core count (rounded, floor
+    /// of one): a 48-core box hosts proportionally more jobs, a 16-core box
+    /// fewer.
     pub be_slots_per_server: usize,
     /// Number of scheduler steps to simulate.
     pub steps: usize,
@@ -60,6 +73,9 @@ pub struct FleetConfig {
     /// (1.0 spreads the fleet across the whole cycle; 0.0 moves every
     /// server in lockstep).
     pub load_spread: f64,
+    /// The blend of hardware generations across the fleet (homogeneous by
+    /// default: every server runs the baseline configuration).
+    pub mix: GenerationMix,
     /// Steps a server may sit occupied with BE disabled before its jobs are
     /// preempted and requeued.
     pub preemption_grace_steps: usize,
@@ -78,6 +94,7 @@ impl Default for FleetConfig {
             windows_per_step: 4,
             seed: 42,
             load_spread: 1.0,
+            mix: GenerationMix::homogeneous(),
             preemption_grace_steps: 2,
             colo: ColoConfig { requests_per_window: 1_200, ..ColoConfig::default() },
             jobs: JobStreamConfig { arrivals_per_step: 5.0, ..JobStreamConfig::default() },
@@ -87,15 +104,27 @@ impl Default for FleetConfig {
 
 impl FleetConfig {
     /// A scaled-down configuration for tests and `--fast` runs.
+    ///
+    /// The window sample count stays at 1500 requests: the p99 estimate of
+    /// a smaller sample is noisy enough that single-window excursions past
+    /// the SLO dominate the violation counts, drowning the placement
+    /// signal the fast configuration exists to demonstrate.
     pub fn fast_test() -> Self {
         FleetConfig {
             servers: 8,
-            steps: 30,
+            steps: 45,
             windows_per_step: 3,
-            colo: ColoConfig { requests_per_window: 900, ..ColoConfig::fast_test() },
-            jobs: JobStreamConfig { arrivals_per_step: 1.5, ..JobStreamConfig::default() },
+            seed: 43,
+            colo: ColoConfig { requests_per_window: 1_500, ..ColoConfig::fast_test() },
+            jobs: JobStreamConfig { arrivals_per_step: 1.0, ..JobStreamConfig::default() },
             ..Self::default()
         }
+    }
+
+    /// The `fast_test` configuration over the mixed-generation datacenter
+    /// (a quarter older boxes, a quarter newer, the rest Haswell).
+    pub fn fast_mixed() -> Self {
+        FleetConfig { mix: GenerationMix::mixed_datacenter(), ..Self::fast_test() }
     }
 }
 
@@ -120,11 +149,49 @@ pub struct FleetSim {
 }
 
 impl FleetSim {
+    /// Per-generation (LC workload, hardware) profiles for the mix.
+    ///
+    /// Every generation serves the same websearch service with its traffic
+    /// share scaled to its compute capacity (the front-end load balancer
+    /// weights traffic by machine capability, so a load fraction keeps
+    /// meaning "fraction of what this box can serve").  Generations absent
+    /// from the mix reuse the baseline profile, which lets the
+    /// characterization and DRAM-model caches collapse them onto the
+    /// baseline cells at zero extra cost.
+    fn generation_profiles(
+        config: &FleetConfig,
+        baseline: &ServerConfig,
+    ) -> Vec<(LcWorkload, ServerConfig)> {
+        let websearch = LcWorkload::websearch();
+        let counts = config.mix.counts(config.servers);
+        let profile_of = |g: Generation| {
+            if g == Generation::Haswell {
+                (websearch.clone(), baseline.clone())
+            } else {
+                let gen_config = g.server_config(baseline);
+                let ratio = gen_config.total_cores() as f64 / baseline.total_cores() as f64;
+                (websearch.scaled_to_capacity(ratio), gen_config)
+            }
+        };
+        // Absent generations borrow the first present generation's profile,
+        // so the characterization / DRAM-model caches collapse them onto
+        // cells that are measured anyway (never an extra sweep).
+        let fallback = Generation::all()
+            .into_iter()
+            .find(|g| counts[g.index()] > 0)
+            .unwrap_or(Generation::Haswell);
+        Generation::all()
+            .into_iter()
+            .map(|g| if counts[g.index()] == 0 { profile_of(fallback) } else { profile_of(g) })
+            .collect()
+    }
+
     /// Creates a fleet under one of the built-in placement policies.
     ///
     /// For [`PolicyKind::InterferenceAware`] this runs the §3.2
     /// characterization cells for the job mix's workloads (in parallel)
-    /// to measure their hostility scores.
+    /// to measure their hostility scores — once per distinct hardware
+    /// generation in the fleet's mix.
     pub fn new(config: FleetConfig, server_config: ServerConfig, policy: PolicyKind) -> Self {
         let policy: Box<dyn PlacementPolicy> = match policy {
             PolicyKind::Random => Box::new(RandomPlacement),
@@ -135,8 +202,7 @@ impl FleetSim {
                     .with_seed(config.seed ^ 0xCAFE);
                 let model = InterferenceModel::characterize(
                     &config.jobs.mix.workloads(),
-                    &LcWorkload::websearch(),
-                    &server_config,
+                    &Self::generation_profiles(&config, &server_config),
                     &probe,
                 );
                 Box::new(InterferenceAware::new(model))
@@ -150,7 +216,7 @@ impl FleetSim {
     /// # Panics
     ///
     /// Panics if `servers`, `be_slots_per_server`, `steps` or
-    /// `windows_per_step` is zero.
+    /// `windows_per_step` is zero, or the generation mix is invalid.
     pub fn with_policy(
         config: FleetConfig,
         server_config: ServerConfig,
@@ -158,30 +224,64 @@ impl FleetSim {
     ) -> Self {
         assert!(config.servers > 0, "a fleet needs at least one server");
         assert!(config.steps > 0 && config.windows_per_step > 0, "steps must be positive");
-        let websearch = LcWorkload::websearch();
-        // One offline DRAM model serves every leaf (the paper shares it
-        // across the cluster too; the controller tolerates the model error).
-        let dram_model = OfflineDramModel::profile(&websearch, &server_config);
+        // The store's admission envelope mirrors the leaf controllers'
+        // load hysteresis; fail fast if the two ever drift apart (placement
+        // would silently dispatch jobs the controllers park at zero
+        // progress — the bug class the admission predicate exists to stop).
+        let leaf_config = HeraclesConfig::fast();
+        assert_eq!(
+            leaf_config.load_enable_threshold,
+            crate::store::ADMISSION_LOAD_CEILING,
+            "admission ceiling desynced from the controllers' enable threshold"
+        );
+        assert_eq!(
+            leaf_config.load_disable_threshold,
+            crate::store::ADMISSION_LOAD_DISABLE,
+            "admission disable line desynced from the controllers' disable threshold"
+        );
+        let generations = config.mix.assignments(config.servers);
+        let profiles = Self::generation_profiles(&config, &server_config);
+        // One offline DRAM model per generation serves all of its leaves
+        // (the paper shares one across the cluster too; the controller
+        // tolerates the model error).  Absent generations get none.
+        let dram_models: Vec<Option<OfflineDramModel>> = Generation::all()
+            .into_iter()
+            .map(|g| {
+                let (lc, gen_config) = &profiles[g.index()];
+                generations.contains(&g).then(|| OfflineDramModel::profile(lc, gen_config))
+            })
+            .collect();
         let runners = (0..config.servers)
             .map(|i| {
-                let leaf_policy: Box<dyn ColocationPolicy> = Box::new(Heracles::new(
-                    HeraclesConfig::fast(),
-                    websearch.slo(),
-                    dram_model.clone(),
-                ));
+                let g = generations[i].index();
+                let (lc, gen_config) = &profiles[g];
+                let dram_model =
+                    dram_models[g].clone().expect("present generations have a DRAM model");
+                let leaf_policy: Box<dyn ColocationPolicy> =
+                    Box::new(Heracles::new(HeraclesConfig::fast(), lc.slo(), dram_model));
                 ColoRunner::new(
-                    server_config.clone(),
-                    websearch.clone(),
+                    gen_config.clone(),
+                    lc.clone(),
                     None,
                     leaf_policy,
                     config.colo.with_seed(config.seed ^ (0xF1EE7 + i as u64 * 7919)),
                 )
             })
             .collect();
+        let capacities: Vec<ServerCapacity> = generations
+            .iter()
+            .map(|g| {
+                ServerCapacity::from_config(
+                    &profiles[g.index()].1,
+                    config.be_slots_per_server,
+                    g.index(),
+                )
+            })
+            .collect();
         FleetSim {
             trace: DiurnalTrace::websearch_12h(config.seed),
             runners,
-            store: PlacementStore::new(config.servers, config.be_slots_per_server),
+            store: PlacementStore::heterogeneous(&capacities),
             queue: JobQueue::new(config.jobs, config.seed),
             policy,
             rng: SimRng::new(config.seed).fork(0x9C4ED),
@@ -235,6 +335,7 @@ impl FleetSim {
     pub fn run(mut self) -> FleetResult {
         let step_duration = self.config.colo.window * self.config.windows_per_step as u64;
         let window_s = self.config.colo.window.as_secs_f64();
+        let server_cores: Vec<usize> = self.store.servers().iter().map(|s| s.cores).collect();
         let mut steps = Vec::with_capacity(self.config.steps);
         let mut events = Vec::new();
         let mut completed_total = 0usize;
@@ -370,12 +471,15 @@ impl FleetSim {
                 self.sync_attachment(id);
             }
 
-            // 7. Record the step.
+            // 7. Record the step.  Utilization aggregates are core-weighted:
+            // on a mixed fleet a big box's windows represent more machine
+            // time than a small box's.
             let n = self.config.servers as f64;
+            let emus: Vec<f64> = observations.iter().map(|o| o.last_emu).collect();
             steps.push(FleetStep {
                 time: now,
-                mean_load: loads.iter().sum::<f64>() / n,
-                fleet_emu: observations.iter().map(|o| o.last_emu).sum::<f64>() / n,
+                mean_load: core_weighted_mean(&loads, &server_cores),
+                fleet_emu: core_weighted_mean(&emus, &server_cores),
                 worst_normalized_latency: observations
                     .iter()
                     .map(|o| o.worst_normalized_latency)
@@ -394,6 +498,7 @@ impl FleetSim {
 
         FleetResult {
             policy: self.policy.name().to_string(),
+            server_cores,
             steps,
             jobs: self.queue.into_jobs(),
             events,
@@ -495,6 +600,21 @@ mod tests {
             assert!(step.fleet_emu >= 0.0 && step.worst_normalized_latency >= 0.0);
             assert!(step.running_jobs <= 4 * 2, "slot capacity exceeded");
         }
+    }
+
+    #[test]
+    fn mixed_fleet_carries_per_generation_capacity_end_to_end() {
+        let cfg = FleetConfig { mix: GenerationMix::mixed_datacenter(), ..tiny() };
+        let result =
+            FleetSim::new(cfg, ServerConfig::default_haswell(), PolicyKind::LeastLoaded).run();
+        // counts(4) = [1, 2, 1]: one Sandy Bridge, two Haswells, one Skylake.
+        let mut cores = result.server_cores.clone();
+        cores.sort_unstable();
+        assert_eq!(cores, vec![16, 36, 36, 48]);
+        assert_eq!(result.total_cores(), 136);
+        assert_eq!(result.steps.len(), 10);
+        assert!(result.mean_fleet_emu() >= result.mean_lc_load());
+        assert!(result.mean_fleet_emu() > 0.0 && result.mean_fleet_emu() <= 2.0);
     }
 
     #[test]

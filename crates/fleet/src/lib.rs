@@ -12,18 +12,24 @@
 //! * [`job`] — the BE job model and the seeded arrival [`JobQueue`]: Poisson
 //!   arrivals, bounded-Pareto core·second demands, workloads drawn from the
 //!   paper's production or evaluation set,
-//! * [`store`] — the [`PlacementStore`]: per-server BE slot occupancy plus
-//!   the live signals the per-server Heracles controllers expose (LC load,
-//!   latency slack, admission verdict, recent EMU),
+//! * [`generation`] — hardware [`Generation`]s and the fleet's
+//!   [`GenerationMix`]: real datacenters mix server generations, so
+//!   placement has to reason about per-server capacity,
+//! * [`store`] — the [`PlacementStore`]: per-server capacity (cores, DRAM
+//!   bandwidth, BE slots derived from core count) and BE slot occupancy
+//!   plus the live signals the per-server Heracles controllers expose (LC
+//!   load, latency slack, admission verdict, recent EMU),
 //! * [`policy`] — pluggable [`PlacementPolicy`] implementations: Random,
 //!   FirstFit, LeastLoaded and InterferenceAware (which consults the §3.2
-//!   interference characterization to keep hostile antagonists away from
-//!   near-knee LC services),
+//!   interference characterization, measured per hardware generation, to
+//!   keep hostile antagonists away from near-knee LC services and
+//!   DRAM-hungry jobs on high-bandwidth boxes),
 //! * [`fleet`] — the [`FleetSim`] discrete-time simulator: dispatch,
 //!   parallel per-server stepping, job completion and preemption/requeue
 //!   when a leaf's controller disables BE,
-//! * [`metrics`] — [`FleetResult`]: BE throughput, queueing delay, fleet
-//!   EMU, SLO violation rate and throughput/TCO via the paper's TCO model.
+//! * [`metrics`] — [`FleetResult`]: BE throughput, queueing delay (with
+//!   censored-job accounting), core-weighted fleet EMU, SLO violation rate
+//!   and throughput/TCO via the paper's TCO model.
 //!
 //! # Example
 //!
@@ -45,16 +51,20 @@
 #![forbid(unsafe_code)]
 
 pub mod fleet;
+pub mod generation;
 pub mod job;
 pub mod metrics;
 pub mod policy;
 pub mod store;
 
 pub use fleet::{single_server_baseline_violations, FleetConfig, FleetSim};
+pub use generation::{Generation, GenerationMix};
 pub use job::{BeJob, JobId, JobMix, JobQueue, JobStreamConfig};
-pub use metrics::{FleetEvent, FleetEventKind, FleetResult, FleetStep};
+pub use metrics::{
+    core_weighted_mean, FleetEvent, FleetEventKind, FleetResult, FleetStep, QueueingDelaySummary,
+};
 pub use policy::{
     FirstFit, InterferenceAware, InterferenceModel, LeastLoaded, PlacementPolicy, PolicyKind,
     RandomPlacement,
 };
-pub use store::{PlacementStore, ServerEntry, ServerId};
+pub use store::{PlacementStore, ServerCapacity, ServerEntry, ServerId};

@@ -8,14 +8,38 @@ use serde::{Deserialize, Serialize};
 use crate::job::{BeJob, JobId};
 use crate::store::ServerId;
 
+/// The mean of per-server `values` weighted by each server's core count.
+///
+/// This is how a heterogeneous fleet aggregates utilization: a 48-core box
+/// at 80% EMU contributes three times the machine time of a 16-core box at
+/// the same fraction, so weighting by cores (rather than counting servers)
+/// keeps fleet EMU meaning "fraction of the fleet's compute doing useful
+/// work".  The result is invariant under duplicating every server, and
+/// reduces to the plain mean on a uniform fleet.  Returns 0.0 for empty
+/// input.
+///
+/// # Panics
+///
+/// Panics if the two slices differ in length.
+pub fn core_weighted_mean(values: &[f64], cores: &[usize]) -> f64 {
+    assert_eq!(values.len(), cores.len(), "one value per server");
+    let total: usize = cores.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    values.iter().zip(cores).map(|(v, &c)| v * c as f64).sum::<f64>() / total as f64
+}
+
 /// One step of a fleet run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FleetStep {
     /// Simulated time at the end of the step.
     pub time: SimTime,
-    /// Mean LC load across the fleet during the step.
+    /// Core-weighted mean LC load across the fleet during the step.
     pub mean_load: f64,
-    /// Mean Effective Machine Utilization across servers (last window).
+    /// Core-weighted mean Effective Machine Utilization across servers
+    /// (last window): the fraction of the fleet's *compute*, not of its
+    /// server count, doing useful work.
     pub fleet_emu: f64,
     /// Worst SLO-normalized tail latency across all servers and windows.
     pub worst_normalized_latency: f64,
@@ -61,12 +85,35 @@ pub struct FleetEvent {
 pub struct FleetResult {
     /// The placement policy that produced this result.
     pub policy: String,
+    /// Physical core count of each server, indexed by server id (the
+    /// capacity weights behind the fleet-level EMU and TCO numbers).
+    pub server_cores: Vec<usize>,
     /// Per-step records.
     pub steps: Vec<FleetStep>,
     /// Every job the arrival stream produced (completed or not).
     pub jobs: Vec<BeJob>,
     /// The full placement/preemption/completion log, in order.
     pub events: Vec<FleetEvent>,
+}
+
+/// Queueing-delay accounting that does not hide jobs still queued at the
+/// end of the run.
+///
+/// Averaging only jobs that started is survivorship bias: an overloaded
+/// configuration strands its worst-waiting jobs in the queue and then
+/// reports a *flattering* mean.  The censored count and accrued wait make
+/// the stranded tail visible.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueingDelaySummary {
+    /// Jobs that started before the run ended.
+    pub started: usize,
+    /// Mean queueing delay of the started jobs, in seconds.
+    pub mean_started_s: f64,
+    /// Jobs still waiting (never started) when the run ended.
+    pub censored: usize,
+    /// Total wait the censored jobs had accrued by the end of the run, in
+    /// seconds — a lower bound on their eventual delay.
+    pub censored_accrued_wait_s: f64,
 }
 
 impl FleetResult {
@@ -115,14 +162,47 @@ impl FleetResult {
         self.steps.iter().map(|s| s.be_progress_core_s).sum()
     }
 
-    /// Mean queueing delay of jobs that started, in seconds (0.0 if none
-    /// started).
+    /// Mean queueing delay of jobs that *started*, in seconds (0.0 if none
+    /// started).  This is a survivorship-biased number on overloaded
+    /// configurations — jobs still queued at the end of the run are not in
+    /// it; use [`queueing_delay`](Self::queueing_delay) for the full
+    /// accounting including the censored tail.
     pub fn mean_queueing_delay_s(&self) -> f64 {
-        let delays: Vec<f64> = self.jobs.iter().filter_map(|j| j.queueing_delay_s()).collect();
-        if delays.is_empty() {
-            return 0.0;
+        self.queueing_delay().mean_started_s
+    }
+
+    /// Full queueing-delay accounting: the mean over started jobs plus the
+    /// count and accrued wait of jobs still queued (censored) when the run
+    /// ended.
+    pub fn queueing_delay(&self) -> QueueingDelaySummary {
+        let end = self.steps.last().map(|s| s.time).unwrap_or(SimTime::ZERO);
+        let mut started = 0usize;
+        let mut started_total = 0.0;
+        let mut censored = 0usize;
+        let mut censored_total = 0.0;
+        for job in &self.jobs {
+            match job.queueing_delay_s() {
+                Some(delay) => {
+                    started += 1;
+                    started_total += delay;
+                }
+                None => {
+                    censored += 1;
+                    censored_total += end.saturating_since(job.arrival).as_secs_f64();
+                }
+            }
         }
-        delays.iter().sum::<f64>() / delays.len() as f64
+        QueueingDelaySummary {
+            started,
+            mean_started_s: if started > 0 { started_total / started as f64 } else { 0.0 },
+            censored,
+            censored_accrued_wait_s: censored_total,
+        }
+    }
+
+    /// Total core capacity of the fleet.
+    pub fn total_cores(&self) -> usize {
+        self.server_cores.iter().sum()
     }
 
     /// Total preemptions across all jobs.
@@ -159,6 +239,40 @@ impl FleetResult {
                 s.running_jobs,
                 s.completed_jobs,
                 s.be_progress_core_s
+            ));
+        }
+        out
+    }
+
+    /// Renders the job ledger as a CSV document, one row per job the stream
+    /// produced — *including* jobs still queued when the run ended
+    /// (`censored = 1`, empty start/completion columns, and their accrued
+    /// wait in `queue_wait_s`), so the export carries the same censored-tail
+    /// information as [`queueing_delay`](Self::queueing_delay).
+    pub fn jobs_to_csv(&self) -> String {
+        let end = self.steps.last().map(|s| s.time).unwrap_or(SimTime::ZERO);
+        let fmt_opt =
+            |t: Option<SimTime>| t.map(|t| format!("{:.3}", t.as_secs_f64())).unwrap_or_default();
+        let mut out = String::from(
+            "job,kind,demand_core_s,arrival_s,first_start_s,completion_s,queue_wait_s,\
+             preemptions,censored\n",
+        );
+        for job in &self.jobs {
+            let censored = job.first_start.is_none();
+            let wait = job
+                .queueing_delay_s()
+                .unwrap_or_else(|| end.saturating_since(job.arrival).as_secs_f64());
+            out.push_str(&format!(
+                "{},{},{:.3},{:.3},{},{},{:.3},{},{}\n",
+                job.id,
+                job.workload.name(),
+                job.demand_core_s,
+                job.arrival.as_secs_f64(),
+                fmt_opt(job.first_start),
+                fmt_opt(job.completion),
+                wait,
+                job.preemptions,
+                usize::from(censored)
             ));
         }
         out
@@ -200,6 +314,7 @@ mod tests {
     fn empty() -> FleetResult {
         FleetResult {
             policy: "test".into(),
+            server_cores: Vec::new(),
             steps: Vec::new(),
             jobs: Vec::new(),
             events: Vec::new(),
@@ -249,5 +364,52 @@ mod tests {
         assert_eq!(lines.len(), 2);
         let columns = lines[0].split(',').count();
         assert_eq!(lines[1].split(',').count(), columns);
+    }
+
+    #[test]
+    fn core_weighted_mean_weights_by_capacity() {
+        // A 48-core box at 0.9 and a 16-core box at 0.3:
+        // (48*0.9 + 16*0.3) / 64 = 0.75, not the plain mean 0.6.
+        let weighted = core_weighted_mean(&[0.9, 0.3], &[48, 16]);
+        assert!((weighted - 0.75).abs() < 1e-12);
+        // Uniform fleets reduce to the plain mean.
+        let plain = core_weighted_mean(&[0.9, 0.3], &[36, 36]);
+        assert!((plain - 0.6).abs() < 1e-12);
+        // Empty input is 0, not NaN.
+        assert_eq!(core_weighted_mean(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn queueing_delay_reports_the_censored_tail() {
+        let mut r = empty();
+        r.steps = vec![FleetStep { time: SimTime::from_secs(100), ..step(0.8, 0.5, 0.0, 0.0) }];
+        let mut started = job(0);
+        started.arrival = SimTime::from_secs(10);
+        started.first_start = Some(SimTime::from_secs(16));
+        // Job 1 arrived at t=40 and never started: 60 s of accrued wait the
+        // old mean silently dropped.
+        let mut stranded = job(1);
+        stranded.arrival = SimTime::from_secs(40);
+        r.jobs = vec![started, stranded];
+
+        let summary = r.queueing_delay();
+        assert_eq!(summary.started, 1);
+        assert!((summary.mean_started_s - 6.0).abs() < 1e-12);
+        assert_eq!(summary.censored, 1);
+        assert!((summary.censored_accrued_wait_s - 60.0).abs() < 1e-12);
+        // The convenience mean still reports only started jobs.
+        assert!((r.mean_queueing_delay_s() - 6.0).abs() < 1e-12);
+
+        // The jobs CSV carries the censored job with its accrued wait.
+        let csv = r.jobs_to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let header_cols = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), header_cols, "{line}");
+        }
+        assert!(lines[1].ends_with(",0"), "started job marked censored: {}", lines[1]);
+        assert!(lines[2].ends_with(",1"), "stranded job not marked censored: {}", lines[2]);
+        assert!(lines[2].contains("60.000"), "accrued wait missing: {}", lines[2]);
     }
 }

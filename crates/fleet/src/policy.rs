@@ -3,25 +3,33 @@
 //! All four policies see the same [`PlacementStore`] table; they differ in
 //! how much of it they use:
 //!
-//! * [`RandomPlacement`] — any server with a free slot, chosen uniformly.
-//!   The naive baseline: it ignores the controllers entirely, so it keeps
-//!   feeding jobs to servers whose Heracles instance is about to squeeze
-//!   them back out.
+//! * [`RandomPlacement`] — any server with a free slot whose controller has
+//!   not disabled BE, chosen uniformly.  The naive baseline: it ignores
+//!   load, slack and interference entirely, but even a naive scheduler does
+//!   not dispatch onto a server that advertises "BE disabled" — a job
+//!   placed there sits at zero progress until it burns its preemption
+//!   grace.
 //! * [`FirstFit`] — the lowest-numbered server where the job *fits*, where
 //!   fitting means a free slot on a server healthy enough to admit BE work
 //!   (positive latency slack, per [`ServerEntry::admits_be`]).  This is the
 //!   classic packing heuristic of cluster placement stores, with the
 //!   admission verdict standing in for the capacity check.
-//! * [`LeastLoaded`] — among admitting servers, the one with the lowest
-//!   current LC load (most headroom for the sub-controllers to grow the BE
-//!   share).
+//! * [`LeastLoaded`] — among admitting servers, the one offering a new job
+//!   the most *marginal headroom in absolute cores* (free capacity split
+//!   with the resident jobs).  On a uniform fleet this is classic
+//!   least-loaded placement; on a mixed fleet it is what capacity
+//!   awareness means: a 48-core box at 40% load outranks a 16-core box at
+//!   30%.
 //! * [`InterferenceAware`] — additionally consults the §3.2 interference
-//!   characterization and the store's load trend: a job whose workload
+//!   characterization (measured per hardware generation: the same
+//!   antagonist that devastates a low-bandwidth Sandy Bridge box can be
+//!   benign on a Skylake) and the store's load trend: a job whose workload
 //!   devastates a near-knee LC service (stream-DRAM, streetview, …) is
 //!   steered onto servers far from their latency knee (and projected to
-//!   stay there), benign jobs fill moderately loaded servers, and
-//!   same-kind jobs are chained onto one server so a successor inherits
-//!   the grown BE allocation without a conservative controller restart.
+//!   stay there), DRAM-hungry jobs prefer high-bandwidth generations,
+//!   benign jobs fill moderately loaded servers, and same-kind jobs are
+//!   chained onto one server so a successor inherits the grown BE
+//!   allocation without a conservative controller restart.
 
 use std::collections::HashMap;
 
@@ -32,7 +40,7 @@ use heracles_sim::{parallel_map, SimRng};
 use heracles_workloads::{BeKind, BeWorkload, LcWorkload};
 
 use crate::job::BeJob;
-use crate::store::{PlacementStore, ServerId};
+use crate::store::{PlacementStore, ServerEntry, ServerId, REFERENCE_DRAM_GBPS};
 
 /// A fleet-level policy deciding which server hosts a BE job.
 ///
@@ -54,7 +62,8 @@ pub enum PolicyKind {
     Random,
     /// Lowest-numbered admitting server.
     FirstFit,
-    /// Admitting server with the lowest LC load.
+    /// Admitting server with the most marginal headroom (absolute free
+    /// cores split with resident jobs).
     LeastLoaded,
     /// Interference-characterization-guided placement.
     InterferenceAware,
@@ -98,7 +107,10 @@ impl std::str::FromStr for PolicyKind {
     }
 }
 
-/// Uniform choice over servers with a free slot.
+/// Uniform choice over servers with a free slot whose controller currently
+/// allows BE execution.  Deliberately blind to load, slack, trend and
+/// interference — but not to the controller's hard "BE disabled" verdict,
+/// which no real dispatcher would ignore.
 #[derive(Debug, Default)]
 pub struct RandomPlacement;
 
@@ -113,8 +125,12 @@ impl PlacementPolicy for RandomPlacement {
         store: &PlacementStore,
         rng: &mut SimRng,
     ) -> Option<ServerId> {
-        let candidates: Vec<ServerId> =
-            store.servers().iter().filter(|s| s.has_free_slot()).map(|s| s.id).collect();
+        let candidates: Vec<ServerId> = store
+            .servers()
+            .iter()
+            .filter(|s| s.has_free_slot() && s.be_admitted)
+            .map(|s| s.id)
+            .collect();
         if candidates.is_empty() {
             None
         } else {
@@ -142,26 +158,44 @@ impl PlacementPolicy for FirstFit {
     }
 }
 
-/// Admitting server with the lowest effective load: current LC load plus a
-/// penalty per already-resident BE job.
+/// Admitting server with the most *marginal headroom* for a new job: the
+/// server's free compute in absolute cores, split across the jobs that
+/// would share its BE slice.
 ///
-/// The occupancy penalty matters because resident jobs share their server's
-/// BE slice — the marginal throughput of a second job on an occupied server
-/// is far below that of a first job on an empty one, so the policy fills
-/// empty servers before doubling up.
+/// On a uniform fleet this reduces to classic least-loaded placement (the
+/// lowest LC load wins).  On a mixed fleet the ranking is where capacity
+/// awareness earns its keep: a 48-core box at 40% load has far more
+/// machine time to give a job than a 16-core box at 30%, so ranking by
+/// load *fraction* — the homogeneous habit — systematically wastes the big
+/// boxes.  Dividing by `1 + residents` folds in the occupancy cost:
+/// resident jobs share their server's BE slice, so the marginal throughput
+/// of joining an occupied server shrinks with each incumbent.
 #[derive(Debug, Default)]
 pub struct LeastLoaded;
 
-/// Effective-load penalty per resident BE job (shared by [`LeastLoaded`] and
-/// [`InterferenceAware`]): a resident job claims about as much of the
-/// server's headroom as a fully loaded LC service would.
-const OCCUPANCY_PENALTY: f64 = 0.75;
+/// How far ahead [`LeastLoaded`] projects the load trend when ranking
+/// headroom: far enough that a server climbing towards its peak loses
+/// against one descending from it, shorter than [`InterferenceAware`]'s
+/// horizon (which also prices the controller's ramp-up investment).
+const LEAST_LOADED_TREND_HORIZON: f64 = 4.0;
 
-/// [`InterferenceAware`]'s reduced occupancy penalty when the incumbent BE
+/// The marginal free compute (in cores) a new job would enjoy on a server:
+/// the capacity the LC service is not projected to use, split with the
+/// effective crowd sharing the BE slice.
+///
+/// Floored at half a core: when a server's projected load pins at 1.0 the
+/// raw headroom is zero for *every* such server, and a hard zero would
+/// erase all remaining discrimination (crowding here, and the multiplied
+/// interference/affinity factors in [`InterferenceAware`]'s score).
+fn marginal_headroom_cores(server: &ServerEntry, projected_load: f64, crowd: f64) -> f64 {
+    (server.cores as f64 * (1.0 - projected_load)).max(0.5) / (1.0 + crowd)
+}
+
+/// [`InterferenceAware`]'s occupancy discount when the incumbent BE
 /// workload is of the same kind as the job being placed (kind-affinity: the
 /// newcomer shares, then inherits, the grown allocation with no controller
-/// restart).
-const SAME_KIND_OCCUPANCY_PENALTY: f64 = 0.25;
+/// restart, so the effective crowd is smaller than the head count).
+const SAME_KIND_OCCUPANCY_DISCOUNT: f64 = 0.25;
 
 impl PlacementPolicy for LeastLoaded {
     fn name(&self) -> &str {
@@ -178,62 +212,116 @@ impl PlacementPolicy for LeastLoaded {
             .servers()
             .iter()
             .filter(|s| s.admits_be())
-            .min_by(|a, b| {
-                let load_a = a.lc_load + OCCUPANCY_PENALTY * a.resident.len() as f64;
-                let load_b = b.lc_load + OCCUPANCY_PENALTY * b.resident.len() as f64;
-                load_a.partial_cmp(&load_b).expect("loads are finite").then(a.id.cmp(&b.id))
+            .max_by(|a, b| {
+                let headroom = |s: &ServerEntry| {
+                    marginal_headroom_cores(
+                        s,
+                        s.projected_load(LEAST_LOADED_TREND_HORIZON),
+                        s.resident.len() as f64,
+                    )
+                };
+                headroom(a)
+                    .partial_cmp(&headroom(b))
+                    .expect("headroom is finite")
+                    .then(b.id.cmp(&a.id))
             })
             .map(|s| s.id)
     }
 }
 
 /// How hostile each BE workload is to a colocated LC service, measured from
-/// the paper's §3.2 interference characterization (Figure 1).
+/// the paper's §3.2 interference characterization (Figure 1), per hardware
+/// generation.
 ///
-/// Each workload is run as an antagonist against the LC workload at 20%
-/// load with the characterization's fixed layouts; the amount by which the
-/// resulting tail latency overshoots the SLO is the hostility score (0 for
-/// workloads that leave the SLO intact, ~1+ for DRAM streaming).  Low load
-/// is where Figure 1 separates the antagonists most sharply — the
-/// antagonist holds most of the machine, so the damage it can do is fully
-/// expressed.
+/// Each workload is run as an antagonist against the generation's LC
+/// workload at 20% load with the characterization's fixed layouts; the
+/// amount by which the resulting tail latency overshoots the SLO is the
+/// hostility score (0 for workloads that leave the SLO intact, ~1+ for DRAM
+/// streaming).  Low load is where Figure 1 separates the antagonists most
+/// sharply — the antagonist holds most of the machine, so the damage it can
+/// do is fully expressed.
+///
+/// On a heterogeneous fleet the cells are re-run per *distinct*
+/// [`ServerConfig`]: the same antagonist saturates a low-bandwidth Sandy
+/// Bridge long before it dents a Skylake.  Generations sharing a hardware
+/// configuration share one characterization run (the cells are cached by
+/// config, not by generation index).
 #[derive(Debug, Clone, PartialEq)]
 pub struct InterferenceModel {
-    hostility: HashMap<BeKind, f64>,
+    /// Measured scores, keyed by (generation index, workload kind).
+    hostility: HashMap<(usize, BeKind), f64>,
+    /// Generation-independent scores (from [`from_scores`]); consulted when
+    /// a (generation, kind) pair was never measured.
+    ///
+    /// [`from_scores`]: InterferenceModel::from_scores
+    uniform: HashMap<BeKind, f64>,
 }
 
 impl InterferenceModel {
     /// Load at which the characterization cells are measured.
     const PROBE_LOAD: f64 = 0.2;
 
-    /// Measures hostility scores for `kinds` against `lc` by running the
-    /// characterization cells (in parallel — they are independent).
+    /// Measures hostility scores for `kinds` against each generation's LC
+    /// workload and hardware configuration, running one characterization
+    /// per *distinct* `ServerConfig` (duplicate configurations share the
+    /// measurement) with all cells in parallel.
     pub fn characterize(
         kinds: &[BeWorkload],
-        lc: &LcWorkload,
-        server: &ServerConfig,
+        generations: &[(LcWorkload, ServerConfig)],
         colo: &ColoConfig,
     ) -> Self {
-        let cells = parallel_map(kinds, |w| {
-            (w.kind(), characterize_cell(lc, w, Self::PROBE_LOAD, server, colo))
-        });
-        let hostility = cells
-            .into_iter()
-            .map(|(kind, cell)| (kind, (cell.normalized_latency - 1.0).max(0.0)))
+        // Cache: point each generation at the first generation with an
+        // equal (workload, hardware) pair, and only measure those.
+        let source_of: Vec<usize> = generations
+            .iter()
+            .enumerate()
+            .map(|(g, (lc, config))| {
+                generations[..g]
+                    .iter()
+                    .position(|(plc, pconfig)| pconfig == config && plc == lc)
+                    .unwrap_or(g)
+            })
             .collect();
-        InterferenceModel { hostility }
+        let cells: Vec<(usize, BeWorkload)> = source_of
+            .iter()
+            .enumerate()
+            .filter(|&(g, &source)| g == source)
+            .flat_map(|(g, _)| kinds.iter().map(move |w| (g, w.clone())))
+            .collect();
+        let measured: HashMap<(usize, BeKind), f64> = parallel_map(&cells, |(gen, w)| {
+            let (lc, config) = &generations[*gen];
+            let cell = characterize_cell(lc, w, Self::PROBE_LOAD, config, colo);
+            ((*gen, w.kind()), (cell.normalized_latency - 1.0).max(0.0))
+        })
+        .into_iter()
+        .collect();
+        let hostility = source_of
+            .iter()
+            .enumerate()
+            .flat_map(|(gen, &source)| {
+                let measured = &measured;
+                kinds.iter().map(move |w| ((gen, w.kind()), measured[&(source, w.kind())]))
+            })
+            .collect();
+        InterferenceModel { hostility, uniform: HashMap::new() }
     }
 
-    /// A model built from explicit scores (used by tests and callers that
-    /// already have characterization data).
+    /// A model built from explicit generation-independent scores (used by
+    /// tests and callers that already have characterization data).
     pub fn from_scores(scores: impl IntoIterator<Item = (BeKind, f64)>) -> Self {
-        InterferenceModel { hostility: scores.into_iter().collect() }
+        InterferenceModel { hostility: HashMap::new(), uniform: scores.into_iter().collect() }
     }
 
-    /// The hostility score of a BE kind.  Unknown kinds get a cautious
-    /// middle-of-the-road score rather than zero.
-    pub fn hostility(&self, kind: BeKind) -> f64 {
-        self.hostility.get(&kind).copied().unwrap_or(0.5)
+    /// The hostility score of a BE kind on a given hardware generation.
+    /// Unmeasured (generation, kind) pairs fall back to the
+    /// generation-independent scores, then to a cautious middle-of-the-road
+    /// 0.5 rather than zero.
+    pub fn hostility(&self, generation: usize, kind: BeKind) -> f64 {
+        self.hostility
+            .get(&(generation, kind))
+            .or_else(|| self.uniform.get(&kind))
+            .copied()
+            .unwrap_or(0.5)
     }
 }
 
@@ -260,6 +348,11 @@ pub struct InterferenceAware {
     trend_horizon: f64,
 }
 
+/// Weight of the DRAM-bandwidth affinity factor: the fractional headroom
+/// bonus a fully memory-bound job sees on a generation with twice the
+/// reference bandwidth (and the matching malus below it).
+const DRAM_AFFINITY_WEIGHT: f64 = 0.4;
+
 impl InterferenceAware {
     /// Creates the policy from a measured interference model.
     pub fn new(model: InterferenceModel) -> Self {
@@ -271,31 +364,48 @@ impl InterferenceAware {
         &self.model
     }
 
-    fn score(&self, pressure: f64, kind: BeKind, server: &crate::store::ServerEntry) -> f64 {
-        // Prefer empty, lightly loaded servers whose load is not climbing;
-        // punish pairing hostility with a near-knee service super-linearly
-        // so hostile jobs sort onto the emptiest servers while benign jobs
-        // fill the middle of the fleet, and sort servers projected past the
-        // controller's re-enable threshold (a looming disable, hence a
-        // wasted ramp) last for every job.  These are soft preferences, not
-        // gates: with every server defended by its own Heracles controller,
-        // a mediocre placement still beats holding the job at zero progress.
+    /// How desirable `server` is for `job` (higher is better).
+    fn score(&self, job: &BeJob, server: &ServerEntry) -> f64 {
+        // The base currency is marginal headroom in absolute cores — what
+        // the job would actually get to grow into — computed against the
+        // *projected* load: a placement is an investment (the controller
+        // ramps the BE share from one core), so what matters is where the
+        // server's diurnal trajectory will be while the ramp amortises.
         //
         // Sharing a server is much cheaper with a job of the same kind: the
         // newcomer rides the already-grown BE allocation and inherits it
         // seamlessly when the incumbent finishes, instead of forcing a
         // conservative controller restart — so kind-affinity discounts the
-        // occupancy penalty.
-        let occupancy = if server.attached_kind == Some(kind) {
-            SAME_KIND_OCCUPANCY_PENALTY
-        } else {
-            OCCUPANCY_PENALTY
-        };
+        // effective crowd.
+        //
+        // The headroom is then shaded by interference: hostility is the
+        // *generation's* measured score (the same antagonist can saturate a
+        // low-bandwidth older box and leave a newer one healthy), and
+        // pairing a hostile job with a near-knee service — or any job with
+        // a server projected past the controller's re-enable threshold (a
+        // looming disable, hence a wasted ramp) — divides the value away.
+        // DRAM-hungry jobs additionally prefer high-bandwidth generations,
+        // where their progress is not bandwidth-capped and their contention
+        // hurts the colocated LC service least.  These are soft
+        // preferences, not gates: with every server defended by its own
+        // Heracles controller, a mediocre placement still beats holding the
+        // job at zero progress.
+        let kind = job.workload.kind();
+        let hostility = self.model.hostility(server.generation, kind);
+        let pressure = hostility / (1.0 + hostility);
         let projected = server.projected_load(self.trend_horizon);
-        projected
-            + occupancy * server.resident.len() as f64
-            + pressure * (projected - self.knee_load).max(0.0) * 4.0
-            + (projected - crate::store::ADMISSION_LOAD_CEILING).max(0.0) * 10.0
+        let crowd = if server.attached_kind == Some(kind) {
+            SAME_KIND_OCCUPANCY_DISCOUNT * server.resident.len() as f64
+        } else {
+            server.resident.len() as f64
+        };
+        let headroom = marginal_headroom_cores(server, projected, crowd);
+        let knee_penalty = pressure * (projected - self.knee_load).max(0.0) * 4.0
+            + (projected - crate::store::ADMISSION_LOAD_DISABLE).max(0.0) * 10.0;
+        let bandwidth_ratio = server.dram_peak_gbps / REFERENCE_DRAM_GBPS;
+        let dram_affinity =
+            1.0 + DRAM_AFFINITY_WEIGHT * job.workload.memory_intensity() * (bandwidth_ratio - 1.0);
+        headroom * dram_affinity.max(0.1) / (1.0 + knee_penalty)
     }
 }
 
@@ -310,17 +420,15 @@ impl PlacementPolicy for InterferenceAware {
         store: &PlacementStore,
         _rng: &mut SimRng,
     ) -> Option<ServerId> {
-        let hostility = self.model.hostility(job.workload.kind());
-        let pressure = hostility / (1.0 + hostility);
         store
             .servers()
             .iter()
             .filter(|s| s.admits_be())
-            .min_by(|a, b| {
-                self.score(pressure, job.workload.kind(), a)
-                    .partial_cmp(&self.score(pressure, job.workload.kind(), b))
+            .max_by(|a, b| {
+                self.score(job, a)
+                    .partial_cmp(&self.score(job, b))
                     .expect("scores are finite")
-                    .then(a.id.cmp(&b.id))
+                    .then(b.id.cmp(&a.id))
             })
             .map(|s| s.id)
     }
@@ -329,6 +437,7 @@ impl PlacementPolicy for InterferenceAware {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::ServerCapacity;
     use heracles_sim::SimTime;
     use heracles_workloads::BeWorkload;
 
@@ -364,9 +473,11 @@ mod tests {
     }
 
     #[test]
-    fn random_uses_any_free_slot_even_unhealthy() {
+    fn random_uses_any_admitted_free_slot_even_unhealthy() {
         let mut store = store();
-        store.observe(0, SimTime::from_secs(2), -0.5, 0.7, 0.0, false);
+        // Server 0: terrible slack but BE still enabled — Random doesn't
+        // care about slack, so it stays a candidate.
+        store.observe(0, SimTime::from_secs(2), -0.5, 0.7, 0.0, true);
         let mut rng = SimRng::new(1);
         let mut hits = [0usize; 3];
         for _ in 0..300 {
@@ -375,8 +486,17 @@ mod tests {
                 .expect("slots are free");
             hits[s] += 1;
         }
-        // The unhealthy server 0 is still a candidate for Random.
         assert!(hits.iter().all(|&h| h > 50), "{hits:?}");
+
+        // But a controller that has *disabled* BE takes its server out of
+        // the draw: a job placed there cannot run at all.
+        store.observe(0, SimTime::from_secs(3), 0.5, 0.7, 0.0, false);
+        for _ in 0..100 {
+            let s = RandomPlacement
+                .place(&job_of(BeWorkload::brain()), &store, &mut rng)
+                .expect("servers 1 and 2 admit");
+            assert_ne!(s, 0, "random placed onto a BE-disabled server");
+        }
     }
 
     #[test]
@@ -384,8 +504,8 @@ mod tests {
         let mut store = store();
         let mut rng = SimRng::new(1);
         assert_eq!(FirstFit.place(&job_of(BeWorkload::brain()), &store, &mut rng), Some(0));
-        // Server 0 loses its slack: first fit moves on to server 1.
-        store.observe(0, SimTime::from_secs(2), 0.01, 0.7, 0.0, true);
+        // Server 0 loses its slack entirely: first fit moves on to server 1.
+        store.observe(0, SimTime::from_secs(2), -0.05, 0.7, 0.0, true);
         assert_eq!(FirstFit.place(&job_of(BeWorkload::brain()), &store, &mut rng), Some(1));
         // Fill every slot: nothing fits.
         store.place(10, 1);
@@ -410,22 +530,25 @@ mod tests {
         // fleet.
         assert_eq!(policy.place(&job_of(BeWorkload::stream_dram()), &store(), &mut rng), Some(1));
 
-        // Two servers: a near-knee empty one (0.78) vs a lightly loaded one
-        // already hosting a job (0.30).  A benign job takes the empty
-        // near-knee server; a hostile antagonist accepts sharing the calm
-        // server instead of sitting next to a near-knee LC service.
-        let mut divided = PlacementStore::new(2, 2);
-        for (id, load) in [(0, 0.78), (1, 0.30)] {
+        // Two servers: a near-knee empty one (0.79) vs a moderately loaded
+        // one (0.40) already hosting two jobs.  A benign job takes the
+        // empty near-knee server (more marginal headroom); the hostile
+        // antagonist accepts sharing the calm server instead of sitting
+        // next to a near-knee LC service.
+        let slots = ServerCapacity::reference(3);
+        let mut divided = PlacementStore::heterogeneous(&[slots, slots]);
+        for (id, load) in [(0, 0.79), (1, 0.40)] {
             divided.set_load(id, load);
             divided.observe(id, SimTime::from_secs(1), 0.4, load, 0.0, true);
         }
         divided.place(20, 1);
+        divided.place(21, 1);
         assert_eq!(policy.place(&job_of(BeWorkload::llc_small()), &divided, &mut rng), Some(0));
         assert_eq!(policy.place(&job_of(BeWorkload::stream_dram()), &divided, &mut rng), Some(1));
 
         // The policy never holds a placeable job: when only the near-knee
         // server has a slot, even the antagonist goes there.
-        divided.place(21, 1);
+        divided.place(22, 1);
         assert_eq!(policy.place(&job_of(BeWorkload::stream_dram()), &divided, &mut rng), Some(0));
     }
 
@@ -433,15 +556,84 @@ mod tests {
     fn characterized_model_ranks_dram_streaming_above_small_llc() {
         let model = InterferenceModel::characterize(
             &[BeWorkload::stream_dram(), BeWorkload::llc_small()],
-            &LcWorkload::websearch(),
-            &ServerConfig::default_haswell(),
+            &[(LcWorkload::websearch(), ServerConfig::default_haswell())],
             &ColoConfig::fast_test(),
         );
-        let dram = model.hostility(BeKind::StreamDram);
-        let small = model.hostility(BeKind::LlcSmall);
+        let dram = model.hostility(0, BeKind::StreamDram);
+        let small = model.hostility(0, BeKind::LlcSmall);
         assert!(dram > 0.5, "stream-DRAM hostility {dram:.2}");
         assert!(dram > small, "dram {dram:.2} <= llc_small {small:.2}");
-        // Unknown kinds get the cautious default.
-        assert_eq!(model.hostility(BeKind::Iperf), 0.5);
+        // Unknown kinds and unmeasured generations get the cautious default.
+        assert_eq!(model.hostility(0, BeKind::Iperf), 0.5);
+        assert_eq!(model.hostility(7, BeKind::Iperf), 0.5);
+    }
+
+    #[test]
+    fn characterization_is_cached_per_distinct_config() {
+        let ws = LcWorkload::websearch();
+        let haswell = ServerConfig::default_haswell();
+        // Three generations, two of them identical hardware: the duplicates
+        // must share one measurement exactly.
+        let model = InterferenceModel::characterize(
+            &[BeWorkload::stream_dram()],
+            &[
+                (ws.clone(), haswell.clone()),
+                (ws.scaled_to_capacity(0.5), ServerConfig::small_test()),
+                (ws.clone(), haswell.clone()),
+            ],
+            &ColoConfig::fast_test(),
+        );
+        assert_eq!(
+            model.hostility(0, BeKind::StreamDram),
+            model.hostility(2, BeKind::StreamDram),
+            "duplicate configs did not share the cached cell"
+        );
+        // The smaller, lower-bandwidth box sees a different (not cached)
+        // score than the Haswell.
+        assert_ne!(model.hostility(0, BeKind::StreamDram), model.hostility(1, BeKind::StreamDram));
+    }
+
+    #[test]
+    fn dram_hungry_jobs_prefer_high_bandwidth_generations() {
+        let mut rng = SimRng::new(1);
+        let model = InterferenceModel::from_scores([(BeKind::Streetview, 5.0)]);
+        let mut policy = InterferenceAware::new(model);
+        // Two servers with identical core counts and loads, differing only
+        // in DRAM bandwidth, so the bandwidth-affinity factor is the only
+        // discriminator.
+        let slow = ServerCapacity { cores: 36, dram_peak_gbps: 80.0, be_slots: 2, generation: 0 };
+        let fast = ServerCapacity { cores: 36, dram_peak_gbps: 200.0, be_slots: 2, generation: 2 };
+        let mut store = PlacementStore::heterogeneous(&[slow, fast]);
+        for id in 0..2 {
+            store.set_load(id, 0.4);
+            store.observe(id, SimTime::from_secs(1), 0.5, 0.4, 0.0, true);
+        }
+        // streetview hammers DRAM: it goes to the high-bandwidth box.
+        assert_eq!(policy.place(&job_of(BeWorkload::streetview()), &store, &mut rng), Some(1));
+        // A job with zero memory intensity has no bandwidth preference; the
+        // tie breaks by id to the first admitting server.
+        assert_eq!(policy.place(&job_of(BeWorkload::spinloop()), &store, &mut rng), Some(0));
+    }
+
+    #[test]
+    fn least_loaded_ranks_by_absolute_headroom_not_load_fraction() {
+        let mut rng = SimRng::new(1);
+        let small = ServerCapacity { cores: 16, dram_peak_gbps: 80.0, be_slots: 3, generation: 0 };
+        let big = ServerCapacity { cores: 48, dram_peak_gbps: 200.0, be_slots: 3, generation: 2 };
+        let mut store = PlacementStore::heterogeneous(&[small, big]);
+        store.set_load(0, 0.30);
+        store.set_load(1, 0.40);
+        for id in 0..2 {
+            store.observe(id, SimTime::from_secs(1), 0.5, 0.3, 0.0, true);
+        }
+        // Load-fraction thinking would pick the 30%-loaded small box; in
+        // absolute terms the 40%-loaded big box offers 28.8 free cores
+        // against 11.2.
+        assert_eq!(LeastLoaded.place(&job_of(BeWorkload::brain()), &store, &mut rng), Some(1));
+        // Crowding shrinks the big box's marginal share: with two residents
+        // it offers 28.8/3 = 9.6 cores, so the empty small box (11.2) wins.
+        store.place(40, 1);
+        store.place(41, 1);
+        assert_eq!(LeastLoaded.place(&job_of(BeWorkload::brain()), &store, &mut rng), Some(0));
     }
 }

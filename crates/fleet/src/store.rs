@@ -8,6 +8,7 @@
 //! controller over the most recent step.  Placement policies read this table;
 //! the fleet simulator is the only writer.
 
+use heracles_hw::ServerConfig;
 use heracles_sim::SimTime;
 use heracles_workloads::BeKind;
 use serde::{Deserialize, Serialize};
@@ -17,21 +18,102 @@ use crate::job::JobId;
 /// Identifier of a server within the fleet (dense, starting at 0).
 pub type ServerId = usize;
 
-/// Latency slack below which a server is considered too close to its SLO to
-/// accept new BE work (the same 5% floor at which the paper's Algorithm 1
-/// starts reclaiming BE cores).
-pub const ADMISSION_SLACK_FLOOR: f64 = 0.05;
+/// Core count of the reference (Haswell) generation: the yardstick against
+/// which per-server capacity is normalized — BE slot counts and the
+/// policies' occupancy penalties both scale with `cores / REFERENCE_CORES`.
+pub const REFERENCE_CORES: usize = 36;
 
-/// LC load at or above which placement is futile: the paper's controller
-/// only (re-)enables BE execution below 80% load, so a job placed on a
-/// hotter server sits disabled until it is preempted.
+/// Peak DRAM bandwidth of the reference (Haswell) generation, in GB/s.
+pub const REFERENCE_DRAM_GBPS: f64 = 120.0;
+
+/// Latency slack at or below which a server is considered too close to its
+/// SLO to accept new BE work.
+///
+/// Heracles deliberately runs servers *hot*: a websearch leaf at ~80% load
+/// under its controller settles a few percent under its SLO (Figure 4), and
+/// that is healthy steady state, not distress — a positive-slack floor
+/// would permanently exclude every server at its controller-managed
+/// equilibrium.  So admission only screens out servers currently *at or
+/// over* their SLO; the load ceiling below guards the latency knee, and the
+/// controller's own admission verdict covers everything in between.
+pub const ADMISSION_SLACK_FLOOR: f64 = 0.0;
+
+/// LC load at or above which the paper's controller will not *re-enable*
+/// BE execution: a job placed on a hotter server whose controller is not
+/// already running BE sits disabled until it is preempted.
 pub const ADMISSION_LOAD_CEILING: f64 = 0.80;
+
+/// LC load at or above which the paper's controller *disables* BE outright.
+/// Between the two thresholds the controller is hysteretic: a server that
+/// enabled BE during a load dip keeps running it until load crosses this
+/// line, so a server observed with BE enabled stays placeable up to here —
+/// Heracles colocates right up to its knee, and refusing the 0.80–0.85 band
+/// wholesale would waste exactly the servers the paper runs hottest.
+pub const ADMISSION_LOAD_DISABLE: f64 = 0.85;
+
+/// The static capacity of one server, as the scheduler sees it.
+///
+/// In a heterogeneous fleet every entry carries its own capacity: the
+/// scheduler never assumes the fleet is uniform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerCapacity {
+    /// Physical core count.
+    pub cores: usize,
+    /// Peak streaming DRAM bandwidth across all sockets, in GB/s.
+    pub dram_peak_gbps: f64,
+    /// How many BE jobs the server may host at once.
+    pub be_slots: usize,
+    /// Index of the server's hardware generation (see
+    /// [`Generation`](crate::Generation)).
+    pub generation: usize,
+}
+
+impl ServerCapacity {
+    /// Derives a capacity record from a hardware configuration.
+    ///
+    /// `be_slots_per_reference` is the BE slot count a reference
+    /// ([`REFERENCE_CORES`]-core Haswell) server gets; other generations
+    /// scale it with their core count, rounded, with a floor of one slot —
+    /// a 48-core box hosts proportionally more jobs than a 16-core one.
+    pub fn from_config(
+        config: &ServerConfig,
+        be_slots_per_reference: usize,
+        generation: usize,
+    ) -> Self {
+        let cores = config.total_cores();
+        let scaled = (be_slots_per_reference * cores + REFERENCE_CORES / 2) / REFERENCE_CORES;
+        ServerCapacity {
+            cores,
+            dram_peak_gbps: config.dram_peak_gbps(),
+            be_slots: scaled.max(1),
+            generation,
+        }
+    }
+
+    /// A reference-generation capacity (used by the homogeneous
+    /// constructors and tests).
+    pub fn reference(be_slots: usize) -> Self {
+        ServerCapacity {
+            cores: REFERENCE_CORES,
+            dram_peak_gbps: REFERENCE_DRAM_GBPS,
+            be_slots,
+            generation: 1,
+        }
+    }
+}
 
 /// What the store knows about one server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerEntry {
     /// The server's identifier.
     pub id: ServerId,
+    /// Physical core count (per-server capacity; heterogeneous fleets mix
+    /// generations with different counts).
+    pub cores: usize,
+    /// Peak DRAM bandwidth, in GB/s.
+    pub dram_peak_gbps: f64,
+    /// Index of the server's hardware generation.
+    pub generation: usize,
     /// How many BE jobs the server may host at once.
     pub be_slots: usize,
     /// Jobs currently resident (placed and not yet completed or preempted).
@@ -50,12 +132,18 @@ pub struct ServerEntry {
     /// Whether `lc_load` has been set at least once (trend is meaningless
     /// before that).
     seen_load: bool,
+    /// Whether the server's controller has reported at least one step of
+    /// observations (before that, `slack` is an estimate, not a
+    /// measurement).
+    seen_observation: bool,
     /// Whether the server's Heracles controller currently allows BE
     /// execution.
     pub be_admitted: bool,
     /// Latency slack observed over the most recent step: `1 -` the worst
-    /// window's SLO-normalized latency.  Positive means healthy; starts
-    /// optimistic at 1.0 before any window has run.
+    /// window's SLO-normalized latency.  Positive means healthy.  Until the
+    /// first observation arrives this is estimated from the sampled LC load
+    /// (`1 - load`), not assumed perfect — blanket cold-start optimism used
+    /// to pile step-0 jobs onto servers already near their latency knee.
     pub slack: f64,
     /// Effective Machine Utilization of the most recent window.
     pub recent_emu: f64,
@@ -78,13 +166,26 @@ impl ServerEntry {
     }
 
     /// True if the server is healthy enough to accept new BE work: a free
-    /// slot, enough latency slack that the controller would let the job run
-    /// rather than immediately squeeze it back out, and load below the
-    /// controller's BE re-enable threshold.
+    /// slot, a controller that currently allows BE execution, positive
+    /// latency slack (the server is not at or over its SLO), and load
+    /// within the controller's hysteresis envelope — below the re-enable
+    /// threshold for a server whose controller has not been observed
+    /// running BE, below the disable threshold for one that has.
+    ///
+    /// The `be_admitted` check matters even when load and slack look fine:
+    /// a controller that has disabled BE holds new jobs at zero progress
+    /// until they burn their preemption grace, so placing onto such a server
+    /// is strictly worse than leaving the job queued one more step.
     pub fn admits_be(&self) -> bool {
+        let ceiling = if self.seen_observation && self.be_admitted {
+            ADMISSION_LOAD_DISABLE
+        } else {
+            ADMISSION_LOAD_CEILING
+        };
         self.has_free_slot()
+            && self.be_admitted
             && self.slack > ADMISSION_SLACK_FLOOR
-            && self.lc_load < ADMISSION_LOAD_CEILING
+            && self.lc_load < ceiling
     }
 
     /// The LC load projected `horizon` steps ahead by linear extrapolation
@@ -102,29 +203,51 @@ pub struct PlacementStore {
 }
 
 impl PlacementStore {
-    /// Creates a store for `servers` hosts with `be_slots` job slots each.
+    /// Creates a store for `servers` reference-generation hosts with
+    /// `be_slots` job slots each (the homogeneous fleet).
     ///
     /// # Panics
     ///
     /// Panics if `servers` or `be_slots` is zero.
     pub fn new(servers: usize, be_slots: usize) -> Self {
-        assert!(servers > 0, "a fleet needs at least one server");
         assert!(be_slots > 0, "servers need at least one BE slot");
+        Self::heterogeneous(&vec![ServerCapacity::reference(be_slots); servers])
+    }
+
+    /// Creates a store with one entry per capacity record (the
+    /// heterogeneous fleet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities` is empty or any entry has zero cores or BE
+    /// slots.
+    pub fn heterogeneous(capacities: &[ServerCapacity]) -> Self {
+        assert!(!capacities.is_empty(), "a fleet needs at least one server");
         PlacementStore {
-            servers: (0..servers)
-                .map(|id| ServerEntry {
-                    id,
-                    be_slots,
-                    resident: Vec::new(),
-                    attached_kind: None,
-                    lc_load: 0.0,
-                    load_trend: 0.0,
-                    seen_load: false,
-                    be_admitted: true,
-                    slack: 1.0,
-                    recent_emu: 0.0,
-                    recent_be_throughput: 0.0,
-                    disabled_streak: 0,
+            servers: capacities
+                .iter()
+                .enumerate()
+                .map(|(id, cap)| {
+                    assert!(cap.cores > 0, "server {id} needs at least one core");
+                    assert!(cap.be_slots > 0, "server {id} needs at least one BE slot");
+                    ServerEntry {
+                        id,
+                        cores: cap.cores,
+                        dram_peak_gbps: cap.dram_peak_gbps,
+                        generation: cap.generation,
+                        be_slots: cap.be_slots,
+                        resident: Vec::new(),
+                        attached_kind: None,
+                        lc_load: 0.0,
+                        load_trend: 0.0,
+                        seen_load: false,
+                        seen_observation: false,
+                        be_admitted: true,
+                        slack: 1.0,
+                        recent_emu: 0.0,
+                        recent_be_throughput: 0.0,
+                        disabled_streak: 0,
+                    }
                 })
                 .collect(),
             last_updated: SimTime::ZERO,
@@ -202,12 +325,20 @@ impl PlacementStore {
 
     /// Sets a server's LC load for the upcoming step (read by the policies
     /// during dispatch, before the step runs) and updates its load trend.
+    ///
+    /// Until the server's controller has reported an observation, the
+    /// latency slack is re-estimated from the sampled load (`1 - load`):
+    /// cold-start dispatch must not treat a never-observed server near its
+    /// diurnal peak as perfectly healthy.
     pub fn set_load(&mut self, id: ServerId, lc_load: f64) {
         let entry = &mut self.servers[id];
         let load = lc_load.clamp(0.0, 1.0);
         entry.load_trend = if entry.seen_load { load - entry.lc_load } else { 0.0 };
         entry.seen_load = true;
         entry.lc_load = load;
+        if !entry.seen_observation {
+            entry.slack = 1.0 - load;
+        }
     }
 
     /// Absorbs one server's observations after a step: the controller's
@@ -223,6 +354,7 @@ impl PlacementStore {
         be_admitted: bool,
     ) {
         let entry = &mut self.servers[id];
+        entry.seen_observation = true;
         entry.slack = slack;
         entry.recent_emu = recent_emu;
         entry.recent_be_throughput = recent_be_throughput;
@@ -273,12 +405,83 @@ mod tests {
     fn admission_requires_slack_and_a_slot() {
         let mut store = PlacementStore::new(1, 1);
         assert!(store.server(0).admits_be());
-        store.observe(0, SimTime::from_secs(1), 0.01, 0.5, 0.0, true);
+        // At or over the SLO (slack <= 0): no admission.
+        store.observe(0, SimTime::from_secs(1), -0.2, 0.5, 0.0, true);
         assert!(!store.server(0).admits_be(), "no slack");
-        store.observe(0, SimTime::from_secs(2), 0.4, 0.5, 0.0, true);
+        // Tiny positive slack is Heracles' normal hot steady state.
+        store.observe(0, SimTime::from_secs(2), 0.01, 0.5, 0.0, true);
         assert!(store.server(0).admits_be());
         store.place(0, 0);
         assert!(!store.server(0).admits_be(), "no slot");
+    }
+
+    #[test]
+    fn admission_follows_the_controller_hysteresis() {
+        let mut store = PlacementStore::new(1, 1);
+        // Cold start in the hysteresis band: the controller would not
+        // (re-)enable BE at 0.82 load, so placement is futile.
+        store.set_load(0, 0.82);
+        assert!(!store.server(0).admits_be(), "cold start in the band");
+        // Observed with BE enabled at the same load: the controller keeps
+        // running BE until 0.85, so the server stays placeable.
+        store.observe(0, SimTime::from_secs(1), 0.1, 0.82, 0.2, true);
+        assert!(store.server(0).admits_be(), "enabled within the band");
+        // Past the disable threshold nothing admits.
+        store.set_load(0, 0.86);
+        assert!(!store.server(0).admits_be(), "past disable threshold");
+        // And a disabled controller in the band falls back to the
+        // re-enable ceiling.
+        store.set_load(0, 0.82);
+        store.observe(0, SimTime::from_secs(2), 0.1, 0.82, 0.0, false);
+        assert!(!store.server(0).admits_be(), "disabled in the band");
+    }
+
+    #[test]
+    fn admission_respects_the_controller_verdict() {
+        let mut store = PlacementStore::new(1, 1);
+        // Healthy load and slack, but the controller has BE disabled: a job
+        // placed here would sit at zero progress until preempted.
+        store.set_load(0, 0.3);
+        store.observe(0, SimTime::from_secs(1), 0.5, 0.3, 0.0, false);
+        assert!(!store.server(0).admits_be(), "BE disabled");
+        store.observe(0, SimTime::from_secs(2), 0.5, 0.3, 0.1, true);
+        assert!(store.server(0).admits_be());
+    }
+
+    #[test]
+    fn cold_start_slack_comes_from_the_first_sampled_load() {
+        let mut store = PlacementStore::new(2, 1);
+        // Never-observed servers estimate slack from load instead of
+        // assuming perfect health.
+        store.set_load(0, 0.97);
+        assert!((store.server(0).slack - 0.03).abs() < 1e-12);
+        assert!(!store.server(0).admits_be(), "near-peak cold start");
+        store.set_load(1, 0.2);
+        assert!((store.server(1).slack - 0.8).abs() < 1e-12);
+        assert!(store.server(1).admits_be());
+        // Once a real observation lands, set_load stops touching slack.
+        store.observe(0, SimTime::from_secs(1), 0.6, 0.5, 0.0, true);
+        store.set_load(0, 0.97);
+        assert!((store.server(0).slack - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_capacities_derive_slots_from_cores() {
+        let older = ServerCapacity::from_config(&ServerConfig::older_sandy_bridge(), 2, 0);
+        let haswell = ServerCapacity::from_config(&ServerConfig::default_haswell(), 2, 1);
+        let newer = ServerCapacity::from_config(&ServerConfig::newer_skylake(), 2, 2);
+        assert_eq!((older.cores, older.be_slots), (16, 1));
+        assert_eq!((haswell.cores, haswell.be_slots), (36, 2));
+        assert_eq!((newer.cores, newer.be_slots), (48, 3));
+        // Even a tiny box keeps one slot.
+        let tiny = ServerCapacity::from_config(&ServerConfig::small_test(), 1, 0);
+        assert_eq!(tiny.be_slots, 1);
+
+        let store = PlacementStore::heterogeneous(&[older, haswell, newer]);
+        assert_eq!(store.server(0).be_slots, 1);
+        assert_eq!(store.server(2).be_slots, 3);
+        assert_eq!(store.server(2).generation, 2);
+        assert!(store.server(0).dram_peak_gbps < store.server(2).dram_peak_gbps);
     }
 
     #[test]

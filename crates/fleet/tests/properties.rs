@@ -1,27 +1,39 @@
 //! Property tests for the fleet scheduler's invariants:
 //!
 //! * no placement policy ever returns a server without a free BE slot, for
-//!   any slot capacity, fleet shape and store state (and the store itself
-//!   panics on oversubscription, so a full fleet run doubles as a check),
+//!   any generation mix, slot capacity, fleet shape and store state (and
+//!   the store itself panics on oversubscription, so a full fleet run
+//!   doubles as a check),
+//! * no policy ever places a job on a server whose controller has BE
+//!   disabled — such a job would sit at zero progress until preempted,
+//! * core-weighted fleet EMU is scale-invariant: duplicating every server
+//!   leaves it unchanged,
 //! * identical seeds give identical fleet schedules.
 
 use proptest::prelude::*;
 
 use heracles_colo::ColoConfig;
 use heracles_fleet::{
-    FirstFit, FleetConfig, FleetSim, InterferenceAware, InterferenceModel, JobStreamConfig,
-    LeastLoaded, PlacementPolicy, PlacementStore, PolicyKind, RandomPlacement,
+    core_weighted_mean, FirstFit, FleetConfig, FleetSim, Generation, GenerationMix,
+    InterferenceAware, InterferenceModel, JobStreamConfig, LeastLoaded, PlacementPolicy,
+    PlacementStore, PolicyKind, RandomPlacement, ServerCapacity,
 };
 use heracles_hw::ServerConfig;
 use heracles_sim::{SimRng, SimTime};
 use heracles_workloads::{BeKind, BeWorkload};
 
-/// Builds a randomized store: `servers` hosts with `slots` capacity, loads
-/// and slacks drawn from the seed, and a seed-dependent share of the slots
-/// already occupied.
-fn arbitrary_store(servers: usize, slots: usize, seed: u64) -> PlacementStore {
+/// Builds a randomized heterogeneous store: `servers` hosts drawn from
+/// `mix`, with loads, slacks and admission verdicts drawn from the seed,
+/// and a seed-dependent share of the slots already occupied.
+fn arbitrary_store(servers: usize, slots: usize, mix: GenerationMix, seed: u64) -> PlacementStore {
     let mut rng = SimRng::new(seed);
-    let mut store = PlacementStore::new(servers, slots);
+    let base = ServerConfig::default_haswell();
+    let capacities: Vec<ServerCapacity> = mix
+        .assignments(servers)
+        .into_iter()
+        .map(|g| ServerCapacity::from_config(&g.server_config(&base), slots, g.index()))
+        .collect();
+    let mut store = PlacementStore::heterogeneous(&capacities);
     let mut next_job = 0;
     for id in 0..servers {
         store.set_load(id, rng.uniform());
@@ -33,7 +45,7 @@ fn arbitrary_store(servers: usize, slots: usize, seed: u64) -> PlacementStore {
             rng.uniform(),
             rng.chance(0.8),
         );
-        let occupied = rng.index(slots + 1);
+        let occupied = rng.index(store.server(id).be_slots + 1);
         for _ in 0..occupied {
             store.place(next_job, id);
             next_job += 1;
@@ -71,23 +83,37 @@ fn job_for(kind_idx: usize, id: usize) -> heracles_fleet::BeJob {
     }
 }
 
+/// A strategy over valid generation mixes, including both homogeneous and
+/// heavily skewed blends.
+fn mix_strategy() -> impl Strategy<Value = GenerationMix> {
+    (0.0..=1.0f64, 0.0..=1.0f64).prop_map(|(a, b)| {
+        // Map the unit square onto valid (older, newer) pairs.
+        let older = a;
+        let newer = b * (1.0 - a);
+        GenerationMix { older, newer }
+    })
+}
+
 proptest! {
-    /// No policy ever places onto a server without a free slot, whatever the
-    /// store state; committing the returned placement never trips the
-    /// store's capacity assert.
+    /// No policy ever places onto a server without a free slot, whatever
+    /// the generation mix and store state; committing the returned
+    /// placement never trips the store's capacity assert.
     #[test]
     fn no_policy_exceeds_slot_capacity(
         servers in 1usize..12,
         slots in 1usize..4,
+        mix in mix_strategy(),
         seed in 0u64..1_000,
         kind_idx in 0usize..6,
     ) {
         for policy in &mut policies() {
-            let mut store = arbitrary_store(servers, slots, seed);
+            let mut store = arbitrary_store(servers, slots, mix, seed);
             let mut rng = SimRng::new(seed ^ 0xD15);
+            let total_slots: usize =
+                store.servers().iter().map(|s| s.be_slots).sum();
             // Keep placing until the policy declines; every acceptance must
             // target a server with capacity.
-            for step in 0..(servers * slots + 1) {
+            for step in 0..(total_slots + 1) {
                 let job = job_for(kind_idx, 1_000 + step);
                 match policy.place(&job, &store, &mut rng) {
                     Some(server) => {
@@ -102,15 +128,70 @@ proptest! {
                 }
             }
             prop_assert!(
-                store.running_jobs() <= servers * slots,
+                store.running_jobs() <= total_slots,
                 "{} oversubscribed the fleet",
                 policy.name()
             );
         }
     }
 
+    /// No policy ever places a job on a server whose controller has BE
+    /// disabled, for any generation mix and seed: such a placement can
+    /// only burn the job's preemption grace at zero progress.
+    #[test]
+    fn no_policy_places_onto_a_be_disabled_server(
+        servers in 1usize..12,
+        slots in 1usize..4,
+        mix in mix_strategy(),
+        seed in 0u64..1_000,
+        kind_idx in 0usize..6,
+    ) {
+        for policy in &mut policies() {
+            let mut store = arbitrary_store(servers, slots, mix, seed);
+            let mut rng = SimRng::new(seed ^ 0xBEEF);
+            for step in 0..24 {
+                let job = job_for(kind_idx + step, 2_000 + step);
+                match policy.place(&job, &store, &mut rng) {
+                    Some(server) => {
+                        prop_assert!(
+                            store.server(server).be_admitted,
+                            "{} placed job onto BE-disabled server {server}",
+                            policy.name()
+                        );
+                        store.place(job.id, server);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Core-weighted fleet EMU is scale-invariant: duplicating every
+    /// server (its EMU sample and its core count) leaves the aggregate
+    /// unchanged, for any fleet shape.
+    #[test]
+    fn core_weighted_emu_is_invariant_under_duplication(
+        per_server in proptest::collection::vec((0.0..2.0f64, 1usize..128), 1..40),
+        copies in 2usize..5,
+    ) {
+        let (emus, cores): (Vec<f64>, Vec<usize>) = per_server.into_iter().unzip();
+        let single = core_weighted_mean(&emus, &cores);
+        let mut emus_dup = Vec::new();
+        let mut cores_dup = Vec::new();
+        for _ in 0..copies {
+            emus_dup.extend_from_slice(&emus);
+            cores_dup.extend_from_slice(&cores);
+        }
+        let duplicated = core_weighted_mean(&emus_dup, &cores_dup);
+        prop_assert!(
+            (single - duplicated).abs() < 1e-9,
+            "duplication changed core-weighted EMU: {single} vs {duplicated}"
+        );
+    }
+
     /// Identical seeds give identical fleet schedules (placements,
-    /// preemptions, completions and metrics), and different seeds diverge.
+    /// preemptions, completions and metrics) — including on mixed
+    /// generation fleets — and different seeds diverge.
     #[test]
     fn identical_seeds_give_identical_schedules(seed in 0u64..50) {
         let config = FleetConfig {
@@ -118,6 +199,7 @@ proptest! {
             steps: 6,
             windows_per_step: 2,
             seed,
+            mix: GenerationMix::mixed_datacenter(),
             colo: ColoConfig { requests_per_window: 400, ..ColoConfig::fast_test() },
             jobs: JobStreamConfig { arrivals_per_step: 1.0, ..JobStreamConfig::default() },
             ..FleetConfig::fast_test()
@@ -130,5 +212,23 @@ proptest! {
         prop_assert_eq!(&a.events, &b.events);
         prop_assert_eq!(&a.jobs, &b.jobs);
         prop_assert_eq!(&a.steps, &b.steps);
+        prop_assert_eq!(&a.server_cores, &b.server_cores);
+    }
+
+    /// Generation assignments are deterministic, proportional and cover
+    /// the fleet for any valid mix.
+    #[test]
+    fn generation_assignments_are_proportional(
+        mix in mix_strategy(),
+        servers in 1usize..200,
+    ) {
+        let gens = mix.assignments(servers);
+        prop_assert_eq!(gens.len(), servers);
+        prop_assert_eq!(&gens, &mix.assignments(servers));
+        let older = gens.iter().filter(|&&g| g == Generation::Older).count() as f64;
+        let newer = gens.iter().filter(|&&g| g == Generation::Newer).count() as f64;
+        let n = servers as f64;
+        prop_assert!((older - mix.older * n).abs() <= 1.0 + 1e-9);
+        prop_assert!((newer - mix.newer * n).abs() <= 1.0 + 1e-9);
     }
 }

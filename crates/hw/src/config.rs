@@ -91,6 +91,49 @@ impl ServerConfig {
         }
     }
 
+    /// An older-generation (Sandy-Bridge-class) server: half the cores of
+    /// the Haswell box, a smaller LLC and markedly lower DRAM bandwidth
+    /// (4-channel DDR3 vs DDR4).  Real datacenters run mixed generations for
+    /// the whole amortization window, so the fleet experiments place over
+    /// these alongside the paper's Haswells.
+    pub fn older_sandy_bridge() -> Self {
+        ServerConfig {
+            cores_per_socket: 8,
+            nominal_freq_ghz: 2.0,
+            max_turbo_freq_ghz: 2.8,
+            llc_way_mb: 1.0, // 20 MB per socket = 2.5 MB per core
+            dram_peak_gbps_per_socket: 40.0,
+            dram_base_latency_ns: 100.0,
+            tdp_w_per_socket: 115.0,
+            idle_w_per_socket: 32.0,
+            core_dyn_w_nominal: 7.0,
+            smt_min_penalty: 1.15,
+            smt_max_penalty: 1.70,
+            ..Self::default_haswell()
+        }
+    }
+
+    /// A newer-generation (Skylake-class) server: a third more cores than
+    /// the Haswell box and much higher DRAM bandwidth (6-channel DDR4),
+    /// with the shallower per-core LLC of the newer parts.
+    pub fn newer_skylake() -> Self {
+        ServerConfig {
+            cores_per_socket: 24,
+            nominal_freq_ghz: 2.4,
+            max_turbo_freq_ghz: 3.5,
+            llc_way_mb: 1.65, // 33 MB per socket = 1.375 MB per core
+            dram_peak_gbps_per_socket: 100.0,
+            dram_base_latency_ns: 85.0,
+            tdp_w_per_socket: 165.0,
+            idle_w_per_socket: 30.0,
+            core_dyn_w_nominal: 5.0,
+            nic_gbps: 25.0,
+            smt_min_penalty: 1.10,
+            smt_max_penalty: 1.60,
+            ..Self::default_haswell()
+        }
+    }
+
     /// A small single-socket configuration used by fast unit tests.
     pub fn small_test() -> Self {
         ServerConfig {
@@ -211,6 +254,21 @@ mod tests {
     fn default_config_is_valid() {
         assert!(ServerConfig::default_haswell().validate().is_ok());
         assert!(ServerConfig::small_test().validate().is_ok());
+        assert!(ServerConfig::older_sandy_bridge().validate().is_ok());
+        assert!(ServerConfig::newer_skylake().validate().is_ok());
+    }
+
+    #[test]
+    fn generations_order_capacity_around_the_haswell_baseline() {
+        let older = ServerConfig::older_sandy_bridge();
+        let haswell = ServerConfig::default_haswell();
+        let newer = ServerConfig::newer_skylake();
+        assert!(older.total_cores() < haswell.total_cores());
+        assert!(haswell.total_cores() < newer.total_cores());
+        assert!(older.dram_peak_gbps() < haswell.dram_peak_gbps());
+        assert!(haswell.dram_peak_gbps() < newer.dram_peak_gbps());
+        assert!(older.nominal_freq_ghz < haswell.nominal_freq_ghz);
+        assert!(haswell.nominal_freq_ghz < newer.nominal_freq_ghz);
     }
 
     #[test]

@@ -311,6 +311,13 @@ impl BeWorkload {
         self.dram_gbps_per_core_max
     }
 
+    /// Fraction of the task's throughput governed by achieved DRAM bandwidth
+    /// (1.0 for pure streaming, 0.0 for compute-bound tasks).  Placement uses
+    /// this to prefer high-bandwidth server generations for DRAM-hungry jobs.
+    pub fn memory_intensity(&self) -> f64 {
+        self.memory_intensity
+    }
+
     /// True if this task's interference comes purely through HyperThread
     /// sharing (the spinloop antagonist).
     pub fn is_smt_antagonist(&self) -> bool {

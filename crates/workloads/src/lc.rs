@@ -179,6 +179,19 @@ impl LcWorkload {
         self.peak_qps
     }
 
+    /// The same service with its peak QPS scaled by `ratio`, modelling a
+    /// capacity-weighted front-end load balancer: a server with half the
+    /// compute of the reference machine is sent half the traffic, so a load
+    /// fraction keeps meaning "fraction of what *this* box can serve".
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ratio` is positive and finite.
+    pub fn scaled_to_capacity(&self, ratio: f64) -> Self {
+        assert!(ratio.is_finite() && ratio > 0.0, "capacity ratio must be positive, got {ratio}");
+        LcWorkload { peak_qps: self.peak_qps * ratio, ..self.clone() }
+    }
+
     /// Per-core activity factor while serving.
     pub fn compute_activity(&self) -> f64 {
         self.compute_activity
@@ -475,6 +488,27 @@ mod tests {
         let mut add = |_: &mut SimRng| 0.050;
         let with = ws.simulate_window(&mut rng, 0.2, cores, &out, &cfg, 2000, Some(&mut add));
         assert!(with.normalized_tail > 2.0);
+    }
+
+    #[test]
+    fn capacity_scaling_scales_qps_and_core_demand() {
+        let cfg = config();
+        let ws = LcWorkload::websearch();
+        let half = ws.scaled_to_capacity(0.5);
+        assert!((half.peak_qps() - ws.peak_qps() * 0.5).abs() < 1e-9);
+        assert!((half.qps(0.8) - ws.qps(0.8) * 0.5).abs() < 1e-9);
+        // Core demand at the same load fraction halves with the traffic.
+        let full_demand = ws.cpu_demand_cores(0.6, &cfg);
+        let half_demand = half.cpu_demand_cores(0.6, &cfg);
+        assert!((half_demand - full_demand * 0.5).abs() < 1e-9);
+        // The SLO itself is unchanged: it is a property of the service.
+        assert_eq!(half.slo(), ws.slo());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity ratio")]
+    fn capacity_scaling_rejects_nonpositive_ratio() {
+        LcWorkload::websearch().scaled_to_capacity(0.0);
     }
 
     #[test]

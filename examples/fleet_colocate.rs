@@ -1,54 +1,63 @@
-//! Fleet colocation: sweep the placement policies across fleet sizes.
+//! Fleet colocation: sweep the placement policies across fleet sizes and
+//! generation mixes.
 //!
 //! Runs the fleet scheduler (a stream of BE jobs placed over a diurnally
 //! loaded websearch fleet, each server defended by its own Heracles
-//! controller) for every placement policy at a few fleet sizes, and prints
-//! the recovered utilization and the throughput/TCO gain over the
-//! uncolocated fleet.
+//! controller) for every placement policy at a few fleet sizes — first on
+//! the homogeneous Haswell fleet, then on a mixed-generation datacenter
+//! (Sandy-Bridge-class, Haswell and Skylake-class boxes) — and prints the
+//! recovered utilization and the throughput/TCO gain over the uncolocated
+//! fleet.  Utilization is core-weighted: on a mixed fleet a 48-core box's
+//! windows represent three times the machine time of a 16-core box's.
 //!
 //! Run with: `cargo run --release --example fleet_colocate`
 
 use heracles::cluster::TcoModel;
-use heracles::fleet::{FleetConfig, FleetSim, JobStreamConfig, PolicyKind};
+use heracles::fleet::{FleetConfig, FleetSim, GenerationMix, JobStreamConfig, PolicyKind};
 use heracles::hw::ServerConfig;
 
 fn main() {
     let server = ServerConfig::default_haswell();
     let tco = TcoModel::paper_case_study();
 
-    println!("Fleet colocation: policies × fleet sizes (diurnal websearch fleet)");
+    println!("Fleet colocation: policies × fleet sizes × generation mixes");
     println!();
     println!(
-        "{:>8} {:<20} {:>9} {:>9} {:>7} {:>7} {:>10}",
-        "servers", "policy", "LC load", "EMU", "viol%", "jobs", "TCO gain"
+        "{:>8} {:<12} {:<20} {:>6} {:>9} {:>9} {:>7} {:>7} {:>10}",
+        "servers", "mix", "policy", "cores", "LC load", "EMU", "viol%", "jobs", "TCO gain"
     );
 
-    for servers in [8usize, 16, 32] {
-        let config = FleetConfig {
-            servers,
-            // Scale the job stream with the fleet so each size is similarly
-            // saturated.
-            jobs: JobStreamConfig {
-                arrivals_per_step: 0.20 * servers as f64,
-                ..JobStreamConfig::default()
-            },
-            ..FleetConfig::fast_test()
-        };
-        for kind in PolicyKind::all() {
-            let result = FleetSim::new(config, server.clone(), kind).run();
-            println!(
-                "{:>8} {:<20} {:>8.1}% {:>8.1}% {:>6.1}% {:>7} {:>9.1}%",
+    for mix in [GenerationMix::homogeneous(), GenerationMix::mixed_datacenter()] {
+        for servers in [8usize, 16] {
+            let config = FleetConfig {
                 servers,
-                result.policy,
-                result.mean_lc_load() * 100.0,
-                result.mean_fleet_emu() * 100.0,
-                result.slo_violation_fraction() * 100.0,
-                result.jobs_completed(),
-                result.tco_improvement(&tco) * 100.0
-            );
+                mix,
+                // Scale the job stream with the fleet so each size is
+                // similarly saturated.
+                jobs: JobStreamConfig {
+                    arrivals_per_step: 0.15 * servers as f64,
+                    ..JobStreamConfig::default()
+                },
+                ..FleetConfig::fast_test()
+            };
+            for kind in PolicyKind::all() {
+                let result = FleetSim::new(config, server.clone(), kind).run();
+                println!(
+                    "{:>8} {:<12} {:<20} {:>6} {:>8.1}% {:>8.1}% {:>6.1}% {:>7} {:>9.1}%",
+                    servers,
+                    mix.to_string(),
+                    result.policy,
+                    result.total_cores(),
+                    result.mean_lc_load() * 100.0,
+                    result.mean_fleet_emu() * 100.0,
+                    result.slo_violation_fraction() * 100.0,
+                    result.jobs_completed(),
+                    result.tco_improvement(&tco) * 100.0
+                );
+            }
+            println!();
         }
-        println!();
     }
     println!("(EMU − LC load is the machine time the scheduler recovered for batch work;");
-    println!(" the TCO column converts it with the paper's cost model.)");
+    println!(" the TCO column converts it with the paper's cost model, both core-weighted.)");
 }

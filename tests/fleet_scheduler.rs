@@ -1,38 +1,43 @@
 //! End-to-end assertions for the fleet scheduler: the `--fast`
 //! `fleet_scale` configuration must reproduce the policy ordering the
-//! subsystem is built to demonstrate, deterministically.
+//! subsystem is built to demonstrate, deterministically — on the
+//! homogeneous Haswell fleet and on the mixed-generation datacenter.
 //!
 //! * Interference-aware placement recovers at least as much fleet EMU as
-//!   first-fit, which in turn beats random placement (the informed policies
-//!   route jobs where the per-server controllers will actually let them
-//!   run).
+//!   least-loaded, which in turn beats random placement (the informed
+//!   policies route jobs where the per-server controllers will actually
+//!   let them run, and weigh each server's capacity).
 //! * The fleet-level scheduler must not cost SLO compliance: its violation
 //!   fraction stays at or below the single-server Heracles baseline on the
-//!   same trace.
+//!   same trace, and going heterogeneous must not cost compliance either —
+//!   each policy's mixed-fleet violations stay at or below its homogeneous
+//!   ones.
 
 use heracles_fleet::{
-    single_server_baseline_violations, FleetConfig, FleetEventKind, FleetSim, PolicyKind,
+    single_server_baseline_violations, FleetConfig, FleetEventKind, FleetResult, FleetSim,
+    PolicyKind,
 };
 use heracles_hw::ServerConfig;
 
-fn run(policy: PolicyKind) -> heracles_fleet::FleetResult {
-    FleetSim::new(FleetConfig::fast_test(), ServerConfig::default_haswell(), policy).run()
+fn run(config: FleetConfig, policy: PolicyKind) -> FleetResult {
+    FleetSim::new(config, ServerConfig::default_haswell(), policy).run()
 }
 
 #[test]
 fn informed_placement_beats_naive_placement_without_costing_slo() {
-    let random = run(PolicyKind::Random);
-    let first_fit = run(PolicyKind::FirstFit);
-    let interference = run(PolicyKind::InterferenceAware);
+    let config = FleetConfig::fast_test();
+    let random = run(config, PolicyKind::Random);
+    let least_loaded = run(config, PolicyKind::LeastLoaded);
+    let interference = run(config, PolicyKind::InterferenceAware);
 
     // All three policies scheduled the identical seeded job stream.
-    assert_eq!(random.jobs.len(), first_fit.jobs.len());
+    assert_eq!(random.jobs.len(), least_loaded.jobs.len());
     assert_eq!(random.jobs.len(), interference.jobs.len());
 
-    let (r, f, i) =
-        (random.mean_fleet_emu(), first_fit.mean_fleet_emu(), interference.mean_fleet_emu());
-    assert!(i >= f, "interference-aware EMU {i:.3} below first-fit {f:.3}");
-    assert!(f >= r, "first-fit EMU {f:.3} below random {r:.3}");
+    let (r, l, i) =
+        (random.mean_fleet_emu(), least_loaded.mean_fleet_emu(), interference.mean_fleet_emu());
+    assert!(i >= l, "interference-aware EMU {i:.3} below least-loaded {l:.3}");
+    assert!(l >= r, "least-loaded EMU {l:.3} below random {r:.3}");
     // The gap over random is real machine recovery, not rounding.
     assert!(i > r + 0.01, "interference-aware {i:.3} barely beats random {r:.3}");
 
@@ -41,11 +46,8 @@ fn informed_placement_beats_naive_placement_without_costing_slo() {
 
     // Fleet-level scheduling must not regress SLO compliance below the
     // paper's single-server deployment on the same diurnal trace.
-    let baseline = single_server_baseline_violations(
-        &FleetConfig::fast_test(),
-        &ServerConfig::default_haswell(),
-    );
-    for result in [&random, &first_fit, &interference] {
+    let baseline = single_server_baseline_violations(&config, &ServerConfig::default_haswell());
+    for result in [&random, &least_loaded, &interference] {
         assert!(
             result.slo_violation_fraction() <= baseline + 1e-12,
             "{} violates more ({:.4}) than the single-server baseline ({:.4})",
@@ -57,8 +59,46 @@ fn informed_placement_beats_naive_placement_without_costing_slo() {
 }
 
 #[test]
+fn mixed_generation_fleet_keeps_the_policy_ordering_and_slo() {
+    let homogeneous = FleetConfig::fast_test();
+    let mixed = FleetConfig::fast_mixed();
+
+    let policies = [PolicyKind::Random, PolicyKind::LeastLoaded, PolicyKind::InterferenceAware];
+    let mut mixed_emu = Vec::new();
+    for policy in policies {
+        let homog = run(homogeneous, policy);
+        let hetero = run(mixed, policy);
+        mixed_emu.push(hetero.mean_fleet_emu());
+
+        // Capacity threads through: the mixed fleet really is mixed, with
+        // the same diurnal service offered everywhere.
+        assert!(hetero.server_cores.contains(&16), "no older generation in the mix");
+        assert!(hetero.server_cores.contains(&48), "no newer generation in the mix");
+        assert!(homog.server_cores.iter().all(|&c| c == 36));
+
+        // Going heterogeneous must not cost SLO compliance: each policy's
+        // mixed-fleet violation fraction stays at or below its homogeneous
+        // one (the informed policies hold both at zero on this config).
+        assert!(
+            hetero.slo_violation_fraction() <= homog.slo_violation_fraction() + 1e-12,
+            "{} violates more on the mixed fleet ({:.4}) than on the homogeneous one ({:.4})",
+            hetero.policy,
+            hetero.slo_violation_fraction(),
+            homog.slo_violation_fraction()
+        );
+    }
+
+    // Capacity-aware placement earns its keep on the mixed fleet: the
+    // interference-aware policy leads, least-loaded (ranking by absolute
+    // headroom, not load fraction) still beats random.
+    let (r, l, i) = (mixed_emu[0], mixed_emu[1], mixed_emu[2]);
+    assert!(i >= l, "mixed fleet: interference-aware EMU {i:.3} below least-loaded {l:.3}");
+    assert!(l >= r, "mixed fleet: least-loaded EMU {l:.3} below random {r:.3}");
+}
+
+#[test]
 fn fleet_lifecycle_is_consistent() {
-    let result = run(PolicyKind::InterferenceAware);
+    let result = run(FleetConfig::fast_mixed(), PolicyKind::InterferenceAware);
 
     // Every completed job was placed at least once, finished after it
     // arrived, and served its full demand.
@@ -87,9 +127,12 @@ fn fleet_lifecycle_is_consistent() {
     }
 
     // Queue accounting: at every step, jobs are either queued, running or
-    // completed.
+    // completed — and the queueing-delay summary accounts for every job.
     let total = result.jobs.len();
     for step in &result.steps {
         assert!(step.queued_jobs + step.running_jobs + step.completed_jobs <= total);
     }
+    let delay = result.queueing_delay();
+    assert_eq!(delay.started + delay.censored, total);
+    assert!(delay.censored_accrued_wait_s >= 0.0);
 }

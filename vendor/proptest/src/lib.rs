@@ -4,8 +4,11 @@
 //! implements the subset of proptest used by the workspace's property tests:
 //!
 //! * the [`proptest!`] macro wrapping `#[test] fn name(arg in strategy, ...)`,
-//! * range strategies over `f64`/integers and [`collection::vec`],
+//! * range strategies over `f64`/integers (exclusive and inclusive),
+//!   tuples of strategies, [`Strategy::prop_map`] and [`collection::vec`],
 //! * [`prop_assert!`] / [`prop_assert_eq!`] (mapped onto the std asserts).
+//!
+//! [`Strategy::prop_map`]: strategy::Strategy::prop_map
 //!
 //! Each test body runs [`CASES`] times with inputs drawn from a generator
 //! seeded deterministically from the test's name, so failures are exactly
@@ -55,7 +58,7 @@ pub mod test_runner {
 /// Strategies: deterministic samplers of test inputs.
 pub mod strategy {
     use crate::test_runner::TestRng;
-    use std::ops::Range;
+    use std::ops::{Range, RangeInclusive};
 
     /// A source of values of one type, sampled from a [`TestRng`].
     pub trait Strategy {
@@ -63,6 +66,27 @@ pub mod strategy {
         type Value;
         /// Draws one value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// A strategy producing `f` of this strategy's values.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, map: f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.map)(self.source.sample(rng))
+        }
     }
 
     impl Strategy for Range<f64> {
@@ -71,6 +95,28 @@ pub mod strategy {
             self.start + (self.end - self.start) * rng.unit_f64()
         }
     }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start() + (self.end() - self.start()) * rng.unit_f64()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
 
     macro_rules! int_strategy {
         ($($t:ty),*) => {$(
@@ -180,6 +226,17 @@ mod tests {
         fn vec_in_bounds(v in crate::collection::vec(-1.0f64..1.0, 1..50)) {
             prop_assert!((1..50).contains(&v.len()));
             prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+
+        /// Tuples, inclusive ranges and prop_map compose.
+        #[test]
+        fn mapped_tuples_sample(
+            pair in (0.0..=1.0f64, 3usize..9),
+            scaled in crate::strategy::Strategy::prop_map(0.0..=1.0f64, |x| x * 10.0),
+        ) {
+            prop_assert!((0.0..=1.0).contains(&pair.0));
+            prop_assert!((3..9).contains(&pair.1));
+            prop_assert!((0.0..=10.0).contains(&scaled));
         }
     }
 
