@@ -1,0 +1,403 @@
+//! The closed-loop elastic fleet: an [`AutoscalePolicy`] driving the fleet
+//! scheduler's elastic hooks step by step.
+//!
+//! Each step the controller (1) assembles the [`ScaleSignals`] — queue and
+//! censored-job state, in-service counts, the diurnal forecast, and the
+//! market's current best buy / first sell, (2) applies the policy's
+//! [`ScaleAction`] (guarding the min/max fleet bounds regardless of what
+//! the policy asked for), (3) runs the drain pricer over every draining
+//! server — live-migrating residents to the destination with the best
+//! marginal headroom, or requeueing the rare job whose residual demand is
+//! smaller than the migration overhead — and retiring servers that drained
+//! empty, then (4) advances the fleet one scheduler step.
+//!
+//! LC traffic is assumed re-routable: the front-end balancer that already
+//! assigns each box a load *fraction of its own capacity* shifts the
+//! retired box's share onto the survivors' diurnal headroom.  The
+//! comparison the controller is judged on is therefore BE-side — completed
+//! core·seconds per amortized TCO dollar — with the SLO-violation count
+//! pinning that elasticity never costs latency compliance.
+
+use heracles_fleet::{
+    marginal_headroom_cores, FleetResult, FleetSim, InterferenceModel, JobId, PolicyKind,
+    ServerEntry, ServerId, ServerState,
+};
+use heracles_hw::ServerConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::action::{ScaleAction, ScaleEvent, ScaleEventKind, ScaleSignals};
+use crate::market::GenerationMarket;
+use crate::policy::{AutoscaleKind, AutoscalePolicy};
+
+/// How far ahead (in steps) the drain pricer projects a destination's load
+/// trend when ranking migration targets — the same horizon `LeastLoaded`
+/// uses for placements, since a migration *is* a placement the job already
+/// paid for once.
+const DRAIN_TREND_HORIZON: f64 = 4.0;
+
+/// Configuration of an elastic fleet run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleConfig {
+    /// The wrapped fleet configuration (`fleet.servers` is the *initial*
+    /// fleet size — and the static baseline's fixed size).
+    pub fleet: heracles_fleet::FleetConfig,
+    /// The controller never drains the active fleet below this floor.
+    pub min_servers: usize,
+    /// The controller never buys past this in-service ceiling.
+    pub max_servers: usize,
+    /// Modeled cost of live-migrating one job, in core·seconds: the
+    /// destination compute spent moving and warming the job's state.
+    /// Charged onto the job's remaining demand, so the work ledger stays
+    /// honest (`served == demand + overhead` for completed jobs).
+    pub migration_cost_core_s: f64,
+    /// How far ahead (in steps) the controller forecasts the fleet's mean
+    /// load for the predictive policy's `load_ahead` signal.
+    pub forecast_lead_steps: usize,
+}
+
+impl AutoscaleConfig {
+    /// Wraps a fleet configuration with default elastic bounds: the fleet
+    /// may shrink to half its initial size and grow to double it.
+    pub fn new(fleet: heracles_fleet::FleetConfig) -> Self {
+        AutoscaleConfig {
+            fleet,
+            min_servers: (fleet.servers / 2).max(1),
+            max_servers: fleet.servers * 2,
+            migration_cost_core_s: 15.0,
+            forecast_lead_steps: 6,
+        }
+    }
+
+    /// The canonical elastic scenario: the given fleet with its run
+    /// compressed onto one full diurnal cycle (so the run sweeps a real
+    /// peak and valley — the regime where an autoscaler earns or loses its
+    /// keep) and a phase-coherent fleet (small spread: the fleet peaks
+    /// *together*, which is what makes elasticity pay; a fully
+    /// phase-spread fleet has constant aggregate headroom and nothing for
+    /// an autoscaler to chase).
+    pub fn diurnal(base: heracles_fleet::FleetConfig) -> Self {
+        let horizon_s =
+            base.steps as f64 * base.windows_per_step as f64 * base.colo.window.as_secs_f64();
+        let mut config = Self::new(heracles_fleet::FleetConfig {
+            load_spread: 0.15,
+            time_compression: 12.0 * 3600.0 / horizon_s,
+            // Size the stream to roughly 60–70% of the static fleet's
+            // measured colocation capacity (a reference server recovers
+            // ~13 BE core·s per step across the diurnal cycle).  A
+            // saturated fleet gives an autoscaler only one direction —
+            // buy — while a moderately subscribed one must both shed
+            // through the valley and provision for the peak, which is the
+            // claim under test.  Jobs are smaller and more numerous than
+            // the placement sweeps': many concurrent residents spread over
+            // the shrinking fleet is what makes scale-in *consolidation*
+            // (live-migrate, then retire) rather than the free shedding of
+            // empty boxes.
+            jobs: heracles_fleet::JobStreamConfig {
+                arrivals_per_step: 0.03 * base.servers as f64,
+                demand_min_core_s: 100.0,
+                demand_max_core_s: 800.0,
+                ..base.jobs
+            },
+            ..base
+        });
+        // A deeper scale-in floor than the generic default: the valley
+        // should force *consolidation* — drains of still-occupied servers
+        // whose residents must live-migrate — not just the free shedding
+        // of empty boxes.
+        config.min_servers = (config.fleet.servers / 4).max(1);
+        config
+    }
+
+    /// The deterministic `--fast` elastic scenario the integration tests
+    /// and CI smoke pin: [`diurnal`](Self::diurnal) over
+    /// `FleetConfig::fast_test()`.
+    pub fn fast_test() -> Self {
+        Self::diurnal(heracles_fleet::FleetConfig::fast_test())
+    }
+
+    /// Validates the configuration, returning a human-readable description
+    /// of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        self.fleet.validate()?;
+        if self.min_servers == 0 {
+            return Err("min_servers must be at least 1".into());
+        }
+        if self.min_servers > self.fleet.servers || self.fleet.servers > self.max_servers {
+            return Err(format!(
+                "fleet bounds must satisfy min <= initial <= max (got {} <= {} <= {})",
+                self.min_servers, self.fleet.servers, self.max_servers
+            ));
+        }
+        if !self.migration_cost_core_s.is_finite() || self.migration_cost_core_s < 0.0 {
+            return Err(format!(
+                "migration_cost_core_s must be finite and non-negative (got {})",
+                self.migration_cost_core_s
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The result of one elastic fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleResult {
+    /// The autoscaling policy that produced this run.
+    pub autoscaler: String,
+    /// The underlying fleet result (steps carry the time-varying fleet
+    /// size, migration counts and the amortized TCO series).
+    pub fleet: FleetResult,
+    /// The controller's audit log: purchases, drains, migrations,
+    /// retirements, in order.
+    pub events: Vec<ScaleEvent>,
+}
+
+impl AutoscaleResult {
+    /// Servers purchased over the run.
+    pub fn scale_outs(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e.kind, ScaleEventKind::Bought { .. })).count()
+    }
+
+    /// Drains started over the run.
+    pub fn scale_ins(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e.kind, ScaleEventKind::DrainStarted { .. })).count()
+    }
+
+    /// Servers retired over the run.
+    pub fn retirements(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e.kind, ScaleEventKind::Retired { .. })).count()
+    }
+
+    /// Jobs live-migrated by drains over the run.
+    pub fn drain_migrations(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e.kind, ScaleEventKind::Migrated { .. })).count()
+    }
+
+    /// Jobs the drain pricer chose to requeue instead of migrate.
+    pub fn drain_requeues(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, ScaleEventKind::DrainRequeued { .. }))
+            .count()
+    }
+}
+
+/// The closed-loop elastic fleet controller.
+pub struct ElasticFleet {
+    sim: FleetSim,
+    policy: Box<dyn AutoscalePolicy>,
+    market: GenerationMarket,
+    config: AutoscaleConfig,
+    events: Vec<ScaleEvent>,
+}
+
+impl ElasticFleet {
+    /// Creates an elastic fleet under built-in placement and autoscaling
+    /// policies, with an uncharacterized market (cores-per-dollar pricing;
+    /// use [`with_market`](Self::with_market) to supply measured
+    /// interference scores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`AutoscaleConfig::validate`] rejects the configuration.
+    pub fn new(
+        config: AutoscaleConfig,
+        server: ServerConfig,
+        placement: PolicyKind,
+        autoscaler: AutoscaleKind,
+    ) -> Self {
+        config.validate().unwrap_or_else(|e| panic!("invalid autoscale config: {e}"));
+        let market =
+            GenerationMarket::new(&config.fleet, &server, InterferenceModel::from_scores([]));
+        let sim = FleetSim::new(config.fleet, server, placement);
+        ElasticFleet { sim, policy: autoscaler.build(), market, config, events: Vec::new() }
+    }
+
+    /// Replaces the market's interference model (e.g. with §3.2
+    /// characterization scores), so purchase decisions can weigh how
+    /// hostile the job mix is on each generation's hardware.
+    pub fn with_market(mut self, market: GenerationMarket) -> Self {
+        self.market = market;
+        self
+    }
+
+    /// Replaces the autoscaling policy (custom tunings).
+    pub fn with_autoscaler(mut self, policy: Box<dyn AutoscalePolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The signal bundle the policy sees this step.
+    fn signals(&self) -> ScaleSignals {
+        let store = self.sim.store();
+        let now = self.sim.now();
+        let step_s = self.sim.config().step_duration().as_secs_f64();
+        let mut stranded = 0usize;
+        let mut oldest_wait_steps = 0usize;
+        for job in self.sim.jobs() {
+            if job.first_start.is_none() && job.completion.is_none() {
+                let waited = now.saturating_since(job.arrival).as_secs_f64();
+                let waited_steps = (waited / step_s).floor() as usize;
+                if waited_steps >= 1 {
+                    stranded += 1;
+                    oldest_wait_steps = oldest_wait_steps.max(waited_steps);
+                }
+            }
+        }
+        let drain_candidate = self.market.sell_first(store);
+        let free_slots_elsewhere = store
+            .servers()
+            .iter()
+            .filter(|s| s.admits_be() && Some(s.id) != drain_candidate)
+            .map(|s| s.free_slots())
+            .sum();
+        ScaleSignals {
+            step: self.sim.current_step(),
+            queued_jobs: self.sim.queue_depth(),
+            stranded_jobs: stranded,
+            oldest_wait_steps,
+            active_servers: store.active_servers(),
+            draining_servers: store.draining_servers(),
+            free_slots_elsewhere,
+            drain_candidate_residents: drain_candidate
+                .map(|id| store.server(id).resident.len())
+                .unwrap_or(0),
+            mean_load: self.sim.forecast_mean_load(0),
+            load_ahead: self.sim.forecast_mean_load(self.config.forecast_lead_steps),
+            min_servers: self.config.min_servers,
+            max_servers: self.config.max_servers,
+            best_buy: self.market.best_buy(),
+            drain_candidate,
+        }
+    }
+
+    /// Applies one scale action, enforcing the fleet bounds regardless of
+    /// what the policy asked for (a buggy policy must not be able to strand
+    /// the fleet outside its envelope).
+    fn apply(&mut self, action: ScaleAction) {
+        let step = self.sim.current_step();
+        match action {
+            ScaleAction::Hold => {}
+            ScaleAction::ScaleOut { generation } => {
+                let store = self.sim.store();
+                if store.active_servers() + store.draining_servers() < self.config.max_servers {
+                    let server = self.sim.add_server(generation);
+                    self.events.push(ScaleEvent {
+                        step,
+                        kind: ScaleEventKind::Bought { generation, server },
+                    });
+                }
+            }
+            ScaleAction::ScaleIn { server } => {
+                let store = self.sim.store();
+                if store.active_servers() > self.config.min_servers
+                    && store.server(server).is_active()
+                {
+                    self.sim.begin_drain(server);
+                    self.events
+                        .push(ScaleEvent { step, kind: ScaleEventKind::DrainStarted { server } });
+                }
+            }
+        }
+    }
+
+    /// The migration destination offering a resident of `from` the most
+    /// marginal headroom (among servers currently admitting BE work),
+    /// deterministically tie-broken by id.
+    fn best_destination(&self, from: ServerId) -> Option<ServerId> {
+        let headroom = |s: &ServerEntry| {
+            marginal_headroom_cores(
+                s,
+                s.projected_load(DRAIN_TREND_HORIZON),
+                s.resident.len() as f64,
+            )
+        };
+        self.sim
+            .store()
+            .servers()
+            .iter()
+            .filter(|s| s.id != from && s.admits_be())
+            .max_by(|a, b| {
+                headroom(a)
+                    .partial_cmp(&headroom(b))
+                    .expect("headroom is finite")
+                    .then(b.id.cmp(&a.id))
+            })
+            .map(|s| s.id)
+    }
+
+    /// Runs the drain pricer over every draining server: migrate each
+    /// resident to the best destination (paying the migration cost onto its
+    /// remaining demand), or requeue it when the move costs more
+    /// core·seconds than the job has left — then retire servers that
+    /// drained empty.  A server with residents but no admitting
+    /// destination keeps running them; its drain stalls until headroom
+    /// appears (it is never retired occupied).
+    fn drain_step(&mut self) {
+        let step = self.sim.current_step();
+        let draining: Vec<ServerId> = self
+            .sim
+            .store()
+            .servers()
+            .iter()
+            .filter(|s| s.state == ServerState::Draining)
+            .map(|s| s.id)
+            .collect();
+        for from in draining {
+            let residents: Vec<JobId> = self.sim.store().server(from).resident.clone();
+            for job in residents {
+                // Price the move: migrating costs `migration_cost_core_s`
+                // of destination compute; a requeue restarts the queue wait
+                // but costs no compute.  For all but nearly-finished jobs
+                // the migration wins — the preserved progress and the
+                // skipped queue pass are worth far more than the overhead.
+                if self.sim.job(job).remaining_core_s <= self.config.migration_cost_core_s {
+                    self.sim.requeue_job(job, from);
+                    self.events.push(ScaleEvent {
+                        step,
+                        kind: ScaleEventKind::DrainRequeued { job, from },
+                    });
+                    continue;
+                }
+                if let Some(to) = self.best_destination(from) {
+                    self.sim.migrate_job(job, from, to, self.config.migration_cost_core_s);
+                    self.events.push(ScaleEvent {
+                        step,
+                        kind: ScaleEventKind::Migrated { job, from, to },
+                    });
+                }
+            }
+            if self.sim.store().server(from).resident.is_empty() {
+                self.sim.retire_server(from);
+                self.events
+                    .push(ScaleEvent { step, kind: ScaleEventKind::Retired { server: from } });
+            }
+        }
+    }
+
+    /// Runs the closed loop to the fleet's horizon and returns the result.
+    pub fn run(mut self) -> AutoscaleResult {
+        let steps = self.sim.config().steps;
+        for _ in 0..steps {
+            let signals = self.signals();
+            let action = self.policy.decide(&signals);
+            self.apply(action);
+            self.drain_step();
+            self.sim.step_once();
+        }
+        AutoscaleResult {
+            autoscaler: self.policy.name().to_string(),
+            fleet: self.sim.into_result(),
+            events: self.events,
+        }
+    }
+}
+
+impl std::fmt::Debug for ElasticFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElasticFleet")
+            .field("autoscaler", &self.policy.name())
+            .field("step", &self.sim.current_step())
+            .field("active", &self.sim.store().active_servers())
+            .finish()
+    }
+}

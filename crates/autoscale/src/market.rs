@@ -1,0 +1,214 @@
+//! The generation market: what scale-out should buy and scale-in should
+//! shed, priced by marginal BE throughput per TCO dollar.
+//!
+//! The paper's economic argument is per-dollar, not per-server, and with
+//! mixed generations the two diverge: a Skylake-class box costs more than a
+//! Sandy-Bridge-class one but amortizes its platform overhead over three
+//! times the cores, while the interference characterization can rate the
+//! same BE mix far more hostile on a low-bandwidth older box (work placed
+//! there is throttled by its own damage).  The market folds both into one
+//! number per generation — expected marginal BE core·seconds per amortized
+//! dollar — so "which generation?" is answered by the same currency the
+//! autoscaled-vs-static comparison is judged in.
+
+use heracles_cluster::TcoModel;
+use heracles_fleet::{
+    server_step_tco_dollars, FleetConfig, Generation, InterferenceModel, PlacementStore,
+    ServerCapacity, ServerEntry, ServerId,
+};
+use heracles_hw::ServerConfig;
+use heracles_workloads::BeKind;
+
+/// Prices hardware generations for scale decisions.
+#[derive(Debug, Clone)]
+pub struct GenerationMarket {
+    tco: TcoModel,
+    model: InterferenceModel,
+    kinds: Vec<BeKind>,
+    capacities: [ServerCapacity; 3],
+    /// LC load a newly bought box is expected to serve on average over its
+    /// tenure (the diurnal trace's midpoint): the capacity the LC service
+    /// keeps is not available as marginal BE throughput.
+    expected_load: f64,
+}
+
+impl GenerationMarket {
+    /// Builds a market from the fleet's cost model, job mix and an
+    /// interference model (pass
+    /// [`InterferenceModel::from_scores`]`([])` for an uncharacterized
+    /// market: every generation then gets the cautious default hostility
+    /// and the ranking reduces to cores per dollar).
+    pub fn new(config: &FleetConfig, baseline: &ServerConfig, model: InterferenceModel) -> Self {
+        let capacities = Generation::all().map(|g| {
+            ServerCapacity::from_config(
+                &g.server_config(baseline),
+                config.be_slots_per_server,
+                g.index(),
+            )
+        });
+        GenerationMarket {
+            tco: config.tco,
+            model,
+            kinds: config.jobs.mix.workloads().iter().map(|w| w.kind()).collect(),
+            capacities,
+            expected_load: 0.55,
+        }
+    }
+
+    /// The capacity record of one generation.
+    pub fn capacity(&self, generation: Generation) -> ServerCapacity {
+        self.capacities[generation.index()]
+    }
+
+    /// Mean saturating interference pressure of the job mix on a
+    /// generation, in `[0, 1)`: how much of the generation's headroom the
+    /// mix's hostility is expected to waste (a hostile antagonist on a
+    /// low-bandwidth box spends its tenure disabled or throttled).
+    fn mean_pressure(&self, generation: Generation) -> f64 {
+        if self.kinds.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .kinds
+            .iter()
+            .map(|&kind| {
+                let h = self.model.hostility(generation.index(), kind);
+                h / (1.0 + h)
+            })
+            .sum();
+        total / self.kinds.len() as f64
+    }
+
+    /// Expected marginal BE throughput of a newly bought server of this
+    /// generation, in cores: the compute the LC service leaves free at the
+    /// expected load, discounted by the job mix's interference pressure on
+    /// this hardware.
+    pub fn marginal_be_cores(&self, generation: Generation) -> f64 {
+        let cap = self.capacities[generation.index()];
+        let free = cap.cores as f64 * (1.0 - self.expected_load);
+        free * (1.0 - 0.5 * self.mean_pressure(generation))
+    }
+
+    /// Amortized cost of one server of this generation, in dollars per
+    /// represented second at the expected utilization (capex plus energy,
+    /// platform-floor-scaled to the generation's core count).
+    pub fn dollars_per_second(&self, generation: Generation) -> f64 {
+        server_step_tco_dollars(
+            &self.tco,
+            self.capacities[generation.index()].cores,
+            self.expected_load,
+            1.0,
+        )
+    }
+
+    /// The market's single number per generation: expected marginal BE
+    /// cores per amortized dollar-second.
+    pub fn value_per_dollar(&self, generation: Generation) -> f64 {
+        self.marginal_be_cores(generation) / self.dollars_per_second(generation)
+    }
+
+    /// The generation scale-out should purchase: best marginal BE
+    /// throughput per TCO dollar, ties broken towards the older generation
+    /// (deterministic).
+    pub fn best_buy(&self) -> Generation {
+        Generation::all()
+            .into_iter()
+            .fold(None::<(Generation, f64)>, |best, g| {
+                let value = self.value_per_dollar(g);
+                match best {
+                    Some((_, bv)) if bv >= value => best,
+                    _ => Some((g, value)),
+                }
+            })
+            .map(|(g, _)| g)
+            .expect("three generations exist")
+    }
+
+    /// The active server scale-in should shed first: worst generation value
+    /// per dollar, then fewest residents (the cheapest drain), then lowest
+    /// id — all deterministic.
+    pub fn sell_first(&self, store: &PlacementStore) -> Option<ServerId> {
+        let value = |s: &ServerEntry| self.value_per_dollar(Generation::all()[s.generation]);
+        store
+            .servers()
+            .iter()
+            .filter(|s| s.is_active())
+            .min_by(|a, b| {
+                value(a)
+                    .partial_cmp(&value(b))
+                    .expect("market values are finite")
+                    .then(a.resident.len().cmp(&b.resident.len()))
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|s| s.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heracles_fleet::PolicyKind;
+    use heracles_sim::SimTime;
+
+    fn market(model: InterferenceModel) -> GenerationMarket {
+        GenerationMarket::new(&FleetConfig::fast_test(), &ServerConfig::default_haswell(), model)
+    }
+
+    #[test]
+    fn uncharacterized_market_ranks_by_cores_per_dollar() {
+        let m = market(InterferenceModel::from_scores([]));
+        // With uniform hostility the platform cost floor decides: the
+        // 48-core box amortizes its fixed costs over the most cores.
+        assert!(m.value_per_dollar(Generation::Newer) > m.value_per_dollar(Generation::Haswell));
+        assert!(m.value_per_dollar(Generation::Haswell) > m.value_per_dollar(Generation::Older));
+        assert_eq!(m.best_buy(), Generation::Newer);
+        // All three prices are positive and finite.
+        for g in Generation::all() {
+            assert!(m.dollars_per_second(g) > 0.0);
+            assert!(m.marginal_be_cores(g) > 0.0);
+            assert!(m.value_per_dollar(g).is_finite());
+        }
+    }
+
+    #[test]
+    fn hostility_on_a_generation_discounts_its_value() {
+        // The production mix (brain + streetview) rated devastating on the
+        // newer generation but benign on Haswell flips the purchase.
+        let hostile_on_newer = InterferenceModel::from_scores([]);
+        let _ = hostile_on_newer; // base case asserted above
+        let skewed = market(InterferenceModel::from_generation_scores([
+            ((2, BeKind::Brain), 400.0),
+            ((2, BeKind::Streetview), 400.0),
+            ((1, BeKind::Brain), 0.0),
+            ((1, BeKind::Streetview), 0.0),
+            ((0, BeKind::Brain), 0.0),
+            ((0, BeKind::Streetview), 0.0),
+        ]));
+        assert!(
+            skewed.value_per_dollar(Generation::Newer)
+                < skewed.value_per_dollar(Generation::Haswell)
+        );
+        assert_ne!(skewed.best_buy(), Generation::Newer);
+    }
+
+    #[test]
+    fn sell_first_picks_the_worst_value_emptiest_server() {
+        let m = market(InterferenceModel::from_scores([]));
+        let config = heracles_fleet::FleetConfig {
+            servers: 4,
+            mix: heracles_fleet::GenerationMix::mixed_datacenter(),
+            ..FleetConfig::fast_test()
+        };
+        let sim = heracles_fleet::FleetSim::new(
+            config,
+            ServerConfig::default_haswell(),
+            PolicyKind::FirstFit,
+        );
+        // counts(4) = [1, 2, 1]; the lone Sandy Bridge has the worst value
+        // per dollar, so it is the first to go.
+        let store = sim.store();
+        let pick = m.sell_first(store).expect("active servers exist");
+        assert_eq!(store.server(pick).generation, 0);
+        let _ = SimTime::ZERO;
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the elastic controller's invariants:
+//!
+//! * a server is never retired while it still hosts unmigrated resident
+//!   jobs — the drain protocol migrates (or, priced out, requeues) every
+//!   resident first, for any policy, fleet shape, mix and seed (the store's
+//!   `retire` assert backs this up by panicking the whole run otherwise),
+//! * nothing is ever placed or migrated onto a retired server,
+//! * the elastic fleet never leaves its configured size envelope,
+//! * the work ledger balances: BE core·seconds served equals the demand
+//!   (plus migration overhead) drawn down across the job ledger,
+//! * identical seeds yield identical scale-action sequences — and identical
+//!   whole runs — for every autoscaling policy.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use heracles_autoscale::{AutoscaleConfig, AutoscaleKind, ElasticFleet, ScaleEventKind};
+use heracles_colo::ColoConfig;
+use heracles_fleet::{
+    FleetConfig, FleetEventKind, GenerationMix, JobStreamConfig, PolicyKind, ServerId,
+};
+use heracles_hw::ServerConfig;
+
+/// A small mixed-generation elastic scenario that still scales both ways:
+/// drains fire within a handful of idle steps, and the arrival knob can
+/// push the queue hard enough to strand jobs and trigger purchases.
+fn scenario(servers: usize, steps: usize, seed: u64, arrivals: f64) -> AutoscaleConfig {
+    let fleet = FleetConfig {
+        servers,
+        steps,
+        windows_per_step: 2,
+        seed,
+        mix: GenerationMix::mixed_datacenter(),
+        colo: ColoConfig { requests_per_window: 400, ..ColoConfig::fast_test() },
+        ..FleetConfig::fast_test()
+    };
+    let mut config = AutoscaleConfig::diurnal(fleet);
+    config.fleet.jobs = JobStreamConfig {
+        arrivals_per_step: arrivals,
+        demand_min_core_s: 60.0,
+        demand_max_core_s: 600.0,
+        ..config.fleet.jobs
+    };
+    config.min_servers = 1;
+    config
+}
+
+fn run(config: AutoscaleConfig, kind: AutoscaleKind) -> heracles_autoscale::AutoscaleResult {
+    ElasticFleet::new(config, ServerConfig::default_haswell(), PolicyKind::LeastLoaded, kind).run()
+}
+
+proptest! {
+    /// Retirement safety and ledger balance, for any policy, fleet shape
+    /// and seed.  The run itself is the first assertion: `retire` panics on
+    /// a server with resident jobs, so an unsafe drain cannot complete.
+    #[test]
+    fn retirement_never_strands_resident_jobs(
+        servers in 2usize..6,
+        steps in 6usize..10,
+        seed in 0u64..500,
+        arrivals in 0.2f64..1.5,
+        kind_idx in 0usize..3,
+    ) {
+        let kind = AutoscaleKind::all()[kind_idx];
+        let config = scenario(servers, steps, seed, arrivals);
+        let (min_servers, max_servers) = (config.min_servers, config.max_servers);
+        let result = run(config, kind);
+
+        // Nothing lands on a retired server: placements and migration
+        // destinations after a retirement are scheduler bugs.
+        let retired_at: HashMap<ServerId, usize> = result
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                ScaleEventKind::Retired { server } => Some((server, e.step)),
+                _ => None,
+            })
+            .collect();
+        for event in &result.fleet.events {
+            if let Some(&retired) = retired_at.get(&event.server) {
+                let lands = matches!(
+                    event.kind,
+                    FleetEventKind::Placed | FleetEventKind::Migrated
+                );
+                prop_assert!(
+                    !(lands && event.step >= retired),
+                    "{:?} targeted server {} retired before step {}",
+                    event.kind, event.server, retired
+                );
+            }
+        }
+
+        // The fleet never leaves its size envelope.
+        for step in &result.fleet.steps {
+            prop_assert!(step.in_service_servers >= min_servers);
+            prop_assert!(step.in_service_servers <= max_servers);
+        }
+
+        // The work ledger balances: served core·seconds equal the drawdown
+        // of demand plus migration overhead across all jobs — a migration
+        // preserves remaining demand exactly (plus its priced surcharge),
+        // it never wipes or duplicates work.
+        let drawdown: f64 = result
+            .fleet
+            .jobs
+            .iter()
+            .map(|j| j.demand_core_s + j.migration_overhead_core_s - j.remaining_core_s)
+            .sum();
+        let served = result.fleet.be_core_s_served();
+        prop_assert!(
+            (served - drawdown).abs() < 1e-6 * (1.0 + served),
+            "served {served} != ledger drawdown {drawdown}"
+        );
+
+        // Migration counters agree between the audit log and the ledger.
+        prop_assert_eq!(result.drain_migrations(), result.fleet.migrations());
+    }
+
+    /// Identical seeds give identical scale-action sequences — and
+    /// identical whole runs — for every policy; different seeds diverge
+    /// somewhere in the job ledger.
+    #[test]
+    fn identical_seeds_give_identical_scale_sequences(
+        seed in 0u64..200,
+        kind_idx in 0usize..3,
+    ) {
+        let kind = AutoscaleKind::all()[kind_idx];
+        let config = scenario(4, 8, seed, 0.8);
+        let a = run(config, kind);
+        let b = run(config, kind);
+        prop_assert_eq!(&a.events, &b.events, "scale sequences diverged");
+        prop_assert_eq!(&a.fleet.events, &b.fleet.events);
+        prop_assert_eq!(&a.fleet.steps, &b.fleet.steps);
+        prop_assert_eq!(&a.fleet.jobs, &b.fleet.jobs);
+
+        let c = run(scenario(4, 8, seed ^ 0x5EED5, 0.8), kind);
+        prop_assert!(
+            a.fleet.jobs != c.fleet.jobs || a.fleet.events != c.fleet.events,
+            "different seeds produced identical runs"
+        );
+    }
+}

@@ -15,10 +15,19 @@
 //! Heracles baseline's violation rate as the bar the fleet must not
 //! regress.
 //!
+//! With `--autoscale <static|reactive|predictive|all>` the binary instead
+//! compares elastic fleets against the static baseline on the same
+//! compressed-diurnal scenario and job stream: per autoscaler it reports
+//! the time-varying fleet size, purchases/drains/migrations, completed BE
+//! core·seconds, SLO-violation server-steps, queue-wait percentiles, the
+//! amortized TCO bill and — the headline — TCO per completed core·second
+//! relative to the static fleet.
+//!
 //! Run with: `cargo run --release -p heracles_bench --bin fleet_scale --
 //! [--fast] [--servers N] [--steps N] [--seed N] [--slots N]
-//! [--mix homogeneous|mixed|O:N] [--csv]`
+//! [--mix homogeneous|mixed|O:N] [--autoscale POLICY] [--csv]`
 
+use heracles_autoscale::{AutoscaleConfig, AutoscaleKind, ElasticFleet};
 use heracles_bench::cli::Args;
 use heracles_cluster::TcoModel;
 use heracles_fleet::{
@@ -85,6 +94,92 @@ fn sweep(config: FleetConfig, server: &ServerConfig, tco: &TcoModel, csv: bool) 
     println!();
 }
 
+/// The elastic comparison: autoscaled fleets vs the static baseline on the
+/// canonical compressed-diurnal scenario, judged in TCO per completed BE
+/// core·second.
+fn autoscale_sweep(config: FleetConfig, server: &ServerConfig, which: &str, csv: bool) {
+    let kinds: Vec<AutoscaleKind> = if which == "all" {
+        AutoscaleKind::all().to_vec()
+    } else {
+        match which.parse() {
+            Ok(kind) => vec![kind],
+            Err(e) => {
+                eprintln!("invalid --autoscale value: {e} (or \"all\")");
+                std::process::exit(2);
+            }
+        }
+    };
+    let scenario = AutoscaleConfig::diurnal(config);
+    println!(
+        "elastic scenario: {} servers initially ({}..={} allowed), {} steps compressed onto one \
+         12 h diurnal cycle, migration cost {} core·s",
+        scenario.fleet.servers,
+        scenario.min_servers,
+        scenario.max_servers,
+        scenario.fleet.steps,
+        scenario.migration_cost_core_s
+    );
+    println!(
+        "{:<12} {:>8} {:>6} {:>7} {:>8} {:>8} {:>6} {:>10} {:>9} {:>9} {:>8} {:>11}",
+        "autoscaler",
+        "servers",
+        "bought",
+        "drained",
+        "migrated",
+        "requeued",
+        "viol",
+        "core.s",
+        "p99 wait",
+        "TCO $",
+        "$/kcs",
+        "vs static"
+    );
+
+    // The static baseline always runs first so the relative column has its
+    // denominator.
+    let mut static_tco_per = None;
+    let baseline = AutoscaleKind::Static;
+    for kind in std::iter::once(baseline).chain(kinds.iter().copied().filter(|&k| k != baseline)) {
+        // Least-loaded placement: the elastic comparison is about *fleet
+        // sizing*, and least-loaded's occupancy penalty spreads residents
+        // across servers — which is also what makes consolidation drains
+        // (migrate, retire) do real work in the valley.
+        let result =
+            ElasticFleet::new(scenario, server.clone(), PolicyKind::LeastLoaded, kind).run();
+        let fleet = &result.fleet;
+        let per_kcs = fleet.tco_per_be_core_s() * 1_000.0;
+        if kind == baseline {
+            static_tco_per = Some(per_kcs);
+        }
+        let delta = static_tco_per
+            .map(|s| format!("{:+.1}%", (per_kcs / s - 1.0) * 100.0))
+            .unwrap_or_default();
+        println!(
+            "{:<12} {:>8.1} {:>6} {:>7} {:>8} {:>8} {:>6} {:>10.0} {:>8.0}s {:>9.2} {:>8.3} {:>11}",
+            result.autoscaler,
+            fleet.mean_in_service_servers(),
+            result.scale_outs(),
+            result.scale_ins(),
+            result.drain_migrations(),
+            result.drain_requeues(),
+            fleet.violation_server_steps(),
+            fleet.be_core_s_served(),
+            fleet.queueing_delay().p99_started_s,
+            fleet.total_tco_dollars(),
+            per_kcs,
+            delta
+        );
+        if csv {
+            println!();
+            print!("{}", fleet.to_csv());
+            println!();
+        }
+    }
+    println!();
+    println!("(identical seeded job stream per row; $/kcs is amortized TCO per 1000 completed");
+    println!(" BE core·seconds — the autoscaler's whole mandate is the last two columns.)");
+}
+
 fn main() {
     let args = Args::from_env();
     let base = if args.flag("--fast") { FleetConfig::fast_test() } else { FleetConfig::default() };
@@ -95,8 +190,20 @@ fn main() {
         be_slots_per_server: args.value("--slots", base.be_slots_per_server),
         ..base
     };
+    if let Err(e) = config.validate() {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    }
     let server = ServerConfig::default_haswell();
     let tco = TcoModel::paper_case_study();
+
+    let autoscale = args.value("--autoscale", String::new());
+    if !autoscale.is_empty() {
+        let config = FleetConfig { mix: args.value("--mix", config.mix), ..config };
+        println!("Elastic fleet: autoscalers over per-server Heracles controllers");
+        autoscale_sweep(config, &server, &autoscale, args.flag("--csv"));
+        return;
+    }
 
     println!("Fleet scheduler: BE job placement over per-server Heracles controllers");
     println!(

@@ -19,24 +19,38 @@
 //!
 //! Each step the simulator:
 //!
-//! 1. samples every server's LC load from its phase-shifted diurnal trace,
+//! 1. samples every in-service server's LC load from its phase-shifted
+//!    diurnal trace,
 //! 2. admits this step's job arrivals into the queue,
 //! 3. dispatches queued jobs through the [`PlacementPolicy`] against the
 //!    [`PlacementStore`],
-//! 4. advances every server by `windows_per_step` measurement windows — in
-//!    parallel across servers via [`parallel_map_mut`], since servers only
-//!    interact through the scheduler between steps,
+//! 4. advances every in-service server by `windows_per_step` measurement
+//!    windows — in parallel across servers via [`parallel_map_mut`], since
+//!    servers only interact through the scheduler between steps,
 //! 5. credits BE progress to resident jobs, completes jobs whose demand is
 //!    served, and preempts/requeues jobs whose server kept BE disabled
 //!    beyond the grace period (the controller's verdict is final: Heracles
 //!    defends the local SLO, the scheduler routes around it),
 //! 6. refreshes the store with each server's slack, EMU and admission
-//!    verdict.
+//!    verdict, and charges the step's amortized TCO to the in-service
+//!    servers.
+//!
+//! The step loop is exposed piecewise ([`FleetSim::step_once`] /
+//! [`FleetSim::into_result`]) so the elastic controller in
+//! `heracles_autoscale` can interleave scale actions between steps:
+//! [`FleetSim::add_server`] commissions a freshly purchased box mid-run,
+//! [`FleetSim::begin_drain`] / [`FleetSim::retire_server`] decommission one,
+//! and [`FleetSim::migrate_job`] live-migrates a resident job (preserving
+//! its remaining demand and charging a migration cost in core·seconds)
+//! instead of requeueing it from scratch.  [`FleetSim::run`] is the
+//! static-fleet convenience loop.
 //!
 //! Everything is a pure function of the seed: the job stream, the traces,
 //! every per-server RNG and the policy's tie-breaking all derive from it,
-//! so identical seeds give identical schedules.
+//! so identical seeds give identical schedules — and identical scale-action
+//! sequences give identical elastic schedules.
 
+use heracles_cluster::TcoModel;
 use heracles_colo::{ColoConfig, ColoRunner};
 use heracles_core::{ColocationPolicy, Heracles, HeraclesConfig, OfflineDramModel};
 use heracles_hw::ServerConfig;
@@ -45,13 +59,21 @@ use heracles_workloads::{BeWorkload, DiurnalTrace, LcWorkload};
 use serde::{Deserialize, Serialize};
 
 use crate::generation::{Generation, GenerationMix};
-use crate::job::{JobQueue, JobStreamConfig};
-use crate::metrics::{core_weighted_mean, FleetEvent, FleetEventKind, FleetResult, FleetStep};
+use crate::job::{BeJob, JobId, JobQueue, JobStreamConfig};
+use crate::metrics::{
+    core_weighted_mean, server_step_tco_dollars, FleetEvent, FleetEventKind, FleetResult, FleetStep,
+};
 use crate::policy::{
     FirstFit, InterferenceAware, InterferenceModel, LeastLoaded, PlacementPolicy, PolicyKind,
     RandomPlacement,
 };
 use crate::store::{PlacementStore, ServerCapacity, ServerId};
+
+/// Phase-offset multiplier for servers commissioned mid-run (autoscaler
+/// scale-out): the golden-ratio fraction of the id spreads late arrivals
+/// across the diurnal cycle without disturbing the original fleet's evenly
+/// spaced offsets.
+const ADDED_SERVER_PHASE_STRIDE: f64 = 0.618_033_988_749_894_8;
 
 /// Configuration of a fleet run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -73,12 +95,28 @@ pub struct FleetConfig {
     /// (1.0 spreads the fleet across the whole cycle; 0.0 moves every
     /// server in lockstep).
     pub load_spread: f64,
+    /// How many seconds of diurnal (and TCO) wall time one simulated second
+    /// represents (1.0 by default: no compression).
+    ///
+    /// A measurement window is already a statistical sample standing in for
+    /// a longer production interval, so a run does not need to simulate
+    /// every second of a 12-hour day to traverse its load cycle: with
+    /// compression C, trace lookups advance C× faster and each step's
+    /// amortized TCO charge covers C× the simulated wall time.  This is
+    /// what lets a `--fast` elastic run sweep a whole diurnal peak and
+    /// valley — the regime where autoscaling earns or loses its keep —
+    /// in seconds of simulation.  Job demands and BE progress stay in
+    /// simulated core·seconds, so the work ledger is unaffected.
+    pub time_compression: f64,
     /// The blend of hardware generations across the fleet (homogeneous by
     /// default: every server runs the baseline configuration).
     pub mix: GenerationMix,
     /// Steps a server may sit occupied with BE disabled before its jobs are
     /// preempted and requeued.
     pub preemption_grace_steps: usize,
+    /// The cost model behind the per-step amortized TCO series (the paper's
+    /// case-study parameters by default).
+    pub tco: TcoModel,
     /// Per-server harness configuration.
     pub colo: ColoConfig,
     /// The job arrival process.
@@ -94,8 +132,10 @@ impl Default for FleetConfig {
             windows_per_step: 4,
             seed: 42,
             load_spread: 1.0,
+            time_compression: 1.0,
             mix: GenerationMix::homogeneous(),
             preemption_grace_steps: 2,
+            tco: TcoModel::paper_case_study(),
             colo: ColoConfig { requests_per_window: 1_200, ..ColoConfig::default() },
             jobs: JobStreamConfig { arrivals_per_step: 5.0, ..JobStreamConfig::default() },
         }
@@ -126,6 +166,68 @@ impl FleetConfig {
     pub fn fast_mixed() -> Self {
         FleetConfig { mix: GenerationMix::mixed_datacenter(), ..Self::fast_test() }
     }
+
+    /// Validates the configuration, returning a human-readable description
+    /// of the first violation.
+    ///
+    /// Degenerate configurations (zero servers or steps, a phase spread
+    /// outside `[0, 1]`, generation fractions that do not describe a fleet,
+    /// an impossible job stream) used to slip through and silently produce
+    /// empty or nonsensical runs; every constructor now rejects them with a
+    /// message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.servers == 0 {
+            return Err("a fleet needs at least one server (servers = 0)".into());
+        }
+        if self.be_slots_per_server == 0 {
+            return Err("servers need at least one BE slot (be_slots_per_server = 0)".into());
+        }
+        if self.steps == 0 || self.windows_per_step == 0 {
+            return Err(format!(
+                "steps must be positive (steps = {}, windows_per_step = {})",
+                self.steps, self.windows_per_step
+            ));
+        }
+        if !self.load_spread.is_finite() || !(0.0..=1.0).contains(&self.load_spread) {
+            return Err(format!("load_spread must be in [0, 1] (got {})", self.load_spread));
+        }
+        if !self.time_compression.is_finite() || self.time_compression <= 0.0 {
+            return Err(format!(
+                "time_compression must be finite and positive (got {})",
+                self.time_compression
+            ));
+        }
+        self.mix.validate()?;
+        if !self.jobs.arrivals_per_step.is_finite() || self.jobs.arrivals_per_step < 0.0 {
+            return Err(format!(
+                "arrivals_per_step must be finite and non-negative (got {})",
+                self.jobs.arrivals_per_step
+            ));
+        }
+        let (demand_min, demand_max) = (self.jobs.demand_min_core_s, self.jobs.demand_max_core_s);
+        if !demand_min.is_finite()
+            || !demand_max.is_finite()
+            || demand_min <= 0.0
+            || demand_max < demand_min
+        {
+            return Err(format!(
+                "job demand bounds must be finite and satisfy 0 < min <= max \
+                 (got {demand_min}..{demand_max})"
+            ));
+        }
+        if !self.jobs.demand_alpha.is_finite() || self.jobs.demand_alpha <= 0.0 {
+            return Err(format!(
+                "demand_alpha must be finite and positive (got {})",
+                self.jobs.demand_alpha
+            ));
+        }
+        Ok(())
+    }
+
+    /// Duration of one scheduler step.
+    pub fn step_duration(&self) -> heracles_sim::SimDuration {
+        self.colo.window * self.windows_per_step as u64
+    }
 }
 
 /// Observation returned by one server's step (computed on a worker thread).
@@ -146,43 +248,71 @@ pub struct FleetSim {
     queue: JobQueue,
     policy: Box<dyn PlacementPolicy>,
     rng: SimRng,
+    /// True per-generation (LC workload, hardware) profiles, indexed by
+    /// generation index — the source of truth for mid-run purchases of a
+    /// generation absent from the initial mix.
+    profiles: Vec<(LcWorkload, ServerConfig)>,
+    /// One offline DRAM model per generation, profiled lazily: present
+    /// generations at construction, purchased ones on first `add_server`.
+    dram_models: Vec<Option<OfflineDramModel>>,
+    /// Per-server diurnal phase offsets, in seconds (stable across
+    /// mid-run additions: existing servers never shift phase).
+    phases_s: Vec<f64>,
+    steps: Vec<FleetStep>,
+    events: Vec<FleetEvent>,
+    completed_total: usize,
+    step_idx: usize,
+    /// Migrations committed since the last recorded step (folded into the
+    /// next [`FleetStep`]).
+    pending_migrations: usize,
 }
 
 impl FleetSim {
-    /// Per-generation (LC workload, hardware) profiles for the mix.
+    /// True per-generation (LC workload, hardware) profiles.
     ///
     /// Every generation serves the same websearch service with its traffic
     /// share scaled to its compute capacity (the front-end load balancer
     /// weights traffic by machine capability, so a load fraction keeps
-    /// meaning "fraction of what this box can serve").  Generations absent
-    /// from the mix reuse the baseline profile, which lets the
-    /// characterization and DRAM-model caches collapse them onto the
-    /// baseline cells at zero extra cost.
+    /// meaning "fraction of what this box can serve").
+    fn true_profiles(baseline: &ServerConfig) -> Vec<(LcWorkload, ServerConfig)> {
+        let websearch = LcWorkload::websearch();
+        Generation::all()
+            .into_iter()
+            .map(|g| {
+                if g == Generation::Haswell {
+                    (websearch.clone(), baseline.clone())
+                } else {
+                    let gen_config = g.server_config(baseline);
+                    let ratio = gen_config.total_cores() as f64 / baseline.total_cores() as f64;
+                    (websearch.scaled_to_capacity(ratio), gen_config)
+                }
+            })
+            .collect()
+    }
+
+    /// Per-generation profiles for the *characterization* step: generations
+    /// absent from the mix borrow the first present generation's profile,
+    /// so the characterization and DRAM-model caches collapse them onto
+    /// cells that are measured anyway (never an extra sweep).
     fn generation_profiles(
         config: &FleetConfig,
         baseline: &ServerConfig,
     ) -> Vec<(LcWorkload, ServerConfig)> {
-        let websearch = LcWorkload::websearch();
+        let profiles = Self::true_profiles(baseline);
         let counts = config.mix.counts(config.servers);
-        let profile_of = |g: Generation| {
-            if g == Generation::Haswell {
-                (websearch.clone(), baseline.clone())
-            } else {
-                let gen_config = g.server_config(baseline);
-                let ratio = gen_config.total_cores() as f64 / baseline.total_cores() as f64;
-                (websearch.scaled_to_capacity(ratio), gen_config)
-            }
-        };
-        // Absent generations borrow the first present generation's profile,
-        // so the characterization / DRAM-model caches collapse them onto
-        // cells that are measured anyway (never an extra sweep).
         let fallback = Generation::all()
             .into_iter()
             .find(|g| counts[g.index()] > 0)
             .unwrap_or(Generation::Haswell);
         Generation::all()
             .into_iter()
-            .map(|g| if counts[g.index()] == 0 { profile_of(fallback) } else { profile_of(g) })
+            .map(|g| {
+                if counts[g.index()] == 0 {
+                    profiles[fallback.index()].clone()
+                } else {
+                    profiles[g.index()].clone()
+                }
+            })
             .collect()
     }
 
@@ -215,15 +345,13 @@ impl FleetSim {
     ///
     /// # Panics
     ///
-    /// Panics if `servers`, `be_slots_per_server`, `steps` or
-    /// `windows_per_step` is zero, or the generation mix is invalid.
+    /// Panics if [`FleetConfig::validate`] rejects the configuration.
     pub fn with_policy(
         config: FleetConfig,
         server_config: ServerConfig,
         policy: Box<dyn PlacementPolicy>,
     ) -> Self {
-        assert!(config.servers > 0, "a fleet needs at least one server");
-        assert!(config.steps > 0 && config.windows_per_step > 0, "steps must be positive");
+        config.validate().unwrap_or_else(|e| panic!("invalid fleet config: {e}"));
         // The store's admission envelope mirrors the leaf controllers'
         // load hysteresis; fail fast if the two ever drift apart (placement
         // would silently dispatch jobs the controllers park at zero
@@ -240,10 +368,11 @@ impl FleetSim {
             "admission disable line desynced from the controllers' disable threshold"
         );
         let generations = config.mix.assignments(config.servers);
-        let profiles = Self::generation_profiles(&config, &server_config);
+        let profiles = Self::true_profiles(&server_config);
         // One offline DRAM model per generation serves all of its leaves
         // (the paper shares one across the cluster too; the controller
-        // tolerates the model error).  Absent generations get none.
+        // tolerates the model error).  Absent generations get none until an
+        // autoscaler purchases one.
         let dram_models: Vec<Option<OfflineDramModel>> = Generation::all()
             .into_iter()
             .map(|g| {
@@ -278,13 +407,26 @@ impl FleetSim {
                 )
             })
             .collect();
+        let trace = DiurnalTrace::websearch_12h(config.seed);
+        let period_s = trace.duration().as_secs_f64();
+        let phases_s = (0..config.servers)
+            .map(|i| period_s * config.load_spread * i as f64 / config.servers as f64)
+            .collect();
         FleetSim {
-            trace: DiurnalTrace::websearch_12h(config.seed),
+            trace,
             runners,
             store: PlacementStore::heterogeneous(&capacities),
             queue: JobQueue::new(config.jobs, config.seed),
             policy,
             rng: SimRng::new(config.seed).fork(0x9C4ED),
+            profiles,
+            dram_models,
+            phases_s,
+            steps: Vec::with_capacity(config.steps),
+            events: Vec::new(),
+            completed_total: 0,
+            step_idx: 0,
+            pending_migrations: 0,
             config,
         }
     }
@@ -299,13 +441,176 @@ impl FleetSim {
         self.policy.name()
     }
 
+    /// The scheduler's live view of the fleet.
+    pub fn store(&self) -> &PlacementStore {
+        &self.store
+    }
+
+    /// Every job the arrival stream has produced so far.
+    pub fn jobs(&self) -> &[BeJob] {
+        self.queue.jobs()
+    }
+
+    /// One job by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never issued.
+    pub fn job(&self, id: JobId) -> &BeJob {
+        self.queue.job(id)
+    }
+
+    /// Number of jobs currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.pending_len()
+    }
+
+    /// Index of the next step to run (also: how many steps have run).
+    pub fn current_step(&self) -> usize {
+        self.step_idx
+    }
+
+    /// Simulated time at the end of the most recent step (`ZERO` before the
+    /// first).
+    pub fn now(&self) -> SimTime {
+        SimTime::ZERO + self.config.step_duration() * self.step_idx as u64
+    }
+
+    /// The steps recorded so far.
+    pub fn steps_so_far(&self) -> &[FleetStep] {
+        &self.steps
+    }
+
     /// Server `id`'s LC load at `time`: the shared diurnal trace shifted by
     /// the server's phase offset (wrapping around the trace period).
     pub fn server_load(&self, id: ServerId, time: SimTime) -> f64 {
         let period_s = self.trace.duration().as_secs_f64();
-        let phase_s = period_s * self.config.load_spread * id as f64 / self.config.servers as f64;
-        let t = (time.as_secs_f64() + phase_s) % period_s;
+        let t = (time.as_secs_f64() * self.config.time_compression + self.phases_s[id]) % period_s;
         self.trace.load_at(SimTime::from_secs_f64(t))
+    }
+
+    /// Core-weighted mean LC load across in-service servers `lead_steps`
+    /// scheduler steps ahead of the step about to run.  The diurnal trace
+    /// is a known input (capacity planners have yesterday's traffic), so a
+    /// predictive autoscaler may legitimately look ahead; `lead_steps = 0`
+    /// is the load the very next step will sample.
+    pub fn forecast_mean_load(&self, lead_steps: usize) -> f64 {
+        let t =
+            SimTime::ZERO + self.config.step_duration() * (self.step_idx + 1 + lead_steps) as u64;
+        let (mut weighted, mut cores) = (0.0f64, 0.0f64);
+        for s in self.store.servers().iter().filter(|s| s.in_service()) {
+            weighted += self.server_load(s.id, t) * s.cores as f64;
+            cores += s.cores as f64;
+        }
+        if cores > 0.0 {
+            weighted / cores
+        } else {
+            0.0
+        }
+    }
+
+    /// Commissions a new server of `generation` (autoscaler scale-out) and
+    /// returns its id.  The box arrives empty and active, its Heracles
+    /// controller cold, its diurnal phase drawn from the golden-ratio
+    /// stride so late purchases spread across the load cycle; its DRAM
+    /// model is profiled on first purchase of a generation absent from the
+    /// initial mix and cached for subsequent ones.
+    pub fn add_server(&mut self, generation: Generation) -> ServerId {
+        let id = self.runners.len();
+        let gi = generation.index();
+        if self.dram_models[gi].is_none() {
+            let (lc, gen_config) = &self.profiles[gi];
+            self.dram_models[gi] = Some(OfflineDramModel::profile(lc, gen_config));
+        }
+        let (lc, gen_config) = &self.profiles[gi];
+        let dram_model = self.dram_models[gi].clone().expect("just profiled");
+        let leaf_policy: Box<dyn ColocationPolicy> =
+            Box::new(Heracles::new(HeraclesConfig::fast(), lc.slo(), dram_model));
+        self.runners.push(ColoRunner::new(
+            gen_config.clone(),
+            lc.clone(),
+            None,
+            leaf_policy,
+            self.config.colo.with_seed(self.config.seed ^ (0xF1EE7 + id as u64 * 7919)),
+        ));
+        let capacity = ServerCapacity::from_config(gen_config, self.config.be_slots_per_server, gi);
+        let store_id = self.store.add_server(capacity);
+        debug_assert_eq!(store_id, id, "store and runner ids diverged");
+        let period_s = self.trace.duration().as_secs_f64();
+        self.phases_s.push(
+            period_s * self.config.load_spread * (id as f64 * ADDED_SERVER_PHASE_STRIDE).fract(),
+        );
+        id
+    }
+
+    /// Marks a server as draining (autoscaler scale-in, phase one): no new
+    /// BE work, residents to be migrated away.
+    pub fn begin_drain(&mut self, id: ServerId) {
+        self.store.begin_drain(id);
+    }
+
+    /// Returns a draining server to active service (a cancelled scale-in).
+    pub fn reactivate_server(&mut self, id: ServerId) {
+        self.store.reactivate(id);
+    }
+
+    /// Retires a drained server (autoscaler scale-in, phase two): it stops
+    /// stepping and stops costing TCO from the next step on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server still hosts resident jobs — retiring a box with
+    /// unmigrated work is exactly the bug the drain protocol exists to
+    /// prevent, and the autoscaler's property tests lean on this assert.
+    pub fn retire_server(&mut self, id: ServerId) {
+        self.store.retire(id);
+    }
+
+    /// Live-migrates a resident job from `from` to `to`, preserving its
+    /// remaining demand and charging `cost_core_s` of migration overhead
+    /// (moving memory/state costs destination compute, modeled in the same
+    /// core·second currency as the demand itself).  The job never passes
+    /// through the queue and keeps its first-start timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is not resident on `from`, `to` is retired or has
+    /// no free slot, or the cost is negative or non-finite.
+    pub fn migrate_job(&mut self, job: JobId, from: ServerId, to: ServerId, cost_core_s: f64) {
+        assert!(
+            cost_core_s.is_finite() && cost_core_s >= 0.0,
+            "migration cost must be finite and non-negative (got {cost_core_s})"
+        );
+        assert!(self.store.server(to).in_service(), "migration target {to} is retired");
+        self.store.migrate(job, from, to);
+        let entry = self.queue.job_mut(job);
+        entry.remaining_core_s += cost_core_s;
+        entry.migration_overhead_core_s += cost_core_s;
+        entry.migrations += 1;
+        self.pending_migrations += 1;
+        self.events.push(FleetEvent {
+            step: self.step_idx,
+            job,
+            server: to,
+            kind: FleetEventKind::Migrated,
+        });
+        self.sync_attachment(from);
+        self.sync_attachment(to);
+    }
+
+    /// Preempts a resident job back to the front of the queue — the drain
+    /// pricer's fallback when a migration costs more than the job has left.
+    /// Counts as a preemption in the job ledger.
+    pub fn requeue_job(&mut self, job: JobId, from: ServerId) {
+        self.store.release(job, from);
+        self.queue.requeue_front(job);
+        self.events.push(FleetEvent {
+            step: self.step_idx,
+            job,
+            server: from,
+            kind: FleetEventKind::Preempted,
+        });
+        self.sync_attachment(from);
     }
 
     /// Points the runner's BE workload at its head resident job (or detaches
@@ -314,8 +619,8 @@ impl FleetSim {
     ///
     /// When several jobs share a server, the head job's profile stands in
     /// for the whole BE slice: the co-residents share the slice's
-    /// throughput (see the progress crediting in [`FleetSim::run`]) but do
-    /// not add their own contention to the hardware model.  This
+    /// throughput (see the progress crediting in [`FleetSim::step_once`])
+    /// but do not add their own contention to the hardware model.  This
     /// approximation understates interference when a hostile job hides
     /// behind a benign head — one reason the informed policies' occupancy
     /// penalty steers away from double-packing, and the first candidate to
@@ -331,186 +636,235 @@ impl FleetSim {
         self.store.set_attached_kind(id, attached);
     }
 
-    /// Runs the fleet to the configured horizon and returns the result.
-    pub fn run(mut self) -> FleetResult {
-        let step_duration = self.config.colo.window * self.config.windows_per_step as u64;
+    /// Runs one scheduler step over the in-service fleet and returns the
+    /// recorded step.  Retired servers neither step nor cost TCO; an
+    /// elastic controller interleaves scale actions between calls.
+    pub fn step_once(&mut self) -> &FleetStep {
+        let step_duration = self.config.step_duration();
         let window_s = self.config.colo.window.as_secs_f64();
-        let server_cores: Vec<usize> = self.store.servers().iter().map(|s| s.cores).collect();
-        let mut steps = Vec::with_capacity(self.config.steps);
-        let mut events = Vec::new();
-        let mut completed_total = 0usize;
+        let step_idx = self.step_idx;
+        let now = SimTime::ZERO + step_duration * (step_idx as u64 + 1);
 
-        for step_idx in 0..self.config.steps {
-            let now = SimTime::ZERO + step_duration * (step_idx as u64 + 1);
+        let in_service: Vec<ServerId> =
+            self.store.servers().iter().filter(|s| s.in_service()).map(|s| s.id).collect();
 
-            // 1. This step's per-server loads.
-            let loads: Vec<f64> =
-                (0..self.config.servers).map(|i| self.server_load(i, now)).collect();
-            for (id, &load) in loads.iter().enumerate() {
-                self.store.set_load(id, load);
-            }
-
-            // 2. Arrivals.
-            self.queue.arrive(now);
-
-            // 3. Dispatch: FIFO with skipping.
-            let pending = self.queue.take_pending();
-            let mut unplaced = Vec::new();
-            for job_id in pending {
-                match self.policy.place(self.queue.job(job_id), &self.store, &mut self.rng) {
-                    Some(server) => {
-                        self.store.place(job_id, server);
-                        let job = self.queue.job_mut(job_id);
-                        if job.first_start.is_none() {
-                            job.first_start = Some(now);
-                        }
-                        events.push(FleetEvent {
-                            step: step_idx,
-                            job: job_id,
-                            server,
-                            kind: FleetEventKind::Placed,
-                        });
-                    }
-                    None => unplaced.push(job_id),
-                }
-            }
-            self.queue.restore_pending(unplaced);
-            for id in 0..self.config.servers {
-                self.sync_attachment(id);
-            }
-
-            // 4. Advance every server, in parallel.
-            let windows = self.config.windows_per_step;
-            let mut paired: Vec<(f64, &mut ColoRunner)> =
-                loads.iter().copied().zip(self.runners.iter_mut()).collect();
-            let observations: Vec<StepObservation> = parallel_map_mut(&mut paired, |entry| {
-                let (load, runner) = (entry.0, &mut *entry.1);
-                let mut worst = 0.0f64;
-                let mut progress = 0.0;
-                for _ in 0..windows {
-                    let record = runner.step(load);
-                    worst = worst.max(record.normalized_latency);
-                    progress += record.be_throughput * runner.be_alone_progress() * window_s;
-                }
-                let last = runner.last_record().expect("at least one window ran");
-                StepObservation {
-                    last_emu: last.emu,
-                    last_be_throughput: last.be_throughput,
-                    worst_normalized_latency: worst,
-                    progress_core_s: progress,
-                    be_enabled: runner.be_enabled(),
-                }
-            });
-
-            // 5. Credit progress, complete, preempt; 6. refresh the store.
-            let mut step_progress = 0.0;
-            for (id, obs) in observations.iter().enumerate() {
-                let resident = self.store.server(id).resident.clone();
-                // Split the step's progress evenly across residents,
-                // redistributing overshoot past a job's remaining demand to
-                // its co-residents; only work actually absorbed counts as
-                // served.
-                let mut budget = obs.progress_core_s;
-                if !resident.is_empty() {
-                    let mut open = resident.clone();
-                    while budget > 1e-9 && !open.is_empty() {
-                        let share = budget / open.len() as f64;
-                        budget = 0.0;
-                        let mut still_open = Vec::with_capacity(open.len());
-                        for job_id in open {
-                            let job = self.queue.job_mut(job_id);
-                            let take = share.min(job.remaining_core_s.max(0.0));
-                            job.remaining_core_s -= take;
-                            step_progress += take;
-                            if take < share {
-                                budget += share - take;
-                            } else if !job.is_complete() {
-                                still_open.push(job_id);
-                            }
-                        }
-                        open = still_open;
-                    }
-                }
-                for &job_id in &resident {
-                    if self.queue.job(job_id).is_complete() {
-                        self.queue.job_mut(job_id).completion = Some(now);
-                        self.store.release(job_id, id);
-                        completed_total += 1;
-                        events.push(FleetEvent {
-                            step: step_idx,
-                            job: job_id,
-                            server: id,
-                            kind: FleetEventKind::Completed,
-                        });
-                    }
-                }
-                self.store.observe(
-                    id,
-                    now,
-                    1.0 - obs.worst_normalized_latency,
-                    obs.last_emu,
-                    obs.last_be_throughput,
-                    obs.be_enabled,
-                );
-                if self.store.server(id).disabled_streak > self.config.preemption_grace_steps {
-                    // The server's controller has kept BE parked past the
-                    // grace period: route the jobs elsewhere.  Requeue in
-                    // reverse so the earliest resident ends up frontmost.
-                    let evicted = self.store.server(id).resident.clone();
-                    for &job_id in evicted.iter().rev() {
-                        self.store.release(job_id, id);
-                        self.queue.requeue_front(job_id);
-                        events.push(FleetEvent {
-                            step: step_idx,
-                            job: job_id,
-                            server: id,
-                            kind: FleetEventKind::Preempted,
-                        });
-                    }
-                }
-                self.sync_attachment(id);
-            }
-
-            // 7. Record the step.  Utilization aggregates are core-weighted:
-            // on a mixed fleet a big box's windows represent more machine
-            // time than a small box's.
-            let n = self.config.servers as f64;
-            let emus: Vec<f64> = observations.iter().map(|o| o.last_emu).collect();
-            steps.push(FleetStep {
-                time: now,
-                mean_load: core_weighted_mean(&loads, &server_cores),
-                fleet_emu: core_weighted_mean(&emus, &server_cores),
-                worst_normalized_latency: observations
-                    .iter()
-                    .map(|o| o.worst_normalized_latency)
-                    .fold(0.0, f64::max),
-                violating_server_fraction: observations
-                    .iter()
-                    .filter(|o| o.worst_normalized_latency > 1.0)
-                    .count() as f64
-                    / n,
-                queued_jobs: self.queue.pending_len(),
-                running_jobs: self.store.running_jobs(),
-                completed_jobs: completed_total,
-                be_progress_core_s: step_progress,
-            });
+        // 1. This step's per-server loads.
+        let loads: Vec<f64> = in_service.iter().map(|&id| self.server_load(id, now)).collect();
+        for (&id, &load) in in_service.iter().zip(&loads) {
+            self.store.set_load(id, load);
         }
 
+        // 2. Arrivals.
+        self.queue.arrive(now);
+
+        // 3. Dispatch: FIFO with skipping.
+        let pending = self.queue.take_pending();
+        let mut unplaced = Vec::new();
+        for job_id in pending {
+            match self.policy.place(self.queue.job(job_id), &self.store, &mut self.rng) {
+                Some(server) => {
+                    self.store.place(job_id, server);
+                    let job = self.queue.job_mut(job_id);
+                    if job.first_start.is_none() {
+                        job.first_start = Some(now);
+                    }
+                    self.events.push(FleetEvent {
+                        step: step_idx,
+                        job: job_id,
+                        server,
+                        kind: FleetEventKind::Placed,
+                    });
+                }
+                None => unplaced.push(job_id),
+            }
+        }
+        self.queue.restore_pending(unplaced);
+        for &id in &in_service {
+            self.sync_attachment(id);
+        }
+
+        // 4. Advance every in-service server, in parallel.  Retired runners
+        // stay in place (ids must remain dense) but never step.  The
+        // mask-filtered runner iterator ascends by id — exactly the order
+        // of `in_service` and `loads` (and of `observations` below), so
+        // the zip aligns loads with their runners.
+        let windows = self.config.windows_per_step;
+        let in_service_mask: Vec<bool> =
+            self.store.servers().iter().map(|s| s.in_service()).collect();
+        let mut paired: Vec<(f64, &mut ColoRunner)> = self
+            .runners
+            .iter_mut()
+            .enumerate()
+            .filter(|(id, _)| in_service_mask[*id])
+            .zip(loads.iter().copied())
+            .map(|((_, runner), load)| (load, runner))
+            .collect();
+        debug_assert_eq!(paired.len(), in_service.len());
+        let observations: Vec<StepObservation> = parallel_map_mut(&mut paired, |entry| {
+            let (load, runner) = (entry.0, &mut *entry.1);
+            let mut worst = 0.0f64;
+            let mut progress = 0.0;
+            for _ in 0..windows {
+                let record = runner.step(load);
+                worst = worst.max(record.normalized_latency);
+                progress += record.be_throughput * runner.be_alone_progress() * window_s;
+            }
+            let last = runner.last_record().expect("at least one window ran");
+            StepObservation {
+                last_emu: last.emu,
+                last_be_throughput: last.be_throughput,
+                worst_normalized_latency: worst,
+                progress_core_s: progress,
+                be_enabled: runner.be_enabled(),
+            }
+        });
+
+        // 5. Credit progress, complete, preempt; 6. refresh the store.
+        let mut step_progress = 0.0;
+        for (&id, obs) in in_service.iter().zip(&observations) {
+            let resident = self.store.server(id).resident.clone();
+            // Split the step's progress evenly across residents,
+            // redistributing overshoot past a job's remaining demand to
+            // its co-residents; only work actually absorbed counts as
+            // served.
+            let mut budget = obs.progress_core_s;
+            if !resident.is_empty() {
+                let mut open = resident.clone();
+                while budget > 1e-9 && !open.is_empty() {
+                    let share = budget / open.len() as f64;
+                    budget = 0.0;
+                    let mut still_open = Vec::with_capacity(open.len());
+                    for job_id in open {
+                        let job = self.queue.job_mut(job_id);
+                        let take = share.min(job.remaining_core_s.max(0.0));
+                        job.remaining_core_s -= take;
+                        step_progress += take;
+                        if take < share {
+                            budget += share - take;
+                        } else if !job.is_complete() {
+                            still_open.push(job_id);
+                        }
+                    }
+                    open = still_open;
+                }
+            }
+            for &job_id in &resident {
+                if self.queue.job(job_id).is_complete() {
+                    self.queue.job_mut(job_id).completion = Some(now);
+                    self.store.release(job_id, id);
+                    self.completed_total += 1;
+                    self.events.push(FleetEvent {
+                        step: step_idx,
+                        job: job_id,
+                        server: id,
+                        kind: FleetEventKind::Completed,
+                    });
+                }
+            }
+            self.store.observe(
+                id,
+                now,
+                1.0 - obs.worst_normalized_latency,
+                obs.last_emu,
+                obs.last_be_throughput,
+                obs.be_enabled,
+            );
+            if self.store.server(id).disabled_streak > self.config.preemption_grace_steps {
+                // The server's controller has kept BE parked past the
+                // grace period: route the jobs elsewhere.  Requeue in
+                // reverse so the earliest resident ends up frontmost.
+                let evicted = self.store.server(id).resident.clone();
+                for &job_id in evicted.iter().rev() {
+                    self.store.release(job_id, id);
+                    self.queue.requeue_front(job_id);
+                    self.events.push(FleetEvent {
+                        step: step_idx,
+                        job: job_id,
+                        server: id,
+                        kind: FleetEventKind::Preempted,
+                    });
+                }
+            }
+            self.sync_attachment(id);
+        }
+
+        // 7. Record the step.  Utilization aggregates are core-weighted
+        // over the in-service fleet: on a mixed fleet a big box's windows
+        // represent more machine time than a small box's, and a retired
+        // box represents none.  The TCO column charges each in-service
+        // server its amortized capex plus energy at its achieved EMU, over
+        // the wall time the step *represents* (see
+        // [`FleetConfig::time_compression`]).
+        let step_s = window_s * windows as f64 * self.config.time_compression;
+        let cores: Vec<usize> = in_service.iter().map(|&id| self.store.server(id).cores).collect();
+        let emus: Vec<f64> = observations.iter().map(|o| o.last_emu).collect();
+        let violating = observations.iter().filter(|o| o.worst_normalized_latency > 1.0).count();
+        let tco_dollars = in_service
+            .iter()
+            .zip(&observations)
+            .map(|(&id, o)| {
+                server_step_tco_dollars(
+                    &self.config.tco,
+                    self.store.server(id).cores,
+                    o.last_emu,
+                    step_s,
+                )
+            })
+            .sum();
+        self.steps.push(FleetStep {
+            time: now,
+            mean_load: core_weighted_mean(&loads, &cores),
+            fleet_emu: core_weighted_mean(&emus, &cores),
+            worst_normalized_latency: observations
+                .iter()
+                .map(|o| o.worst_normalized_latency)
+                .fold(0.0, f64::max),
+            violating_server_fraction: violating as f64 / in_service.len().max(1) as f64,
+            violating_servers: violating,
+            in_service_servers: in_service.len(),
+            in_service_cores: cores.iter().sum(),
+            in_service_by_generation: self.store.in_service_by_generation(),
+            migrations: std::mem::take(&mut self.pending_migrations),
+            tco_dollars,
+            queued_jobs: self.queue.pending_len(),
+            running_jobs: self.store.running_jobs(),
+            completed_jobs: self.completed_total,
+            be_progress_core_s: step_progress,
+        });
+        self.step_idx += 1;
+        self.steps.last().expect("just pushed")
+    }
+
+    /// Consumes the simulator into its final result.
+    pub fn into_result(self) -> FleetResult {
         FleetResult {
             policy: self.policy.name().to_string(),
-            server_cores,
-            steps,
+            server_cores: self.store.servers().iter().map(|s| s.cores).collect(),
+            server_generations: self.store.servers().iter().map(|s| s.generation).collect(),
+            steps: self.steps,
             jobs: self.queue.into_jobs(),
-            events,
+            events: self.events,
         }
+    }
+
+    /// Runs the fleet to the configured horizon and returns the result
+    /// (the static-fleet convenience loop over [`step_once`]).
+    ///
+    /// [`step_once`]: FleetSim::step_once
+    pub fn run(mut self) -> FleetResult {
+        while self.step_idx < self.config.steps {
+            self.step_once();
+        }
+        self.into_result()
     }
 }
 
 impl std::fmt::Debug for FleetSim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FleetSim")
-            .field("servers", &self.config.servers)
+            .field("servers", &self.runners.len())
             .field("policy", &self.policy.name())
+            .field("step", &self.step_idx)
             .field("queued", &self.queue.pending_len())
             .finish()
     }
@@ -540,7 +894,8 @@ pub fn single_server_baseline_violations(config: &FleetConfig, server: &ServerCo
         let now = SimTime::ZERO + step_duration * (step_idx as u64 + 1);
         let load = {
             let period_s = trace.duration().as_secs_f64();
-            trace.load_at(SimTime::from_secs_f64(now.as_secs_f64() % period_s))
+            let t = now.as_secs_f64() * config.time_compression % period_s;
+            trace.load_at(SimTime::from_secs_f64(t))
         };
         let worst = (0..config.windows_per_step)
             .map(|_| runner.step(load).normalized_latency)
@@ -599,7 +954,13 @@ mod tests {
         for step in &result.steps {
             assert!(step.fleet_emu >= 0.0 && step.worst_normalized_latency >= 0.0);
             assert!(step.running_jobs <= 4 * 2, "slot capacity exceeded");
+            assert_eq!(step.in_service_servers, 4);
+            assert_eq!(step.in_service_cores, 4 * 36);
+            assert_eq!(step.migrations, 0);
+            assert!(step.tco_dollars > 0.0, "a static fleet always costs money");
         }
+        assert!(result.total_tco_dollars() > 0.0);
+        assert!(result.tco_per_be_core_s().is_finite());
     }
 
     #[test]
@@ -613,6 +974,8 @@ mod tests {
         assert_eq!(cores, vec![16, 36, 36, 48]);
         assert_eq!(result.total_cores(), 136);
         assert_eq!(result.steps.len(), 10);
+        assert_eq!(result.steps[0].in_service_by_generation, [1, 2, 1]);
+        assert_eq!(result.server_generations.iter().filter(|&&g| g == 2).count(), 1);
         assert!(result.mean_fleet_emu() >= result.mean_lc_load());
         assert!(result.mean_fleet_emu() > 0.0 && result.mean_fleet_emu() <= 2.0);
     }
@@ -637,5 +1000,126 @@ mod tests {
         let cfg = tiny();
         let v = single_server_baseline_violations(&cfg, &ServerConfig::default_haswell());
         assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn time_compression_sweeps_the_diurnal_cycle_within_a_run() {
+        // Uncompressed, a server's load barely moves over a short run; with
+        // the run compressed onto the whole 12-hour trace it must sweep a
+        // large share of the diurnal swing.
+        let horizon_s = 10.0 * 2.0; // steps × step seconds for `tiny`
+        let compressed =
+            FleetConfig { load_spread: 0.0, time_compression: 12.0 * 3600.0 / horizon_s, ..tiny() };
+        let swing = |cfg: FleetConfig| {
+            let sim = FleetSim::new(cfg, ServerConfig::default_haswell(), PolicyKind::FirstFit);
+            let loads: Vec<f64> =
+                (1..=10).map(|step| sim.server_load(0, SimTime::from_secs(step * 2))).collect();
+            loads.iter().cloned().fold(0.0, f64::max)
+                - loads.iter().cloned().fold(f64::INFINITY, f64::min)
+        };
+        assert!(swing(FleetConfig { load_spread: 0.0, ..tiny() }) < 0.1);
+        assert!(swing(compressed) > 0.4, "compressed run missed the diurnal swing");
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        assert!(tiny().validate().is_ok());
+        let cases = [
+            FleetConfig { servers: 0, ..tiny() },
+            FleetConfig { be_slots_per_server: 0, ..tiny() },
+            FleetConfig { steps: 0, ..tiny() },
+            FleetConfig { windows_per_step: 0, ..tiny() },
+            FleetConfig { load_spread: 1.5, ..tiny() },
+            FleetConfig { load_spread: f64::NAN, ..tiny() },
+            FleetConfig { time_compression: 0.0, ..tiny() },
+            FleetConfig { time_compression: f64::INFINITY, ..tiny() },
+            FleetConfig { mix: GenerationMix { older: 0.8, newer: 0.8 }, ..tiny() },
+            FleetConfig {
+                jobs: JobStreamConfig { arrivals_per_step: -1.0, ..JobStreamConfig::default() },
+                ..tiny()
+            },
+            FleetConfig {
+                jobs: JobStreamConfig {
+                    demand_min_core_s: 10.0,
+                    demand_max_core_s: 5.0,
+                    ..JobStreamConfig::default()
+                },
+                ..tiny()
+            },
+            FleetConfig {
+                jobs: JobStreamConfig { demand_alpha: 0.0, ..JobStreamConfig::default() },
+                ..tiny()
+            },
+        ];
+        for bad in cases {
+            let err = bad.validate().expect_err("degenerate config accepted");
+            assert!(!err.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fleet config")]
+    fn constructors_reject_invalid_configs() {
+        let cfg = FleetConfig { load_spread: 2.0, ..tiny() };
+        FleetSim::new(cfg, ServerConfig::default_haswell(), PolicyKind::FirstFit);
+    }
+
+    #[test]
+    fn stepwise_api_matches_the_batch_run() {
+        let cfg = tiny();
+        let batch =
+            FleetSim::new(cfg, ServerConfig::default_haswell(), PolicyKind::LeastLoaded).run();
+        let mut sim = FleetSim::new(cfg, ServerConfig::default_haswell(), PolicyKind::LeastLoaded);
+        for expected_steps in 1..=cfg.steps {
+            sim.step_once();
+            assert_eq!(sim.current_step(), expected_steps);
+        }
+        let stepped = sim.into_result();
+        assert_eq!(batch.steps, stepped.steps);
+        assert_eq!(batch.events, stepped.events);
+        assert_eq!(batch.jobs, stepped.jobs);
+    }
+
+    #[test]
+    fn elastic_hooks_commission_migrate_and_retire() {
+        let cfg = tiny();
+        let mut sim = FleetSim::new(cfg, ServerConfig::default_haswell(), PolicyKind::LeastLoaded);
+        // Run until some server hosts a job.
+        let mut host = None;
+        for _ in 0..cfg.steps {
+            sim.step_once();
+            if let Some(s) = sim.store().servers().iter().find(|s| !s.resident.is_empty()) {
+                host = Some(s.id);
+                break;
+            }
+        }
+        let host = host.expect("no job was ever resident");
+        let job = sim.store().server(host).resident[0];
+        let before = sim.job(job).remaining_core_s;
+
+        // Buy a Skylake box mid-run: dense id, true capacity, active state.
+        let new_id = sim.add_server(Generation::Newer);
+        assert_eq!(new_id, 4);
+        assert_eq!(sim.store().server(new_id).cores, 48);
+        assert!(sim.store().server(new_id).is_active());
+
+        // Drain the host: its job migrates to the new box with its demand
+        // preserved plus the migration surcharge.
+        sim.begin_drain(host);
+        sim.migrate_job(job, host, new_id, 15.0);
+        assert_eq!(sim.store().server(new_id).resident, vec![job]);
+        assert!((sim.job(job).remaining_core_s - before - 15.0).abs() < 1e-9);
+        assert_eq!(sim.job(job).migrations, 1);
+        assert!((sim.job(job).migration_overhead_core_s - 15.0).abs() < 1e-9);
+
+        // The drained box retires; the next step runs without it.
+        sim.retire_server(host);
+        let step = *sim.step_once();
+        assert_eq!(step.in_service_servers, 4, "4 originals - 1 retired + 1 bought");
+        assert_eq!(step.migrations, 1);
+        let result = sim.into_result();
+        assert_eq!(result.server_cores.len(), 5);
+        assert!(result.events.iter().any(|e| e.kind == FleetEventKind::Migrated));
+        assert_eq!(result.migrations(), 1);
     }
 }

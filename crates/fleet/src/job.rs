@@ -85,6 +85,14 @@ pub struct BeJob {
     pub completion: Option<SimTime>,
     /// How many times the job was preempted and requeued.
     pub preemptions: usize,
+    /// How many times the job was live-migrated between servers (scale-in
+    /// drains move jobs without requeueing them).
+    pub migrations: usize,
+    /// Extra core·seconds added to the job's remaining demand by live
+    /// migrations — the modeled cost of moving its state, paid on the
+    /// destination.  `demand_core_s` itself is never touched by a
+    /// migration, so `served == demand + overhead` for completed jobs.
+    pub migration_overhead_core_s: f64,
 }
 
 impl BeJob {
@@ -155,6 +163,8 @@ impl JobQueue {
                 first_start: None,
                 completion: None,
                 preemptions: 0,
+                migrations: 0,
+                migration_overhead_core_s: 0.0,
             });
             self.pending.push_back(id);
             ids.push(id);
@@ -297,6 +307,8 @@ mod tests {
             first_start: None,
             completion: None,
             preemptions: 0,
+            migrations: 0,
+            migration_overhead_core_s: 0.0,
         };
         assert!(job.is_complete());
         assert_eq!(job.queueing_delay_s(), None);

@@ -61,10 +61,11 @@ pub use fleet::{single_server_baseline_violations, FleetConfig, FleetSim};
 pub use generation::{Generation, GenerationMix};
 pub use job::{BeJob, JobId, JobMix, JobQueue, JobStreamConfig};
 pub use metrics::{
-    core_weighted_mean, FleetEvent, FleetEventKind, FleetResult, FleetStep, QueueingDelaySummary,
+    core_weighted_mean, server_step_tco_dollars, FleetEvent, FleetEventKind, FleetResult,
+    FleetStep, QueueingDelaySummary, PLATFORM_COST_FLOOR, SECONDS_PER_YEAR,
 };
 pub use policy::{
-    FirstFit, InterferenceAware, InterferenceModel, LeastLoaded, PlacementPolicy, PolicyKind,
-    RandomPlacement,
+    marginal_headroom_cores, FirstFit, InterferenceAware, InterferenceModel, LeastLoaded,
+    PlacementPolicy, PolicyKind, RandomPlacement,
 };
-pub use store::{PlacementStore, ServerCapacity, ServerEntry, ServerId};
+pub use store::{PlacementStore, ServerCapacity, ServerEntry, ServerId, ServerState};

@@ -6,7 +6,7 @@ use heracles_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
 use crate::job::{BeJob, JobId};
-use crate::store::ServerId;
+use crate::store::{ServerId, REFERENCE_CORES};
 
 /// The mean of per-server `values` weighted by each server's core count.
 ///
@@ -30,21 +30,69 @@ pub fn core_weighted_mean(values: &[f64], cores: &[usize]) -> f64 {
     values.iter().zip(cores).map(|(v, &c)| v * c as f64).sum::<f64>() / total as f64
 }
 
+/// Seconds in one amortization year (the unit the TCO model's annual costs
+/// are spread over when charging per simulated step).
+pub const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+/// Fraction of a server's cost that does not scale with its core count (the
+/// chassis, NIC, motherboard, rack share).  The rest scales linearly with
+/// cores relative to the reference generation, so a 48-core Skylake box
+/// costs more than a 16-core Sandy Bridge one — but less than 3× more,
+/// which is what makes "which generation should scale-out buy" a real
+/// marginal-throughput-per-dollar question instead of a wash.
+pub const PLATFORM_COST_FLOOR: f64 = 0.5;
+
+/// Amortized TCO of one server for one simulated step of `step_s` seconds,
+/// in dollars: the annual capex (server plus infrastructure) and the energy
+/// bill at the step's utilization, both scaled to the server's core count
+/// (see [`PLATFORM_COST_FLOOR`]) and prorated to the step.
+///
+/// This is the per-step cost series an elastic fleet sums: a retired server
+/// stops contributing from the step it leaves, which is exactly the saving
+/// an autoscaler is buying when it drains a box.
+pub fn server_step_tco_dollars(tco: &TcoModel, cores: usize, utilization: f64, step_s: f64) -> f64 {
+    let ratio = cores as f64 / REFERENCE_CORES as f64;
+    let scale = PLATFORM_COST_FLOOR + (1.0 - PLATFORM_COST_FLOOR) * ratio;
+    let annual = (tco.annual_capex_per_server()
+        + tco.annual_energy_per_server(utilization.clamp(0.0, 1.0)))
+        * scale;
+    annual * step_s / SECONDS_PER_YEAR
+}
+
 /// One step of a fleet run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FleetStep {
     /// Simulated time at the end of the step.
     pub time: SimTime,
-    /// Core-weighted mean LC load across the fleet during the step.
+    /// Core-weighted mean LC load across the in-service fleet during the
+    /// step.
     pub mean_load: f64,
-    /// Core-weighted mean Effective Machine Utilization across servers
-    /// (last window): the fraction of the fleet's *compute*, not of its
-    /// server count, doing useful work.
+    /// Core-weighted mean Effective Machine Utilization across in-service
+    /// servers (last window): the fraction of the fleet's *compute*, not of
+    /// its server count, doing useful work.
     pub fleet_emu: f64,
     /// Worst SLO-normalized tail latency across all servers and windows.
     pub worst_normalized_latency: f64,
-    /// Fraction of servers that violated their SLO in some window this step.
+    /// Fraction of in-service servers that violated their SLO in some
+    /// window this step.
     pub violating_server_fraction: f64,
+    /// Number of in-service servers that violated their SLO in some window
+    /// this step (the absolute count behind the fraction — what an
+    /// autoscaler comparison sums into violation server-steps).
+    pub violating_servers: usize,
+    /// Servers in service (active or draining) during the step — the
+    /// time-varying fleet size an autoscaler modulates.
+    pub in_service_servers: usize,
+    /// Total cores in service during the step.
+    pub in_service_cores: usize,
+    /// In-service servers per hardware generation (older, Haswell, newer).
+    pub in_service_by_generation: [usize; 3],
+    /// Jobs live-migrated between servers during this step's scheduling
+    /// round (scale-in drains).
+    pub migrations: usize,
+    /// Amortized TCO of the step across in-service servers, in dollars
+    /// (capex prorated per step plus energy at each server's utilization).
+    pub tco_dollars: f64,
     /// Jobs waiting in the queue at the end of the step.
     pub queued_jobs: usize,
     /// Jobs resident on servers at the end of the step.
@@ -63,6 +111,10 @@ pub enum FleetEventKind {
     /// The job was preempted (its server's controller kept BE disabled) and
     /// requeued.
     Preempted,
+    /// The job was live-migrated onto this server (the event's `server` is
+    /// the destination), keeping its remaining demand and paying the
+    /// migration cost in core·seconds.
+    Migrated,
     /// The job served its whole demand.
     Completed,
 }
@@ -87,7 +139,12 @@ pub struct FleetResult {
     pub policy: String,
     /// Physical core count of each server, indexed by server id (the
     /// capacity weights behind the fleet-level EMU and TCO numbers).
+    /// Includes servers purchased mid-run and servers retired before the
+    /// end — ids are dense and stable for the whole run.
     pub server_cores: Vec<usize>,
+    /// Hardware generation index of each server, indexed by server id (the
+    /// per-server generation record autoscale traces plot against).
+    pub server_generations: Vec<usize>,
     /// Per-step records.
     pub steps: Vec<FleetStep>,
     /// Every job the arrival stream produced (completed or not).
@@ -109,11 +166,30 @@ pub struct QueueingDelaySummary {
     pub started: usize,
     /// Mean queueing delay of the started jobs, in seconds.
     pub mean_started_s: f64,
+    /// Median queueing delay of the started jobs, in seconds (nearest
+    /// rank).  A heavy-tailed wait distribution leaves the mean well above
+    /// the typical job's experience; triggers tuned on the mean alone
+    /// over-react to a few stragglers.
+    pub p50_started_s: f64,
+    /// 99th-percentile queueing delay of the started jobs, in seconds
+    /// (nearest rank) — the tail an autoscaling trigger actually defends;
+    /// the censoring-flattered mean hides exactly these jobs.
+    pub p99_started_s: f64,
     /// Jobs still waiting (never started) when the run ended.
     pub censored: usize,
     /// Total wait the censored jobs had accrued by the end of the run, in
     /// seconds — a lower bound on their eventual delay.
     pub censored_accrued_wait_s: f64,
+}
+
+/// Nearest-rank percentile of an unsorted sample (0.0 for empty input).
+fn nearest_rank(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("delays are finite"));
+    let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1]
 }
 
 impl FleetResult {
@@ -176,25 +252,25 @@ impl FleetResult {
     /// ended.
     pub fn queueing_delay(&self) -> QueueingDelaySummary {
         let end = self.steps.last().map(|s| s.time).unwrap_or(SimTime::ZERO);
-        let mut started = 0usize;
-        let mut started_total = 0.0;
+        let mut delays = Vec::new();
         let mut censored = 0usize;
         let mut censored_total = 0.0;
         for job in &self.jobs {
             match job.queueing_delay_s() {
-                Some(delay) => {
-                    started += 1;
-                    started_total += delay;
-                }
+                Some(delay) => delays.push(delay),
                 None => {
                     censored += 1;
                     censored_total += end.saturating_since(job.arrival).as_secs_f64();
                 }
             }
         }
+        let started = delays.len();
+        let mean = if started > 0 { delays.iter().sum::<f64>() / started as f64 } else { 0.0 };
         QueueingDelaySummary {
             started,
-            mean_started_s: if started > 0 { started_total / started as f64 } else { 0.0 },
+            mean_started_s: mean,
+            p50_started_s: nearest_rank(&mut delays, 0.50),
+            p99_started_s: nearest_rank(&mut delays, 0.99),
             censored,
             censored_accrued_wait_s: censored_total,
         }
@@ -210,6 +286,52 @@ impl FleetResult {
         self.jobs.iter().map(|j| j.preemptions).sum()
     }
 
+    /// Total live migrations across all jobs (scale-in drains).
+    pub fn migrations(&self) -> usize {
+        self.jobs.iter().map(|j| j.migrations).sum()
+    }
+
+    /// Total migration overhead paid across all jobs, in core·seconds.
+    pub fn migration_overhead_core_s(&self) -> f64 {
+        self.jobs.iter().map(|j| j.migration_overhead_core_s).sum()
+    }
+
+    /// Total amortized TCO of the run across in-service server-steps, in
+    /// dollars — the cost side of the autoscaled-vs-static comparison.
+    pub fn total_tco_dollars(&self) -> f64 {
+        self.steps.iter().map(|s| s.tco_dollars).sum()
+    }
+
+    /// Amortized TCO per BE core·second served, in dollars (infinite if the
+    /// run served no BE work at all — a fleet that costs money and does
+    /// nothing has unbounded cost per unit of work, not zero).
+    pub fn tco_per_be_core_s(&self) -> f64 {
+        let served = self.be_core_s_served();
+        if served > 0.0 {
+            self.total_tco_dollars() / served
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Mean number of in-service servers over the run (0.0 for an empty
+    /// run) — the time-varying fleet size an autoscaler is judged on.
+    pub fn mean_in_service_servers(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        self.steps.iter().map(|s| s.in_service_servers as f64).sum::<f64>()
+            / self.steps.len() as f64
+    }
+
+    /// Total SLO-violation server-steps over the run: each step contributes
+    /// the number of in-service servers that violated in some window.  The
+    /// absolute count (not the fraction) is what compares elastic fleets of
+    /// different sizes fairly.
+    pub fn violation_server_steps(&self) -> usize {
+        self.steps.iter().map(|s| s.violating_servers).sum()
+    }
+
     /// Relative throughput/TCO improvement of this run over the same fleet
     /// without colocation, using the paper's TCO calculator: the no-colo
     /// fleet is utilized at the mean LC load, this run at the mean fleet
@@ -221,20 +343,34 @@ impl FleetResult {
         tco.throughput_per_tco_improvement(self.mean_lc_load(), self.mean_fleet_emu())
     }
 
-    /// Renders the per-step records as a CSV document for plotting.
+    /// Renders the per-step records as a CSV document for plotting.  The
+    /// fleet-size and per-generation columns make autoscale traces (how
+    /// many servers of which generation were in service when) plottable
+    /// without post-processing, and the TCO column is the amortized cost
+    /// series the autoscaled-vs-static comparison integrates.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "time_s,mean_load,fleet_emu,worst_normalized_latency,violating_server_fraction,\
+             violating_servers,in_service_servers,in_service_cores,servers_sandy_bridge,\
+             servers_haswell,servers_skylake,migrations,tco_dollars,\
              queued_jobs,running_jobs,completed_jobs,be_progress_core_s\n",
         );
         for s in &self.steps {
             out.push_str(&format!(
-                "{:.6},{:.4},{:.4},{:.4},{:.4},{},{},{},{:.3}\n",
+                "{:.6},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{},{},{},{:.6},{},{},{},{:.3}\n",
                 s.time.as_secs_f64(),
                 s.mean_load,
                 s.fleet_emu,
                 s.worst_normalized_latency,
                 s.violating_server_fraction,
+                s.violating_servers,
+                s.in_service_servers,
+                s.in_service_cores,
+                s.in_service_by_generation[0],
+                s.in_service_by_generation[1],
+                s.in_service_by_generation[2],
+                s.migrations,
+                s.tco_dollars,
                 s.queued_jobs,
                 s.running_jobs,
                 s.completed_jobs,
@@ -255,7 +391,7 @@ impl FleetResult {
             |t: Option<SimTime>| t.map(|t| format!("{:.3}", t.as_secs_f64())).unwrap_or_default();
         let mut out = String::from(
             "job,kind,demand_core_s,arrival_s,first_start_s,completion_s,queue_wait_s,\
-             preemptions,censored\n",
+             preemptions,migrations,migration_overhead_core_s,censored\n",
         );
         for job in &self.jobs {
             let censored = job.first_start.is_none();
@@ -263,7 +399,7 @@ impl FleetResult {
                 .queueing_delay_s()
                 .unwrap_or_else(|| end.saturating_since(job.arrival).as_secs_f64());
             out.push_str(&format!(
-                "{},{},{:.3},{:.3},{},{},{:.3},{},{}\n",
+                "{},{},{:.3},{:.3},{},{},{:.3},{},{},{:.3},{}\n",
                 job.id,
                 job.workload.name(),
                 job.demand_core_s,
@@ -272,6 +408,8 @@ impl FleetResult {
                 fmt_opt(job.completion),
                 wait,
                 job.preemptions,
+                job.migrations,
+                job.migration_overhead_core_s,
                 usize::from(censored)
             ));
         }
@@ -291,6 +429,12 @@ mod tests {
             fleet_emu: emu,
             worst_normalized_latency: 0.8,
             violating_server_fraction: violating,
+            violating_servers: (violating * 4.0).round() as usize,
+            in_service_servers: 4,
+            in_service_cores: 144,
+            in_service_by_generation: [0, 4, 0],
+            migrations: 0,
+            tco_dollars: 0.5,
             queued_jobs: 0,
             running_jobs: 1,
             completed_jobs: 0,
@@ -308,6 +452,8 @@ mod tests {
             first_start: None,
             completion: None,
             preemptions: 0,
+            migrations: 0,
+            migration_overhead_core_s: 0.0,
         }
     }
 
@@ -315,6 +461,7 @@ mod tests {
         FleetResult {
             policy: "test".into(),
             server_cores: Vec::new(),
+            server_generations: Vec::new(),
             steps: Vec::new(),
             jobs: Vec::new(),
             events: Vec::new(),
@@ -331,6 +478,11 @@ mod tests {
         assert_eq!(r.mean_queueing_delay_s(), 0.0);
         assert_eq!(r.tco_improvement(&TcoModel::paper_case_study()), 0.0);
         assert!(r.mean_fleet_emu().is_finite() && r.min_fleet_emu().is_finite());
+        assert_eq!(r.total_tco_dollars(), 0.0);
+        assert_eq!(r.mean_in_service_servers(), 0.0);
+        assert_eq!(r.violation_server_steps(), 0);
+        // A fleet that served nothing has unbounded cost per unit of work.
+        assert!(r.tco_per_be_core_s().is_infinite());
     }
 
     #[test]
@@ -353,6 +505,65 @@ mod tests {
         assert_eq!(r.preemptions(), 2);
         // Raising utilization 0.45 → 0.7 must improve throughput/TCO.
         assert!(r.tco_improvement(&TcoModel::paper_case_study()) > 0.0);
+        // The TCO series sums per step; per-core·s divides by served work.
+        assert!((r.total_tco_dollars() - 1.0).abs() < 1e-12);
+        assert!((r.tco_per_be_core_s() - 1.0 / 40.0).abs() < 1e-12);
+        assert_eq!(r.mean_in_service_servers(), 4.0);
+        assert_eq!(r.violation_server_steps(), 2);
+    }
+
+    #[test]
+    fn step_tco_scales_with_cores_utilization_and_time() {
+        let tco = TcoModel::paper_case_study();
+        let reference = server_step_tco_dollars(&tco, 36, 0.5, 3600.0);
+        assert!(reference > 0.0);
+        // One reference server for one hour at 50% utilization: the annual
+        // bill prorated to an hour.
+        let annual = tco.annual_capex_per_server() + tco.annual_energy_per_server(0.5);
+        assert!((reference - annual * 3600.0 / SECONDS_PER_YEAR).abs() < 1e-9);
+        // Double the time, double the cost.
+        let two_hours = server_step_tco_dollars(&tco, 36, 0.5, 7200.0);
+        assert!((two_hours - 2.0 * reference).abs() < 1e-9);
+        // A 48-core box costs more than the reference, a 16-core one less —
+        // but sublinearly in cores, thanks to the platform floor.
+        let big = server_step_tco_dollars(&tco, 48, 0.5, 3600.0);
+        let small = server_step_tco_dollars(&tco, 16, 0.5, 3600.0);
+        assert!(big > reference && reference > small);
+        assert!(big / small < 48.0 / 16.0, "cost scaled superlinearly");
+        // Higher utilization costs energy, not capex.
+        assert!(server_step_tco_dollars(&tco, 36, 0.9, 3600.0) > reference);
+    }
+
+    #[test]
+    fn wait_percentiles_expose_the_tail_the_mean_flattens() {
+        let mut r = empty();
+        r.steps = vec![FleetStep { time: SimTime::from_secs(500), ..step(0.8, 0.5, 0.0, 0.0) }];
+        // 49 jobs wait 1 s, one straggler waits 101 s: the mean (3 s) says
+        // little; p50 pins the typical wait and p99 the straggler.
+        r.jobs = (0..50)
+            .map(|id| {
+                let mut j = job(id);
+                j.arrival = SimTime::from_secs(10);
+                j.first_start = Some(SimTime::from_secs(if id == 49 { 111 } else { 11 }));
+                j
+            })
+            .collect();
+        let summary = r.queueing_delay();
+        assert_eq!(summary.started, 50);
+        assert!((summary.mean_started_s - 3.0).abs() < 1e-12);
+        assert!((summary.p50_started_s - 1.0).abs() < 1e-12);
+        assert!((summary.p99_started_s - 101.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn migration_totals_come_from_the_job_ledger() {
+        let mut r = empty();
+        let mut moved = job(0);
+        moved.migrations = 2;
+        moved.migration_overhead_core_s = 30.0;
+        r.jobs = vec![moved, job(1)];
+        assert_eq!(r.migrations(), 2);
+        assert!((r.migration_overhead_core_s() - 30.0).abs() < 1e-12);
     }
 
     #[test]
@@ -395,6 +606,9 @@ mod tests {
         let summary = r.queueing_delay();
         assert_eq!(summary.started, 1);
         assert!((summary.mean_started_s - 6.0).abs() < 1e-12);
+        // With one started job, every percentile is that job's wait.
+        assert!((summary.p50_started_s - 6.0).abs() < 1e-12);
+        assert!((summary.p99_started_s - 6.0).abs() < 1e-12);
         assert_eq!(summary.censored, 1);
         assert!((summary.censored_accrued_wait_s - 60.0).abs() < 1e-12);
         // The convenience mean still reports only started jobs.

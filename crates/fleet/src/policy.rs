@@ -107,10 +107,12 @@ impl std::str::FromStr for PolicyKind {
     }
 }
 
-/// Uniform choice over servers with a free slot whose controller currently
-/// allows BE execution.  Deliberately blind to load, slack, trend and
-/// interference — but not to the controller's hard "BE disabled" verdict,
-/// which no real dispatcher would ignore.
+/// Uniform choice over active servers with a free slot whose controller
+/// currently allows BE execution.  Deliberately blind to load, slack, trend
+/// and interference — but not to the controller's hard "BE disabled"
+/// verdict, which no real dispatcher would ignore, nor to the lifecycle
+/// table (a draining or retired server is not a placement target for any
+/// scheduler, however naive).
 #[derive(Debug, Default)]
 pub struct RandomPlacement;
 
@@ -128,7 +130,7 @@ impl PlacementPolicy for RandomPlacement {
         let candidates: Vec<ServerId> = store
             .servers()
             .iter()
-            .filter(|s| s.has_free_slot() && s.be_admitted)
+            .filter(|s| s.is_active() && s.has_free_slot() && s.be_admitted)
             .map(|s| s.id)
             .collect();
         if candidates.is_empty() {
@@ -187,7 +189,12 @@ const LEAST_LOADED_TREND_HORIZON: f64 = 4.0;
 /// raw headroom is zero for *every* such server, and a hard zero would
 /// erase all remaining discrimination (crowding here, and the multiplied
 /// interference/affinity factors in [`InterferenceAware`]'s score).
-fn marginal_headroom_cores(server: &ServerEntry, projected_load: f64, crowd: f64) -> f64 {
+///
+/// Public because the autoscaler's drain pricer ranks migration
+/// *destinations* by exactly this quantity — a move from a 16-core box to a
+/// 48-core one changes the job's progress rate, so the move is priced
+/// against the destination's marginal headroom, not its load fraction.
+pub fn marginal_headroom_cores(server: &ServerEntry, projected_load: f64, crowd: f64) -> f64 {
     (server.cores as f64 * (1.0 - projected_load)).max(0.5) / (1.0 + crowd)
 }
 
@@ -310,6 +317,15 @@ impl InterferenceModel {
     /// tests and callers that already have characterization data).
     pub fn from_scores(scores: impl IntoIterator<Item = (BeKind, f64)>) -> Self {
         InterferenceModel { hostility: HashMap::new(), uniform: scores.into_iter().collect() }
+    }
+
+    /// A model built from explicit per-(generation, kind) scores — for
+    /// tests and callers carrying external per-generation characterization
+    /// data (e.g. the autoscaler's generation market).
+    pub fn from_generation_scores(
+        scores: impl IntoIterator<Item = ((usize, BeKind), f64)>,
+    ) -> Self {
+        InterferenceModel { hostility: scores.into_iter().collect(), uniform: HashMap::new() }
     }
 
     /// The hostility score of a BE kind on a given hardware generation.
@@ -451,6 +467,8 @@ mod tests {
             first_start: None,
             completion: None,
             preemptions: 0,
+            migrations: 0,
+            migration_overhead_core_s: 0.0,
         }
     }
 
@@ -497,6 +515,22 @@ mod tests {
                 .expect("servers 1 and 2 admit");
             assert_ne!(s, 0, "random placed onto a BE-disabled server");
         }
+    }
+
+    #[test]
+    fn no_policy_targets_a_draining_server() {
+        let mut store = store();
+        // Server 1 is the most attractive (emptiest) — but it is draining.
+        store.begin_drain(1);
+        let mut rng = SimRng::new(1);
+        let job = job_of(BeWorkload::brain());
+        for _ in 0..50 {
+            assert_ne!(RandomPlacement.place(&job, &store, &mut rng), Some(1));
+        }
+        assert_eq!(FirstFit.place(&job, &store, &mut rng), Some(0));
+        assert_eq!(LeastLoaded.place(&job, &store, &mut rng), Some(2));
+        let mut aware = InterferenceAware::new(InterferenceModel::from_scores([]));
+        assert_ne!(aware.place(&job, &store, &mut rng), Some(1));
     }
 
     #[test]

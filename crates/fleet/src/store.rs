@@ -102,11 +102,35 @@ impl ServerCapacity {
     }
 }
 
+/// Lifecycle state of a server in an elastic fleet.
+///
+/// A static fleet keeps every server [`Active`](ServerState::Active) for the
+/// whole run.  Under an autoscaler, scale-in first marks a server
+/// [`Draining`](ServerState::Draining) — it stops admitting new BE work but
+/// keeps serving its LC traffic and its resident jobs until they are
+/// live-migrated away — and only an *empty* draining server may be
+/// [`Retired`](ServerState::Retired) (decommissioned: it stops stepping,
+/// stops costing TCO, and never hosts work again).  Retired entries stay in
+/// the table so server ids remain dense and stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServerState {
+    /// In service: steps, serves LC traffic and may admit BE jobs.
+    Active,
+    /// Scheduled for removal: still steps and serves LC traffic, but admits
+    /// no new BE work while its residents are migrated away.
+    Draining,
+    /// Decommissioned: no longer steps, costs nothing, hosts nothing.
+    Retired,
+}
+
 /// What the store knows about one server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerEntry {
     /// The server's identifier.
     pub id: ServerId,
+    /// Where the server is in its lifecycle (always
+    /// [`ServerState::Active`] in a static fleet).
+    pub state: ServerState,
     /// Physical core count (per-server capacity; heterogeneous fleets mix
     /// generations with different counts).
     pub cores: usize,
@@ -155,6 +179,18 @@ pub struct ServerEntry {
 }
 
 impl ServerEntry {
+    /// True while the server is in service (active or draining): it steps,
+    /// serves LC traffic and costs TCO.
+    pub fn in_service(&self) -> bool {
+        self.state != ServerState::Retired
+    }
+
+    /// True if the server may accept new BE work as far as its lifecycle is
+    /// concerned (draining and retired servers never do).
+    pub fn is_active(&self) -> bool {
+        self.state == ServerState::Active
+    }
+
     /// Number of unoccupied BE slots.
     pub fn free_slots(&self) -> usize {
         self.be_slots.saturating_sub(self.resident.len())
@@ -165,7 +201,8 @@ impl ServerEntry {
         self.free_slots() > 0
     }
 
-    /// True if the server is healthy enough to accept new BE work: a free
+    /// True if the server is healthy enough to accept new BE work: in
+    /// service and not draining, a free
     /// slot, a controller that currently allows BE execution, positive
     /// latency slack (the server is not at or over its SLO), and load
     /// within the controller's hysteresis envelope — below the re-enable
@@ -182,7 +219,8 @@ impl ServerEntry {
         } else {
             ADMISSION_LOAD_CEILING
         };
-        self.has_free_slot()
+        self.is_active()
+            && self.has_free_slot()
             && self.be_admitted
             && self.slack > ADMISSION_SLACK_FLOOR
             && self.lc_load < ceiling
@@ -227,31 +265,131 @@ impl PlacementStore {
             servers: capacities
                 .iter()
                 .enumerate()
-                .map(|(id, cap)| {
-                    assert!(cap.cores > 0, "server {id} needs at least one core");
-                    assert!(cap.be_slots > 0, "server {id} needs at least one BE slot");
-                    ServerEntry {
-                        id,
-                        cores: cap.cores,
-                        dram_peak_gbps: cap.dram_peak_gbps,
-                        generation: cap.generation,
-                        be_slots: cap.be_slots,
-                        resident: Vec::new(),
-                        attached_kind: None,
-                        lc_load: 0.0,
-                        load_trend: 0.0,
-                        seen_load: false,
-                        seen_observation: false,
-                        be_admitted: true,
-                        slack: 1.0,
-                        recent_emu: 0.0,
-                        recent_be_throughput: 0.0,
-                        disabled_streak: 0,
-                    }
-                })
+                .map(|(id, cap)| Self::entry_for(id, cap))
                 .collect(),
             last_updated: SimTime::ZERO,
         }
+    }
+
+    fn entry_for(id: ServerId, cap: &ServerCapacity) -> ServerEntry {
+        assert!(cap.cores > 0, "server {id} needs at least one core");
+        assert!(cap.be_slots > 0, "server {id} needs at least one BE slot");
+        ServerEntry {
+            id,
+            state: ServerState::Active,
+            cores: cap.cores,
+            dram_peak_gbps: cap.dram_peak_gbps,
+            generation: cap.generation,
+            be_slots: cap.be_slots,
+            resident: Vec::new(),
+            attached_kind: None,
+            lc_load: 0.0,
+            load_trend: 0.0,
+            seen_load: false,
+            seen_observation: false,
+            be_admitted: true,
+            slack: 1.0,
+            recent_emu: 0.0,
+            recent_be_throughput: 0.0,
+            disabled_streak: 0,
+        }
+    }
+
+    /// Commissions a new server (autoscaler scale-out), returning its id.
+    /// The new entry starts [`ServerState::Active`] with no load history —
+    /// the cold-start slack estimate applies until its controller reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity has zero cores or BE slots.
+    pub fn add_server(&mut self, cap: ServerCapacity) -> ServerId {
+        let id = self.servers.len();
+        self.servers.push(Self::entry_for(id, &cap));
+        id
+    }
+
+    /// Marks a server as draining (autoscaler scale-in, phase one): it stops
+    /// admitting new BE work while its residents are migrated away.  A
+    /// no-op on a server already draining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is retired — a decommissioned box cannot drain.
+    pub fn begin_drain(&mut self, id: ServerId) {
+        let entry = &mut self.servers[id];
+        assert!(entry.state != ServerState::Retired, "server {id} is already retired");
+        entry.state = ServerState::Draining;
+    }
+
+    /// Returns a draining server to active service (a cancelled scale-in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is retired.
+    pub fn reactivate(&mut self, id: ServerId) {
+        let entry = &mut self.servers[id];
+        assert!(entry.state != ServerState::Retired, "server {id} is already retired");
+        entry.state = ServerState::Active;
+    }
+
+    /// Retires a drained server (autoscaler scale-in, phase two).  This is
+    /// the invariant the autoscaler's property tests pin: a server may only
+    /// leave the fleet once every resident job has been migrated away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server still hosts resident jobs.
+    pub fn retire(&mut self, id: ServerId) {
+        let entry = &mut self.servers[id];
+        assert!(
+            entry.resident.is_empty(),
+            "server {id} retired with {} unmigrated resident jobs",
+            entry.resident.len()
+        );
+        entry.state = ServerState::Retired;
+        entry.be_admitted = false;
+        entry.disabled_streak = 0;
+    }
+
+    /// Live-migrates a job between servers: releases its slot on `from` and
+    /// occupies one on `to` in a single committed move (the job never passes
+    /// through the queue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is not resident on `from`, `to` has no free slot,
+    /// or `from == to`.
+    pub fn migrate(&mut self, job: JobId, from: ServerId, to: ServerId) {
+        assert_ne!(from, to, "job {job} migrated onto its own server {from}");
+        self.release(job, from);
+        self.place(job, to);
+    }
+
+    /// Number of servers currently active (in service and not draining).
+    pub fn active_servers(&self) -> usize {
+        self.servers.iter().filter(|s| s.is_active()).count()
+    }
+
+    /// Number of servers currently draining.
+    pub fn draining_servers(&self) -> usize {
+        self.servers.iter().filter(|s| s.state == ServerState::Draining).count()
+    }
+
+    /// Total core count across in-service (active or draining) servers.
+    pub fn in_service_cores(&self) -> usize {
+        self.servers.iter().filter(|s| s.in_service()).map(|s| s.cores).sum()
+    }
+
+    /// How many in-service servers run each generation, indexed by
+    /// generation index (older, Haswell, newer).
+    pub fn in_service_by_generation(&self) -> [usize; 3] {
+        let mut counts = [0usize; 3];
+        for s in self.servers.iter().filter(|s| s.in_service()) {
+            if let Some(slot) = counts.get_mut(s.generation) {
+                *slot += 1;
+            }
+        }
+        counts
     }
 
     /// All per-server entries, indexed by server id.
@@ -498,6 +636,76 @@ mod tests {
         store.observe(0, SimTime::from_secs(4), 0.5, 0.3, 0.1, true);
         assert_eq!(store.server(0).disabled_streak, 0);
         assert_eq!(store.last_updated(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn lifecycle_gates_admission_and_retirement() {
+        let mut store = PlacementStore::new(2, 2);
+        store.set_load(0, 0.3);
+        store.observe(0, SimTime::from_secs(1), 0.5, 0.4, 0.1, true);
+        assert!(store.server(0).admits_be());
+        assert_eq!(store.active_servers(), 2);
+
+        // Draining stops admission but the server stays in service.
+        store.begin_drain(0);
+        assert!(!store.server(0).admits_be(), "draining server admitted work");
+        assert!(store.server(0).in_service());
+        assert_eq!(store.active_servers(), 1);
+        assert_eq!(store.draining_servers(), 1);
+        assert_eq!(store.in_service_cores(), 72);
+
+        // A cancelled scale-in returns the server to service.
+        store.reactivate(0);
+        assert!(store.server(0).admits_be());
+
+        // An empty draining server retires; a retired one drops out of the
+        // in-service aggregates entirely.
+        store.begin_drain(0);
+        store.retire(0);
+        assert!(!store.server(0).in_service());
+        assert_eq!(store.in_service_cores(), 36);
+        assert_eq!(store.in_service_by_generation(), [0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unmigrated resident jobs")]
+    fn retiring_an_occupied_server_panics() {
+        let mut store = PlacementStore::new(1, 1);
+        store.place(3, 0);
+        store.begin_drain(0);
+        store.retire(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already retired")]
+    fn draining_a_retired_server_panics() {
+        let mut store = PlacementStore::new(1, 1);
+        store.retire(0);
+        store.begin_drain(0);
+    }
+
+    #[test]
+    fn migration_moves_the_slot_atomically() {
+        let mut store = PlacementStore::new(2, 1);
+        store.place(5, 0);
+        store.migrate(5, 0, 1);
+        assert!(store.server(0).resident.is_empty());
+        assert_eq!(store.server(1).resident, vec![5]);
+        assert_eq!(store.running_jobs(), 1);
+    }
+
+    #[test]
+    fn added_servers_get_dense_ids_and_fresh_state() {
+        let mut store = PlacementStore::new(1, 1);
+        let id =
+            store.add_server(ServerCapacity::from_config(&ServerConfig::newer_skylake(), 2, 2));
+        assert_eq!(id, 1);
+        assert_eq!(store.server(1).cores, 48);
+        assert!(store.server(1).is_active());
+        // Cold-start slack comes from the first sampled load, as for the
+        // original fleet.
+        store.set_load(1, 0.9);
+        assert!((store.server(1).slack - 0.1).abs() < 1e-12);
     }
 
     #[test]

@@ -80,6 +80,8 @@ fn job_for(kind_idx: usize, id: usize) -> heracles_fleet::BeJob {
         first_start: None,
         completion: None,
         preemptions: 0,
+        migrations: 0,
+        migration_overhead_core_s: 0.0,
     }
 }
 

@@ -15,11 +15,14 @@
 //! * [`cluster`] — websearch fan-out cluster and the TCO model,
 //! * [`fleet`] — cluster-wide BE job scheduler over per-server Heracles
 //!   controllers (job queue, placement store, placement policies),
+//! * [`autoscale`] — elastic fleet controller over [`fleet`]: buys, drains
+//!   and live-migrates by marginal TCO,
 //! * [`bench`] — shared helpers for the figure-reproduction binaries.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use heracles_autoscale as autoscale;
 pub use heracles_baselines as baselines;
 pub use heracles_bench as bench;
 pub use heracles_cluster as cluster;

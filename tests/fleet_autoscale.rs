@@ -1,0 +1,152 @@
+//! End-to-end assertions for the elastic fleet controller on the
+//! deterministic `--fast` elastic scenario (the `fast_test` fleet
+//! compressed onto one full diurnal cycle):
+//!
+//! * the reactive autoscaler completes at least 95% of the static fleet's
+//!   BE core·seconds at *strictly lower* amortized TCO — the paper's
+//!   economic claim made dynamic,
+//! * draining live-migrates (not requeues) every resident job, preserving
+//!   its remaining demand plus the priced migration surcharge,
+//! * the predictive policy is no worse than the reactive one on
+//!   SLO-violation server-steps, and on this scenario serves more work at
+//!   a better TCO per core·second,
+//! * the whole closed loop is a pure function of the seed.
+
+use heracles::autoscale::{AutoscaleConfig, AutoscaleKind, AutoscaleResult, ElasticFleet};
+use heracles::fleet::PolicyKind;
+use heracles::hw::ServerConfig;
+
+fn run(kind: AutoscaleKind) -> AutoscaleResult {
+    ElasticFleet::new(
+        AutoscaleConfig::fast_test(),
+        ServerConfig::default_haswell(),
+        PolicyKind::LeastLoaded,
+        kind,
+    )
+    .run()
+}
+
+#[test]
+fn reactive_matches_static_work_at_strictly_lower_tco() {
+    let fixed = run(AutoscaleKind::Static);
+    let elastic = run(AutoscaleKind::Reactive);
+
+    // Both fleets scheduled the identical seeded job stream.
+    assert_eq!(fixed.fleet.jobs.len(), elastic.fleet.jobs.len());
+    for (a, b) in fixed.fleet.jobs.iter().zip(&elastic.fleet.jobs) {
+        assert_eq!(a.demand_core_s, b.demand_core_s, "job {} demand diverged", a.id);
+    }
+
+    // The static baseline never scales; the reactive controller actually
+    // worked the fleet in both directions.
+    assert!(fixed.events.is_empty(), "the static policy scaled: {:?}", fixed.events);
+    assert!(elastic.scale_ins() > 0, "reactive never shed a server");
+    assert!(elastic.scale_outs() > 0, "reactive never bought a server");
+    assert!(
+        elastic.fleet.mean_in_service_servers() < fixed.fleet.mean_in_service_servers(),
+        "the elastic fleet was not smaller on average"
+    );
+
+    // The acceptance bar: >= 95% of the static fleet's completed BE
+    // core·seconds at strictly lower amortized TCO.
+    let work_ratio = elastic.fleet.be_core_s_served() / fixed.fleet.be_core_s_served();
+    assert!(work_ratio >= 0.95, "reactive served only {:.1}% of static's work", work_ratio * 100.0);
+    assert!(
+        elastic.fleet.total_tco_dollars() < fixed.fleet.total_tco_dollars(),
+        "reactive TCO {:.2} not strictly below static {:.2}",
+        elastic.fleet.total_tco_dollars(),
+        fixed.fleet.total_tco_dollars()
+    );
+    // And therefore strictly better TCO per unit of useful work.
+    assert!(elastic.fleet.tco_per_be_core_s() < fixed.fleet.tco_per_be_core_s());
+
+    // Elasticity must not cost latency compliance: each server still runs
+    // its own Heracles controller, so violations stay no worse than the
+    // static fleet's.
+    assert!(
+        elastic.fleet.violation_server_steps() <= fixed.fleet.violation_server_steps(),
+        "elasticity cost SLO compliance"
+    );
+}
+
+#[test]
+fn draining_migrates_resident_jobs_with_demand_preserved() {
+    let elastic = run(AutoscaleKind::Reactive);
+
+    // Drains migrated — the pricer never fell back to a requeue on this
+    // scenario (every drained resident had more work left than the
+    // migration overhead).
+    assert!(elastic.drain_migrations() > 0, "no drain ever live-migrated a job");
+    assert_eq!(elastic.drain_requeues(), 0, "a drain requeued instead of migrating");
+    assert_eq!(elastic.drain_migrations(), elastic.fleet.migrations());
+
+    // Remaining demand is preserved across migrations: the job ledger's
+    // drawdown (demand plus migration surcharge minus what is left)
+    // accounts for every served core·second, so a migration neither wiped
+    // nor duplicated work.
+    let drawdown: f64 = elastic
+        .fleet
+        .jobs
+        .iter()
+        .map(|j| j.demand_core_s + j.migration_overhead_core_s - j.remaining_core_s)
+        .sum();
+    let served = elastic.fleet.be_core_s_served();
+    assert!((served - drawdown).abs() < 1e-6 * (1.0 + served), "{served} != {drawdown}");
+
+    // Each migrated job paid exactly the configured surcharge per move.
+    let cost = AutoscaleConfig::fast_test().migration_cost_core_s;
+    for job in elastic.fleet.jobs.iter().filter(|j| j.migrations > 0) {
+        assert!(
+            (job.migration_overhead_core_s - cost * job.migrations as f64).abs() < 1e-9,
+            "job {} overhead {} for {} migrations",
+            job.id,
+            job.migration_overhead_core_s,
+            job.migrations
+        );
+    }
+
+    // A retired server is gone for good: no placement or migration ever
+    // targets it afterwards (the drain protocol's other half).
+    use heracles::autoscale::ScaleEventKind;
+    use heracles::fleet::FleetEventKind;
+    for event in &elastic.events {
+        if let ScaleEventKind::Retired { server } = event.kind {
+            let landed_later = elastic.fleet.events.iter().any(|e| {
+                e.server == server
+                    && e.step >= event.step
+                    && matches!(e.kind, FleetEventKind::Placed | FleetEventKind::Migrated)
+            });
+            assert!(!landed_later, "work landed on retired server {server}");
+        }
+    }
+}
+
+#[test]
+fn predictive_is_no_worse_than_reactive() {
+    let reactive = run(AutoscaleKind::Reactive);
+    let predictive = run(AutoscaleKind::Predictive);
+
+    // The pinned ordering: pre-provisioning ahead of the peak must not
+    // cost SLO compliance...
+    assert!(
+        predictive.fleet.violation_server_steps() <= reactive.fleet.violation_server_steps(),
+        "predictive violated more ({}) than reactive ({})",
+        predictive.fleet.violation_server_steps(),
+        reactive.fleet.violation_server_steps()
+    );
+    // ...and on this scenario the pre-provisioned capacity absorbs the
+    // post-peak backlog sooner: more work served at a better price per
+    // core·second.
+    assert!(predictive.fleet.be_core_s_served() >= reactive.fleet.be_core_s_served());
+    assert!(predictive.fleet.tco_per_be_core_s() <= reactive.fleet.tco_per_be_core_s());
+}
+
+#[test]
+fn elastic_runs_are_pure_functions_of_the_seed() {
+    let a = run(AutoscaleKind::Reactive);
+    let b = run(AutoscaleKind::Reactive);
+    assert_eq!(a.events, b.events, "scale-action sequences diverged");
+    assert_eq!(a.fleet.steps, b.fleet.steps);
+    assert_eq!(a.fleet.events, b.fleet.events);
+    assert_eq!(a.fleet.jobs, b.fleet.jobs);
+}
