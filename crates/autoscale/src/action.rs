@@ -122,6 +122,14 @@ pub struct ScaleSignals {
     pub best_buy: Generation,
     /// The active server the market rates cheapest to shed, if any.
     pub drain_candidate: Option<ServerId>,
+    /// The load fraction the drain candidate's service pool would run at
+    /// if the candidate were retired and its traffic re-routed across the
+    /// survivors (the worst of the next step and the forecast horizon;
+    /// 0 when there is no candidate).  Scale-in is not free capacity
+    /// shedding: the re-routed share is added load that can push the
+    /// survivors over their latency knee, and this is the number a policy
+    /// prices that risk with.
+    pub post_shed_load: f64,
 }
 
 impl ScaleSignals {

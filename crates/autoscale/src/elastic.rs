@@ -11,12 +11,16 @@
 //! smaller than the migration overhead — and retiring servers that drained
 //! empty, then (4) advances the fleet one scheduler step.
 //!
-//! LC traffic is assumed re-routable: the front-end balancer that already
-//! assigns each box a load *fraction of its own capacity* shifts the
-//! retired box's share onto the survivors' diurnal headroom.  The
-//! comparison the controller is judged on is therefore BE-side — completed
-//! core·seconds per amortized TCO dollar — with the SLO-violation count
-//! pinning that elasticity never costs latency compliance.
+//! LC traffic is re-routed, not assumed away: the fleet's traffic plane
+//! conserves each service's offered QPS, so a retired box's share lands on
+//! the surviving leaves as *added load*.  Scale-in therefore carries SLO
+//! risk — the re-routed share can push survivors over their latency knee —
+//! and the policies price it: [`ScaleSignals::post_shed_load`] is the
+//! candidate pool's projected load after the re-route, and a shed is
+//! refused when it exceeds the policy's ceiling.  The comparison the
+//! controller is judged on is BE-side — completed core·seconds per
+//! amortized TCO dollar — with the SLO-violation count pinning that
+//! elasticity never buys throughput with latency compliance.
 
 use heracles_fleet::{
     marginal_headroom_cores, FleetResult, FleetSim, InterferenceModel, JobId, PolicyKind,
@@ -81,19 +85,15 @@ impl AutoscaleConfig {
         let mut config = Self::new(heracles_fleet::FleetConfig {
             load_spread: 0.15,
             time_compression: 12.0 * 3600.0 / horizon_s,
-            // Size the stream to roughly 60–70% of the static fleet's
-            // measured colocation capacity (a reference server recovers
-            // ~13 BE core·s per step across the diurnal cycle).  A
+            // Size the stream so the fleet is moderately subscribed: a
             // saturated fleet gives an autoscaler only one direction —
-            // buy — while a moderately subscribed one must both shed
-            // through the valley and provision for the peak, which is the
-            // claim under test.  Jobs are smaller and more numerous than
-            // the placement sweeps': many concurrent residents spread over
-            // the shrinking fleet is what makes scale-in *consolidation*
-            // (live-migrate, then retire) rather than the free shedding of
-            // empty boxes.
+            // buy — while this rate makes it shed through the valley and
+            // provision for the peak, which is the claim under test.  The
+            // rate also keeps leaves *occupied* when the early-valley
+            // sheds fire, so scale-in is consolidation (live-migrate, then
+            // retire) rather than the free shedding of empty boxes.
             jobs: heracles_fleet::JobStreamConfig {
-                arrivals_per_step: 0.03 * base.servers as f64,
+                arrivals_per_step: 0.06 * base.servers as f64,
                 demand_min_core_s: 100.0,
                 demand_max_core_s: 800.0,
                 ..base.jobs
@@ -250,6 +250,17 @@ impl ElasticFleet {
             .filter(|s| s.admits_be() && Some(s.id) != drain_candidate)
             .map(|s| s.free_slots())
             .sum();
+        // The SLO price of shedding the candidate: its service pool's load
+        // after the re-route, at the worst of "right now" and the forecast
+        // horizon (a shed that looks safe in the valley can strand the
+        // shrunken pool over its knee when the peak arrives).
+        let post_shed_load = drain_candidate
+            .map(|id| {
+                self.sim
+                    .post_retire_pool_load(id, 0)
+                    .max(self.sim.post_retire_pool_load(id, self.config.forecast_lead_steps))
+            })
+            .unwrap_or(0.0);
         ScaleSignals {
             step: self.sim.current_step(),
             queued_jobs: self.sim.queue_depth(),
@@ -267,6 +278,7 @@ impl ElasticFleet {
             max_servers: self.config.max_servers,
             best_buy: self.market.best_buy(),
             drain_candidate,
+            post_shed_load,
         }
     }
 
@@ -289,8 +301,13 @@ impl ElasticFleet {
             }
             ScaleAction::ScaleIn { server } => {
                 let store = self.sim.store();
+                // Besides the fleet-size floor, a drain must never target a
+                // service's last in-service leaf — retiring it would leave
+                // the service's traffic unroutable (the fleet panics on the
+                // attempt, and no policy bug should be able to reach that).
                 if store.active_servers() > self.config.min_servers
                     && store.server(server).is_active()
+                    && store.in_service_leaves(store.server(server).service) > 1
                 {
                     self.sim.begin_drain(server);
                     self.events
@@ -303,13 +320,17 @@ impl ElasticFleet {
     /// The migration destination offering a resident of `from` the most
     /// marginal headroom (among servers currently admitting BE work),
     /// deterministically tie-broken by id.
+    ///
+    /// Headroom is computed *after* the destination absorbs its slice of
+    /// the draining server's re-routed LC traffic: a sibling leaf of the
+    /// victim's service is about to get hotter than its store entry shows,
+    /// so ranking destinations by their pre-drain load would migrate jobs
+    /// straight into the re-route's blast radius.
     fn best_destination(&self, from: ServerId) -> Option<ServerId> {
         let headroom = |s: &ServerEntry| {
-            marginal_headroom_cores(
-                s,
-                s.projected_load(DRAIN_TREND_HORIZON),
-                s.resident.len() as f64,
-            )
+            let projected =
+                s.projected_load(DRAIN_TREND_HORIZON) + self.sim.reroute_load_increase(from, s.id);
+            marginal_headroom_cores(s, projected, s.resident.len() as f64)
         };
         self.sim
             .store()

@@ -17,7 +17,7 @@ use heracles_fleet::{
     ServerCapacity, ServerEntry, ServerId,
 };
 use heracles_hw::ServerConfig;
-use heracles_workloads::BeKind;
+use heracles_workloads::{BeKind, LcKind, NUM_SERVICES};
 
 /// Prices hardware generations for scale decisions.
 #[derive(Debug, Clone)]
@@ -26,6 +26,12 @@ pub struct GenerationMarket {
     model: InterferenceModel,
     kinds: Vec<BeKind>,
     capacities: [ServerCapacity; 3],
+    /// The fleet's service shares, indexed by [`LcKind::index`]: a
+    /// generation's interference pressure is averaged over the services a
+    /// purchased leaf might serve, weighted by how much of the fleet each
+    /// one is (hostility is a (hardware, service) property — iperf next to
+    /// memkeyval is not iperf next to ml_cluster).
+    service_shares: [f64; NUM_SERVICES],
     /// LC load a newly bought box is expected to serve on average over its
     /// tenure (the diurnal trace's midpoint): the capacity the LC service
     /// keeps is not available as marginal BE throughput.
@@ -33,8 +39,8 @@ pub struct GenerationMarket {
 }
 
 impl GenerationMarket {
-    /// Builds a market from the fleet's cost model, job mix and an
-    /// interference model (pass
+    /// Builds a market from the fleet's cost model, job mix, service mix
+    /// and an interference model (pass
     /// [`InterferenceModel::from_scores`]`([])` for an uncharacterized
     /// market: every generation then gets the cautious default hostility
     /// and the ranking reduces to cores per dollar).
@@ -51,6 +57,7 @@ impl GenerationMarket {
             model,
             kinds: config.jobs.mix.workloads().iter().map(|w| w.kind()).collect(),
             capacities,
+            service_shares: config.services.shares(),
             expected_load: 0.55,
         }
     }
@@ -64,16 +71,29 @@ impl GenerationMarket {
     /// generation, in `[0, 1)`: how much of the generation's headroom the
     /// mix's hostility is expected to waste (a hostile antagonist on a
     /// low-bandwidth box spends its tenure disabled or throttled).
+    /// Averaged over the fleet's service shares: a purchased leaf joins
+    /// whichever pool is depleted, so its expected hostility is the
+    /// share-weighted mean over the services it might serve.
     fn mean_pressure(&self, generation: Generation) -> f64 {
         if self.kinds.is_empty() {
+            return 0.0;
+        }
+        let share_total: f64 = self.service_shares.iter().sum();
+        if share_total <= 0.0 {
             return 0.0;
         }
         let total: f64 = self
             .kinds
             .iter()
             .map(|&kind| {
-                let h = self.model.hostility(generation.index(), kind);
-                h / (1.0 + h)
+                LcKind::all()
+                    .into_iter()
+                    .map(|svc| {
+                        let h = self.model.hostility(generation.index(), svc, kind);
+                        self.service_shares[svc.index()] * h / (1.0 + h)
+                    })
+                    .sum::<f64>()
+                    / share_total
             })
             .sum();
         total / self.kinds.len() as f64
@@ -126,13 +146,15 @@ impl GenerationMarket {
 
     /// The active server scale-in should shed first: worst generation value
     /// per dollar, then fewest residents (the cheapest drain), then lowest
-    /// id — all deterministic.
+    /// id — all deterministic.  A service's last in-service leaf is never a
+    /// candidate: retiring it would leave that service's traffic with
+    /// nowhere to go.
     pub fn sell_first(&self, store: &PlacementStore) -> Option<ServerId> {
         let value = |s: &ServerEntry| self.value_per_dollar(Generation::all()[s.generation]);
         store
             .servers()
             .iter()
-            .filter(|s| s.is_active())
+            .filter(|s| s.is_active() && store.in_service_leaves(s.service) > 1)
             .min_by(|a, b| {
                 value(a)
                     .partial_cmp(&value(b))

@@ -129,6 +129,24 @@ pub struct ReactiveConfig {
     /// asymmetry: the fleet needs to show the effect of the last shed
     /// before the policy may judge another one safe).
     pub scale_in_cooldown_steps: usize,
+    /// Ceiling on the candidate pool's projected post-shed load
+    /// ([`ScaleSignals::post_shed_load`]): a drain is refused when the
+    /// re-routed LC share would push the surviving leaves' pool past this
+    /// fraction of capacity.  The default sits at the leaf controllers' BE
+    /// *re-enable* threshold — shedding into a pool projected above it
+    /// guarantees the survivors park their batch work and flirt with their
+    /// latency knee, which is SLO risk no amortized dollar saving pays for.
+    pub shed_load_ceiling: f64,
+    /// Observed fleet load at which capacity is bought back regardless of
+    /// the BE queue.  Under the conserving traffic plane a shrunken pool
+    /// can sit past its latency knee with an *empty* queue — LC overload
+    /// produces no stranded-job evidence, only violations — so the policy
+    /// needs load evidence too.  The default sits just past the natural
+    /// diurnal peak: a pool observed there is over-demand (its traffic no
+    /// longer fits the leaves it has), not merely busy — the natural peak
+    /// alone never crosses it, so a healthy full-size fleet is never
+    /// bought above its provision.
+    pub rebuy_load_ceiling: f64,
 }
 
 impl Default for ReactiveConfig {
@@ -140,6 +158,27 @@ impl Default for ReactiveConfig {
             scale_in_spare_slots: 1,
             scale_out_cooldown_steps: 2,
             scale_in_cooldown_steps: 4,
+            shed_load_ceiling: 0.80,
+            rebuy_load_ceiling: 0.92,
+        }
+    }
+}
+
+impl ReactiveConfig {
+    /// The aggressive-consolidation tuning: sheds on the shortest idle
+    /// streak, with no cooldown between drains and — crucially — *no*
+    /// post-shed load ceiling.  This is the behaviour the old
+    /// per-server-trace fleet silently modelled (a retired server's LC
+    /// share evaporated, so shedding looked free); under the conserving
+    /// traffic plane it demonstrably buys SLO violations, which is exactly
+    /// what the integration tests use it to show.
+    pub fn aggressive() -> Self {
+        ReactiveConfig {
+            scale_in_idle_steps: 1,
+            scale_in_cooldown_steps: 1,
+            shed_load_ceiling: f64::INFINITY,
+            rebuy_load_ceiling: f64::INFINITY,
+            ..Self::default()
         }
     }
 }
@@ -188,6 +227,14 @@ impl ReactivePolicy {
         if !self.cooled(signals.step) {
             return ScaleAction::Hold;
         }
+        // LC SLO defense first: a pool observed past the controllers' BE
+        // disable threshold is already past its knee — re-routed scale-in
+        // load got it there, and no BE-queue evidence will ever appear
+        // (batch work is simply parked).  Buy back capacity now.
+        if signals.mean_load >= self.config.rebuy_load_ceiling && signals.can_buy() {
+            self.record_scale_out(signals.step);
+            return ScaleAction::ScaleOut { generation: signals.best_buy };
+        }
         if signals.stranded_jobs >= self.config.scale_out_stranded
             && signals.oldest_wait_steps >= self.config.scale_out_wait_steps
             && signals.can_buy()
@@ -200,6 +247,7 @@ impl ReactivePolicy {
                 >= signals.drain_candidate_residents + self.config.scale_in_spare_slots
             && signals.can_sell()
             && signals.draining_servers == 0
+            && signals.post_shed_load <= self.config.shed_load_ceiling
         {
             if let Some(server) = signals.drain_candidate {
                 self.cooldown_until = signals.step + self.config.scale_in_cooldown_steps;
@@ -269,6 +317,19 @@ impl AutoscalePolicy for PredictivePolicy {
     fn decide(&mut self, signals: &ScaleSignals) -> ScaleAction {
         self.core.note_queue(signals);
         let trend = signals.load_ahead - signals.mean_load;
+        // LC SLO defense, ahead of time: if the forecast says the (possibly
+        // shed-shrunken) pool will be past the re-buy line, buy *now* — by
+        // the time the reactive core observes that load, the re-routed
+        // share is already buying violations.  This is the signal that
+        // lets a predictive fleet shed through the valley and still meet
+        // the peak whole.
+        if signals.load_ahead >= self.config.reactive.rebuy_load_ceiling
+            && signals.can_buy()
+            && self.core.cooled(signals.step)
+        {
+            self.core.record_scale_out(signals.step);
+            return ScaleAction::ScaleOut { generation: signals.best_buy };
+        }
         // Ahead of the peak: a forming queue plus a climbing forecast means
         // the fleet is about to lose BE headroom exactly when the backlog
         // needs it.  Buy now — the reactive trigger would only fire after
@@ -314,6 +375,7 @@ mod tests {
             max_servers: 12,
             best_buy: Generation::Newer,
             drain_candidate: Some(3),
+            post_shed_load: 0.5,
         }
     }
 
@@ -429,6 +491,30 @@ mod tests {
             s2.step += 1;
         }
         assert_eq!(flat.decide(&s2), ScaleAction::ScaleIn { server: 3 });
+    }
+
+    #[test]
+    fn shedding_is_refused_when_the_rerouted_share_risks_the_slo() {
+        // Idle fleet, shed-ready — but retiring the candidate would push
+        // its service pool past the knee: the policy holds instead.
+        let mut policy = ReactivePolicy::new(ReactiveConfig::default());
+        let mut s = signals();
+        s.post_shed_load = 0.88;
+        for _ in 0..8 {
+            assert_eq!(policy.decide(&s), ScaleAction::Hold, "shed despite SLO risk");
+            s.step += 1;
+        }
+        // Once the demand recedes, the same fleet sheds.
+        s.post_shed_load = 0.6;
+        assert_eq!(policy.decide(&s), ScaleAction::ScaleIn { server: 3 });
+
+        // The aggressive tuning has no ceiling: it sheds straight into the
+        // risk on the first idle step — the old API's hidden behaviour,
+        // now an explicit opt-in.
+        let mut reckless = ReactivePolicy::new(ReactiveConfig::aggressive());
+        let mut s2 = signals();
+        s2.post_shed_load = 1.2;
+        assert_eq!(reckless.decide(&s2), ScaleAction::ScaleIn { server: 3 });
     }
 
     #[test]

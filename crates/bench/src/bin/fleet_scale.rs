@@ -23,9 +23,17 @@
 //! amortized TCO bill and — the headline — TCO per completed core·second
 //! relative to the static fleet.
 //!
+//! With `--services websearch:0.5,memkeyval:0.3,ml_cluster:0.2` the fleet
+//! serves a mixed LC catalog: each service owns an aggregate diurnal
+//! demand curve (phase-spread across the cycle) that the traffic plane's
+//! balancer (`--balancer capacity-weighted|slack-aware`) routes across its
+//! leaves every step, conserving demand exactly — the per-service
+//! routed-vs-offered audit is printed per row.
+//!
 //! Run with: `cargo run --release -p heracles_bench --bin fleet_scale --
 //! [--fast] [--servers N] [--steps N] [--seed N] [--slots N]
-//! [--mix homogeneous|mixed|O:N] [--autoscale POLICY] [--csv]`
+//! [--mix homogeneous|mixed|O:N] [--services SPEC] [--balancer KIND]
+//! [--autoscale POLICY] [--csv]`
 
 use heracles_autoscale::{AutoscaleConfig, AutoscaleKind, ElasticFleet};
 use heracles_bench::cli::Args;
@@ -34,6 +42,7 @@ use heracles_fleet::{
     single_server_baseline_violations, FleetConfig, FleetSim, GenerationMix, PolicyKind,
 };
 use heracles_hw::ServerConfig;
+use heracles_workloads::ServiceMix;
 
 fn sweep(config: FleetConfig, server: &ServerConfig, tco: &TcoModel, csv: bool) {
     let counts = config.mix.counts(config.servers);
@@ -41,6 +50,7 @@ fn sweep(config: FleetConfig, server: &ServerConfig, tco: &TcoModel, csv: bool) 
         "fleet mix: {} (sandy-bridge: {}, haswell: {}, skylake: {})",
         config.mix, counts[0], counts[1], counts[2]
     );
+    println!("services: {} via {} balancing", config.services, config.balancer.name());
     println!(
         "{:<20} {:>8} {:>8} {:>7} {:>6} {:>10} {:>9} {:>8} {:>9} {:>9}",
         "policy",
@@ -75,6 +85,18 @@ fn sweep(config: FleetConfig, server: &ServerConfig, tco: &TcoModel, csv: bool) 
             result.preemptions(),
             result.tco_improvement(tco) * 100.0
         );
+        if config.services.active_services() > 1 {
+            let by = result.violation_server_steps_by_service();
+            println!(
+                "  {:>18} routed==offered (max imbalance {:.2e}); violation server-steps: \
+                 websearch {}, ml_cluster {}, memkeyval {}",
+                "",
+                result.max_routing_imbalance(),
+                by[0],
+                by[1],
+                by[2]
+            );
+        }
         if csv {
             println!();
             print!("{}", result.to_csv());
@@ -183,11 +205,23 @@ fn autoscale_sweep(config: FleetConfig, server: &ServerConfig, which: &str, csv:
 fn main() {
     let args = Args::from_env();
     let base = if args.flag("--fast") { FleetConfig::fast_test() } else { FleetConfig::default() };
+    // A multi-service catalog needs the run compressed onto the diurnal
+    // cycle (service phases are the whole point); `fast_services` carries
+    // the right compression for the fast shape.
+    let base = if args.value("--services", ServiceMix::websearch_only()).active_services() > 1
+        && args.flag("--fast")
+    {
+        FleetConfig::fast_services()
+    } else {
+        base
+    };
     let config = FleetConfig {
         servers: args.value("--servers", base.servers),
         steps: args.value("--steps", base.steps),
         seed: args.value("--seed", base.seed),
         be_slots_per_server: args.value("--slots", base.be_slots_per_server),
+        services: args.value("--services", base.services),
+        balancer: args.value("--balancer", base.balancer),
         ..base
     };
     if let Err(e) = config.validate() {

@@ -158,7 +158,13 @@ impl ColoRunner {
     /// record.  The policy observes the window's measurements afterwards and
     /// may adjust allocations for the next window.
     pub fn step(&mut self, load: f64) -> WindowRecord {
-        let load = load.clamp(0.0, 1.0);
+        // Loads above 1.0 are real: a fleet's front-end balancer re-routes a
+        // retired leaf's traffic onto the survivors, and a pool shrunk below
+        // its demand runs its leaves *past* their peak — the M/G/c queue
+        // then saturates and the tail latency shows it, which is exactly
+        // what over-demand costs.  The cap only guards the simulation
+        // against absurd inputs.
+        let load = load.clamp(0.0, 4.0);
         self.now += self.config.window;
         let cfg = self.server.config().clone();
 

@@ -1,26 +1,30 @@
 //! The discrete-time fleet simulator.
 //!
-//! A fleet is N servers, each serving websearch under its own per-server
-//! Heracles controller (a [`ColoRunner`] leaf, exactly the harness the
-//! single-server experiments use), plus one fleet-level scheduler placing a
-//! stream of BE jobs onto the servers' BE slots.  Load is diurnal with
-//! per-server phase offsets, so at any moment the fleet spans the whole
-//! load range — some servers are colocation-friendly, others are near their
-//! latency knee.
+//! A fleet is N servers, each a leaf of one LC service under its own
+//! per-server Heracles controller (a [`ColoRunner`] leaf, exactly the
+//! harness the single-server experiments use), plus one fleet-level
+//! scheduler placing a stream of BE jobs onto the servers' BE slots.  LC
+//! demand belongs to the *services*, not the servers: a
+//! [`ServiceCatalog`] owns each service's aggregate diurnal demand curve,
+//! and the [`TrafficPlane`]'s [`LoadBalancer`](crate::LoadBalancer) routes
+//! it onto the in-service leaves every step.  Services peak at different
+//! phases (the catalog spreads them by `load_spread`), so a mixed-service
+//! fleet spans the load range at any instant — some leaves are
+//! colocation-friendly, others near their latency knee.
 //!
-//! The fleet may mix hardware generations (a [`GenerationMix`]): each
-//! generation runs its own [`ServerConfig`], serves a traffic share scaled
-//! to its compute capacity (modelling a capacity-weighted front-end load
-//! balancer, so a load fraction always means "fraction of what this box can
-//! serve"), and exposes its core count and DRAM bandwidth to the placement
-//! store.  Fleet-level EMU and the TCO comparison are core-weighted: a
-//! 48-core box at 80% contributes three times the machine time of a 16-core
-//! box at the same fraction.
+//! The fleet may mix hardware generations (a [`GenerationMix`]) *and*
+//! services (a [`ServiceMix`]): each (generation × service) cell runs its
+//! own [`ServerConfig`] and capacity-scaled workload, and exposes its core
+//! count, DRAM bandwidth and peak QPS to the placement store.  Fleet-level
+//! EMU and the TCO comparison are core-weighted: a 48-core box at 80%
+//! contributes three times the machine time of a 16-core box at the same
+//! fraction.
 //!
 //! Each step the simulator:
 //!
-//! 1. samples every in-service server's LC load from its phase-shifted
-//!    diurnal trace,
+//! 1. routes every service's offered QPS across its in-service leaves via
+//!    the traffic plane (demand is conserved: what a retired leaf used to
+//!    serve lands on the survivors as added load),
 //! 2. admits this step's job arrivals into the queue,
 //! 3. dispatches queued jobs through the [`PlacementPolicy`] against the
 //!    [`PlacementStore`],
@@ -55,7 +59,9 @@ use heracles_colo::{ColoConfig, ColoRunner};
 use heracles_core::{ColocationPolicy, Heracles, HeraclesConfig, OfflineDramModel};
 use heracles_hw::ServerConfig;
 use heracles_sim::{parallel_map_mut, SimRng, SimTime};
-use heracles_workloads::{BeWorkload, DiurnalTrace, LcWorkload};
+use heracles_workloads::{
+    BeWorkload, LcKind, LcWorkload, ServiceCatalog, ServiceMix, NUM_SERVICES,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::generation::{Generation, GenerationMix};
@@ -68,12 +74,7 @@ use crate::policy::{
     RandomPlacement,
 };
 use crate::store::{PlacementStore, ServerCapacity, ServerId};
-
-/// Phase-offset multiplier for servers commissioned mid-run (autoscaler
-/// scale-out): the golden-ratio fraction of the id spreads late arrivals
-/// across the diurnal cycle without disturbing the original fleet's evenly
-/// spaced offsets.
-const ADDED_SERVER_PHASE_STRIDE: f64 = 0.618_033_988_749_894_8;
+use crate::traffic::{BalancerKind, TrafficPlane};
 
 /// Configuration of a fleet run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -89,11 +90,14 @@ pub struct FleetConfig {
     pub steps: usize,
     /// Measurement windows each server advances per step.
     pub windows_per_step: usize,
-    /// Seed for the job stream, traces and every per-server random stream.
+    /// Seed for the job stream, demand curves and every per-server random
+    /// stream.
     pub seed: u64,
-    /// Fraction of the diurnal period the per-server phase offsets span
-    /// (1.0 spreads the fleet across the whole cycle; 0.0 moves every
-    /// server in lockstep).
+    /// Fraction of the diurnal period the *service* demand phases span
+    /// (1.0 spreads the catalog's services across the whole cycle — search
+    /// peaking while the cache tier is in its valley; 0.0 makes every
+    /// service peak together).  Inert for a single-service catalog: leaves
+    /// of one service share its demand curve through the balancer.
     pub load_spread: f64,
     /// How many seconds of diurnal (and TCO) wall time one simulated second
     /// represents (1.0 by default: no compression).
@@ -111,6 +115,14 @@ pub struct FleetConfig {
     /// The blend of hardware generations across the fleet (homogeneous by
     /// default: every server runs the baseline configuration).
     pub mix: GenerationMix,
+    /// The blend of LC services across the fleet (websearch-only by
+    /// default).  The catalog built from this mix owns each service's
+    /// aggregate demand; leaves are provisioned per service by error
+    /// diffusion, interleaved with the generation assignment.
+    pub services: ServiceMix,
+    /// Which front-end load balancer routes each service's offered QPS
+    /// across its leaves (capacity-weighted by default).
+    pub balancer: BalancerKind,
     /// Steps a server may sit occupied with BE disabled before its jobs are
     /// preempted and requeued.
     pub preemption_grace_steps: usize,
@@ -134,6 +146,8 @@ impl Default for FleetConfig {
             load_spread: 1.0,
             time_compression: 1.0,
             mix: GenerationMix::homogeneous(),
+            services: ServiceMix::websearch_only(),
+            balancer: BalancerKind::CapacityWeighted,
             preemption_grace_steps: 2,
             tco: TcoModel::paper_case_study(),
             colo: ColoConfig { requests_per_window: 1_200, ..ColoConfig::default() },
@@ -167,6 +181,22 @@ impl FleetConfig {
         FleetConfig { mix: GenerationMix::mixed_datacenter(), ..Self::fast_test() }
     }
 
+    /// The `fast_test` configuration over the mixed-service front end
+    /// (half websearch, the rest split between memkeyval and ml_cluster),
+    /// with the run compressed onto one diurnal cycle so the phase-spread
+    /// service demands actually sweep their curves — on an uncompressed
+    /// short run every service would be frozen at one point of its trace.
+    pub fn fast_services() -> Self {
+        let base = Self::fast_test();
+        let horizon_s =
+            base.steps as f64 * base.windows_per_step as f64 * base.colo.window.as_secs_f64();
+        FleetConfig {
+            services: ServiceMix::mixed_frontend(),
+            time_compression: 12.0 * 3600.0 / horizon_s,
+            ..base
+        }
+    }
+
     /// Validates the configuration, returning a human-readable description
     /// of the first violation.
     ///
@@ -198,6 +228,25 @@ impl FleetConfig {
             ));
         }
         self.mix.validate()?;
+        self.services.validate()?;
+        // Every active service must actually get a leaf: a skewed mix on a
+        // small fleet can pass the share checks and still error-diffuse an
+        // active service down to zero leaves — whose demand would then
+        // silently never be offered, the exact evaporation the service
+        // catalog exists to rule out.
+        let leaf_counts = self.services.leaf_counts(self.servers);
+        for (kind, (&share, &leaves)) in
+            LcKind::all().into_iter().zip(self.services.shares().iter().zip(&leaf_counts))
+        {
+            if share > 0.0 && leaves == 0 {
+                return Err(format!(
+                    "a fleet of {} servers gives service {} (share {share}) zero leaves — \
+                     grow the fleet or drop the service from the mix",
+                    self.servers,
+                    kind.name()
+                ));
+            }
+        }
         if !self.jobs.arrivals_per_step.is_finite() || self.jobs.arrivals_per_step < 0.0 {
             return Err(format!(
                 "arrivals_per_step must be finite and non-negative (got {})",
@@ -239,25 +288,26 @@ struct StepObservation {
     be_enabled: bool,
 }
 
-/// The fleet simulator: servers, scheduler state and the job stream.
+/// The fleet simulator: servers, the traffic plane, scheduler state and
+/// the job stream.
 pub struct FleetSim {
     config: FleetConfig,
-    trace: DiurnalTrace,
+    /// The front-end traffic plane: routes each catalog service's offered
+    /// QPS across its in-service leaves every step.
+    plane: TrafficPlane,
     runners: Vec<ColoRunner>,
     store: PlacementStore,
     queue: JobQueue,
     policy: Box<dyn PlacementPolicy>,
     rng: SimRng,
-    /// True per-generation (LC workload, hardware) profiles, indexed by
-    /// generation index — the source of truth for mid-run purchases of a
-    /// generation absent from the initial mix.
-    profiles: Vec<(LcWorkload, ServerConfig)>,
-    /// One offline DRAM model per generation, profiled lazily: present
-    /// generations at construction, purchased ones on first `add_server`.
-    dram_models: Vec<Option<OfflineDramModel>>,
-    /// Per-server diurnal phase offsets, in seconds (stable across
-    /// mid-run additions: existing servers never shift phase).
-    phases_s: Vec<f64>,
+    /// True per-(generation × service) (LC workload, hardware) profiles,
+    /// indexed `[generation][service]` — the source of truth for mid-run
+    /// purchases of cells absent from the initial fleet.
+    profiles: Vec<Vec<(LcWorkload, ServerConfig)>>,
+    /// One offline DRAM model per (generation × service) cell, profiled
+    /// lazily: present cells at construction, purchased ones on first
+    /// `add_server`.
+    dram_models: Vec<Vec<Option<OfflineDramModel>>>,
     steps: Vec<FleetStep>,
     events: Vec<FleetEvent>,
     completed_total: usize,
@@ -268,61 +318,70 @@ pub struct FleetSim {
 }
 
 impl FleetSim {
-    /// True per-generation (LC workload, hardware) profiles.
+    /// True per-(generation × service) (LC workload, hardware) profiles,
+    /// indexed `[generation][service]`.
     ///
-    /// Every generation serves the same websearch service with its traffic
-    /// share scaled to its compute capacity (the front-end load balancer
-    /// weights traffic by machine capability, so a load fraction keeps
-    /// meaning "fraction of what this box can serve").
-    fn true_profiles(baseline: &ServerConfig) -> Vec<(LcWorkload, ServerConfig)> {
-        let websearch = LcWorkload::websearch();
+    /// Every leaf serves its service with the traffic share scaled to its
+    /// compute capacity (the balancers weight traffic by peak QPS, so a
+    /// load fraction keeps meaning "fraction of what this box can serve").
+    fn true_profiles(baseline: &ServerConfig) -> Vec<Vec<(LcWorkload, ServerConfig)>> {
         Generation::all()
             .into_iter()
             .map(|g| {
-                if g == Generation::Haswell {
-                    (websearch.clone(), baseline.clone())
-                } else {
-                    let gen_config = g.server_config(baseline);
-                    let ratio = gen_config.total_cores() as f64 / baseline.total_cores() as f64;
-                    (websearch.scaled_to_capacity(ratio), gen_config)
-                }
+                let gen_config = g.server_config(baseline);
+                let ratio = gen_config.total_cores() as f64 / baseline.total_cores() as f64;
+                LcKind::all()
+                    .into_iter()
+                    .map(|svc| {
+                        let base = LcWorkload::of_kind(svc);
+                        let lc = if g == Generation::Haswell {
+                            base
+                        } else {
+                            base.scaled_to_capacity(ratio)
+                        };
+                        (lc, gen_config.clone())
+                    })
+                    .collect()
             })
             .collect()
     }
 
-    /// Per-generation profiles for the *characterization* step: generations
-    /// absent from the mix borrow the first present generation's profile,
-    /// so the characterization and DRAM-model caches collapse them onto
-    /// cells that are measured anyway (never an extra sweep).
-    fn generation_profiles(
-        config: &FleetConfig,
-        baseline: &ServerConfig,
-    ) -> Vec<(LcWorkload, ServerConfig)> {
-        let profiles = Self::true_profiles(baseline);
-        let counts = config.mix.counts(config.servers);
-        let fallback = Generation::all()
-            .into_iter()
-            .find(|g| counts[g.index()] > 0)
-            .unwrap_or(Generation::Haswell);
-        Generation::all()
-            .into_iter()
-            .map(|g| {
-                if counts[g.index()] == 0 {
-                    profiles[fallback.index()].clone()
-                } else {
-                    profiles[g.index()].clone()
-                }
-            })
-            .collect()
+    /// The catalog and the per-server generation/service assignments, each
+    /// a pure function of the configuration — computed once per
+    /// construction and threaded through, so the characterization, the
+    /// DRAM-model cache and the store can never disagree about who serves
+    /// what.
+    fn provisioning(config: &FleetConfig) -> (ServiceCatalog, Vec<Generation>, Vec<LcKind>) {
+        let generations = config.mix.assignments(config.servers);
+        let catalog = ServiceCatalog::build(config.services, config.seed, config.load_spread);
+        let services = catalog.assignments(config.servers);
+        (catalog, generations, services)
+    }
+
+    /// The (generation, service) cells present in the initial assignment,
+    /// in deterministic order — what the characterization measures (absent
+    /// cells fall back to the model's cautious default until purchased).
+    fn present_cells(generations: &[Generation], services: &[LcKind]) -> Vec<(usize, LcKind)> {
+        let mut present: Vec<(usize, LcKind)> = Vec::new();
+        for (g, s) in generations.iter().zip(services) {
+            let cell = (g.index(), *s);
+            if !present.contains(&cell) {
+                present.push(cell);
+            }
+        }
+        present.sort_by_key(|&(g, s)| (g, s.index()));
+        present
     }
 
     /// Creates a fleet under one of the built-in placement policies.
     ///
     /// For [`PolicyKind::InterferenceAware`] this runs the §3.2
     /// characterization cells for the job mix's workloads (in parallel)
-    /// to measure their hostility scores — once per distinct hardware
-    /// generation in the fleet's mix.
+    /// to measure their hostility scores — once per distinct
+    /// (hardware generation, LC service) cell in the fleet.
     pub fn new(config: FleetConfig, server_config: ServerConfig, policy: PolicyKind) -> Self {
+        config.validate().unwrap_or_else(|e| panic!("invalid fleet config: {e}"));
+        let (catalog, generations, services) = Self::provisioning(&config);
         let policy: Box<dyn PlacementPolicy> = match policy {
             PolicyKind::Random => Box::new(RandomPlacement),
             PolicyKind::FirstFit => Box::new(FirstFit),
@@ -330,15 +389,21 @@ impl FleetSim {
             PolicyKind::InterferenceAware => {
                 let probe = ColoConfig { requests_per_window: 1_000, ..ColoConfig::default() }
                     .with_seed(config.seed ^ 0xCAFE);
-                let model = InterferenceModel::characterize(
-                    &config.jobs.mix.workloads(),
-                    &Self::generation_profiles(&config, &server_config),
-                    &probe,
-                );
+                let profiles = Self::true_profiles(&server_config);
+                let cells: Vec<(usize, LcKind, LcWorkload, ServerConfig)> =
+                    Self::present_cells(&generations, &services)
+                        .into_iter()
+                        .map(|(g, s)| {
+                            let (lc, cfg) = &profiles[g][s.index()];
+                            (g, s, lc.clone(), cfg.clone())
+                        })
+                        .collect();
+                let model =
+                    InterferenceModel::characterize(&config.jobs.mix.workloads(), &cells, &probe);
                 Box::new(InterferenceAware::new(model))
             }
         };
-        Self::with_policy(config, server_config, policy)
+        Self::build(config, server_config, policy, catalog, generations, services)
     }
 
     /// Creates a fleet under a caller-supplied placement policy.
@@ -352,6 +417,20 @@ impl FleetSim {
         policy: Box<dyn PlacementPolicy>,
     ) -> Self {
         config.validate().unwrap_or_else(|e| panic!("invalid fleet config: {e}"));
+        let (catalog, generations, services) = Self::provisioning(&config);
+        Self::build(config, server_config, policy, catalog, generations, services)
+    }
+
+    /// The shared constructor body: every entry point computes the
+    /// provisioning exactly once and hands it in.
+    fn build(
+        config: FleetConfig,
+        server_config: ServerConfig,
+        policy: Box<dyn PlacementPolicy>,
+        catalog: ServiceCatalog,
+        generations: Vec<Generation>,
+        services: Vec<LcKind>,
+    ) -> Self {
         // The store's admission envelope mirrors the leaf controllers'
         // load hysteresis; fail fast if the two ever drift apart (placement
         // would silently dispatch jobs the controllers park at zero
@@ -367,25 +446,32 @@ impl FleetSim {
             crate::store::ADMISSION_LOAD_DISABLE,
             "admission disable line desynced from the controllers' disable threshold"
         );
-        let generations = config.mix.assignments(config.servers);
         let profiles = Self::true_profiles(&server_config);
-        // One offline DRAM model per generation serves all of its leaves
-        // (the paper shares one across the cluster too; the controller
-        // tolerates the model error).  Absent generations get none until an
-        // autoscaler purchases one.
-        let dram_models: Vec<Option<OfflineDramModel>> = Generation::all()
+        // One offline DRAM model per (generation × service) cell serves all
+        // of its leaves (the paper shares one across the cluster too; the
+        // controller tolerates the model error).  Absent cells get none
+        // until an autoscaler purchases one.
+        let present = Self::present_cells(&generations, &services);
+        let dram_models: Vec<Vec<Option<OfflineDramModel>>> = Generation::all()
             .into_iter()
             .map(|g| {
-                let (lc, gen_config) = &profiles[g.index()];
-                generations.contains(&g).then(|| OfflineDramModel::profile(lc, gen_config))
+                LcKind::all()
+                    .into_iter()
+                    .map(|svc| {
+                        let (lc, gen_config) = &profiles[g.index()][svc.index()];
+                        present
+                            .contains(&(g.index(), svc))
+                            .then(|| OfflineDramModel::profile(lc, gen_config))
+                    })
+                    .collect()
             })
             .collect();
         let runners = (0..config.servers)
             .map(|i| {
-                let g = generations[i].index();
-                let (lc, gen_config) = &profiles[g];
+                let (g, svc) = (generations[i].index(), services[i]);
+                let (lc, gen_config) = &profiles[g][svc.index()];
                 let dram_model =
-                    dram_models[g].clone().expect("present generations have a DRAM model");
+                    dram_models[g][svc.index()].clone().expect("present cells have a DRAM model");
                 let leaf_policy: Box<dyn ColocationPolicy> =
                     Box::new(Heracles::new(HeraclesConfig::fast(), lc.slo(), dram_model));
                 ColoRunner::new(
@@ -399,21 +485,34 @@ impl FleetSim {
             .collect();
         let capacities: Vec<ServerCapacity> = generations
             .iter()
-            .map(|g| {
-                ServerCapacity::from_config(
-                    &profiles[g.index()].1,
+            .zip(&services)
+            .map(|(g, &svc)| {
+                let (lc, gen_config) = &profiles[g.index()][svc.index()];
+                ServerCapacity::for_service(
+                    gen_config,
                     config.be_slots_per_server,
                     g.index(),
+                    svc,
+                    lc.peak_qps(),
                 )
             })
             .collect();
-        let trace = DiurnalTrace::websearch_12h(config.seed);
-        let period_s = trace.duration().as_secs_f64();
-        let phases_s = (0..config.servers)
-            .map(|i| period_s * config.load_spread * i as f64 / config.servers as f64)
-            .collect();
+        // Each service is provisioned with its initial pool's aggregate
+        // peak: that is the demand denominator for the whole run — demand
+        // is exogenous, so scale-in shrinks the pool but never the offered
+        // traffic.
+        let mut provisioned = [0.0f64; NUM_SERVICES];
+        for cap in &capacities {
+            provisioned[cap.service.index()] += cap.peak_qps;
+        }
+        let plane = TrafficPlane::new(
+            catalog,
+            config.balancer.build(),
+            provisioned,
+            config.time_compression,
+        );
         FleetSim {
-            trace,
+            plane,
             runners,
             store: PlacementStore::heterogeneous(&capacities),
             queue: JobQueue::new(config.jobs, config.seed),
@@ -421,7 +520,6 @@ impl FleetSim {
             rng: SimRng::new(config.seed).fork(0x9C4ED),
             profiles,
             dram_models,
-            phases_s,
             steps: Vec::with_capacity(config.steps),
             events: Vec::new(),
             completed_total: 0,
@@ -481,12 +579,72 @@ impl FleetSim {
         &self.steps
     }
 
-    /// Server `id`'s LC load at `time`: the shared diurnal trace shifted by
-    /// the server's phase offset (wrapping around the trace period).
+    /// The traffic plane routing the catalog's demand onto the fleet.
+    pub fn traffic_plane(&self) -> &TrafficPlane {
+        &self.plane
+    }
+
+    /// Server `id`'s *expected* LC load at `time`: its service's offered
+    /// QPS divided by the service's current in-service pool capacity (the
+    /// capacity-weighted estimate; a slack-aware balancer may skew the live
+    /// per-leaf fractions, but it conserves the same total).  This is the
+    /// forecast signal capacity planners use — the diurnal demand curves
+    /// are known inputs.
     pub fn server_load(&self, id: ServerId, time: SimTime) -> f64 {
-        let period_s = self.trace.duration().as_secs_f64();
-        let t = (time.as_secs_f64() * self.config.time_compression + self.phases_s[id]) % period_s;
-        self.trace.load_at(SimTime::from_secs_f64(t))
+        let service = self.store.server(id).service;
+        self.plane.expected_pool_load(service, time, &self.store)
+    }
+
+    /// The extra load fraction `dest` would absorb if `victim` left the
+    /// fleet and its currently routed traffic were re-divided across the
+    /// surviving leaves of its service (capacity-weighted).  Zero when the
+    /// two serve different services — a drained websearch leaf's traffic
+    /// never lands on a memkeyval box.
+    ///
+    /// This is what makes scale-in physical: the drain pricer adds this to
+    /// a destination's projected load *before* ranking its headroom, and
+    /// the autoscaling policies price the same quantity as SLO risk before
+    /// shedding.
+    pub fn reroute_load_increase(&self, victim: ServerId, dest: ServerId) -> f64 {
+        let v = self.store.server(victim);
+        let d = self.store.server(dest);
+        if v.service != d.service || !v.in_service() {
+            return 0.0;
+        }
+        let survivors: f64 = self
+            .store
+            .servers()
+            .iter()
+            .filter(|s| s.in_service() && s.service == v.service && s.id != victim)
+            .map(|s| s.peak_qps)
+            .sum();
+        if survivors <= 0.0 {
+            return 0.0;
+        }
+        // The victim's routed QPS lands on the survivors in proportion to
+        // capacity; dest's share, as a fraction of its own peak, is the
+        // victim's load scaled by the peak ratio.
+        v.lc_load * v.peak_qps / survivors
+    }
+
+    /// The load fraction `victim`'s service pool would run at,
+    /// `lead_steps` scheduler steps ahead, if `victim` were retired now
+    /// and its share re-routed across the surviving leaves
+    /// (capacity-weighted).  Infinite when the victim is its service's
+    /// last leaf — there would be nowhere for the traffic to go.
+    ///
+    /// This is the SLO-risk price of a scale-in: a pool projected past the
+    /// leaves' latency knee guarantees the re-routed share buys violations,
+    /// and the autoscaling policies refuse to shed into it.
+    pub fn post_retire_pool_load(&self, victim: ServerId, lead_steps: usize) -> f64 {
+        let v = self.store.server(victim);
+        let t =
+            SimTime::ZERO + self.config.step_duration() * (self.step_idx + 1 + lead_steps) as u64;
+        let remaining = self.store.in_service_peak_qps(v.service) - v.peak_qps;
+        if remaining <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.plane.offered_qps(v.service, t) / remaining
     }
 
     /// Core-weighted mean LC load across in-service servers `lead_steps`
@@ -509,21 +667,51 @@ impl FleetSim {
         }
     }
 
+    /// The catalog service a newly purchased leaf should serve: the one
+    /// whose in-service pool has been depleted the furthest below its
+    /// provisioned capacity (ties break towards the lower service index).
+    /// Scale-out thereby replenishes exactly the pool scale-in strained.
+    fn most_depleted_service(&self) -> LcKind {
+        let depletion = |k: LcKind| {
+            let provisioned = self.plane.provisioned_peak_qps(k);
+            if provisioned <= 0.0 {
+                f64::INFINITY
+            } else {
+                self.store.in_service_peak_qps(k) / provisioned
+            }
+        };
+        self.plane
+            .catalog()
+            .services()
+            .iter()
+            .map(|s| s.kind())
+            .min_by(|&a, &b| {
+                depletion(a)
+                    .partial_cmp(&depletion(b))
+                    .expect("depletion is finite or infinite, never NaN")
+                    .then(a.index().cmp(&b.index()))
+            })
+            .expect("the catalog has at least one service")
+    }
+
     /// Commissions a new server of `generation` (autoscaler scale-out) and
     /// returns its id.  The box arrives empty and active, its Heracles
-    /// controller cold, its diurnal phase drawn from the golden-ratio
-    /// stride so late purchases spread across the load cycle; its DRAM
-    /// model is profiled on first purchase of a generation absent from the
-    /// initial mix and cached for subsequent ones.
+    /// controller cold, and joins the leaf pool of the catalog's most
+    /// depleted service — where the balancer immediately dilutes every
+    /// sibling's load fraction.  Its DRAM model is profiled on first
+    /// purchase of a (generation × service) cell absent from the initial
+    /// fleet and cached for subsequent ones.
     pub fn add_server(&mut self, generation: Generation) -> ServerId {
         let id = self.runners.len();
         let gi = generation.index();
-        if self.dram_models[gi].is_none() {
-            let (lc, gen_config) = &self.profiles[gi];
-            self.dram_models[gi] = Some(OfflineDramModel::profile(lc, gen_config));
+        let service = self.most_depleted_service();
+        let si = service.index();
+        if self.dram_models[gi][si].is_none() {
+            let (lc, gen_config) = &self.profiles[gi][si];
+            self.dram_models[gi][si] = Some(OfflineDramModel::profile(lc, gen_config));
         }
-        let (lc, gen_config) = &self.profiles[gi];
-        let dram_model = self.dram_models[gi].clone().expect("just profiled");
+        let (lc, gen_config) = &self.profiles[gi][si];
+        let dram_model = self.dram_models[gi][si].clone().expect("just profiled");
         let leaf_policy: Box<dyn ColocationPolicy> =
             Box::new(Heracles::new(HeraclesConfig::fast(), lc.slo(), dram_model));
         self.runners.push(ColoRunner::new(
@@ -533,13 +721,15 @@ impl FleetSim {
             leaf_policy,
             self.config.colo.with_seed(self.config.seed ^ (0xF1EE7 + id as u64 * 7919)),
         ));
-        let capacity = ServerCapacity::from_config(gen_config, self.config.be_slots_per_server, gi);
+        let capacity = ServerCapacity::for_service(
+            gen_config,
+            self.config.be_slots_per_server,
+            gi,
+            service,
+            lc.peak_qps(),
+        );
         let store_id = self.store.add_server(capacity);
         debug_assert_eq!(store_id, id, "store and runner ids diverged");
-        let period_s = self.trace.duration().as_secs_f64();
-        self.phases_s.push(
-            period_s * self.config.load_spread * (id as f64 * ADDED_SERVER_PHASE_STRIDE).fract(),
-        );
         id
     }
 
@@ -555,14 +745,28 @@ impl FleetSim {
     }
 
     /// Retires a drained server (autoscaler scale-in, phase two): it stops
-    /// stepping and stops costing TCO from the next step on.
+    /// stepping and stops costing TCO from the next step on, and its share
+    /// of its service's traffic is re-routed onto the surviving leaves by
+    /// the balancer from the next step's routing.
     ///
     /// # Panics
     ///
     /// Panics if the server still hosts resident jobs — retiring a box with
     /// unmigrated work is exactly the bug the drain protocol exists to
-    /// prevent, and the autoscaler's property tests lean on this assert.
+    /// prevent, and the autoscaler's property tests lean on this assert —
+    /// or if it is the last in-service leaf of its service: the service's
+    /// offered traffic would have nowhere to go, and demand conservation is
+    /// the traffic plane's contract.
     pub fn retire_server(&mut self, id: ServerId) {
+        let entry = self.store.server(id);
+        if entry.in_service() {
+            let service = entry.service;
+            assert!(
+                self.store.in_service_leaves(service) > 1,
+                "cannot retire server {id}: it is the last in-service {} leaf",
+                service.name()
+            );
+        }
         self.store.retire(id);
     }
 
@@ -648,8 +852,19 @@ impl FleetSim {
         let in_service: Vec<ServerId> =
             self.store.servers().iter().filter(|s| s.in_service()).map(|s| s.id).collect();
 
-        // 1. This step's per-server loads.
-        let loads: Vec<f64> = in_service.iter().map(|&id| self.server_load(id, now)).collect();
+        // 1. Route every service's offered QPS across its in-service
+        // leaves.  Conservation is the traffic plane's contract — what a
+        // retired leaf used to serve must land on the survivors, never
+        // evaporate — so the imbalance is asserted every step, not only in
+        // the property tests.
+        let routing = self.plane.route(now, &self.store);
+        assert!(
+            routing.max_imbalance() < 1e-9,
+            "traffic plane failed to conserve demand: routed {:?} of offered {:?}",
+            routing.routed_qps,
+            routing.offered_qps
+        );
+        let loads: Vec<f64> = in_service.iter().map(|&id| routing.loads[id]).collect();
         for (&id, &load) in in_service.iter().zip(&loads) {
             self.store.set_load(id, load);
         }
@@ -799,6 +1014,28 @@ impl FleetSim {
         let cores: Vec<usize> = in_service.iter().map(|&id| self.store.server(id).cores).collect();
         let emus: Vec<f64> = observations.iter().map(|o| o.last_emu).collect();
         let violating = observations.iter().filter(|o| o.worst_normalized_latency > 1.0).count();
+        // Per-service aggregation: load is core-weighted within each
+        // service's leaf pool, violations are counted per pool — the
+        // auditable view of which service's SLO paid for a scheduling or
+        // scale decision.
+        let mut service_load_weighted = [0.0f64; NUM_SERVICES];
+        let mut service_cores = [0.0f64; NUM_SERVICES];
+        let mut violating_by_service = [0usize; NUM_SERVICES];
+        for ((&id, obs), &load) in in_service.iter().zip(&observations).zip(&loads) {
+            let entry = self.store.server(id);
+            let si = entry.service.index();
+            service_load_weighted[si] += load * entry.cores as f64;
+            service_cores[si] += entry.cores as f64;
+            if obs.worst_normalized_latency > 1.0 {
+                violating_by_service[si] += 1;
+            }
+        }
+        let mut service_load = [0.0f64; NUM_SERVICES];
+        for i in 0..NUM_SERVICES {
+            if service_cores[i] > 0.0 {
+                service_load[i] = service_load_weighted[i] / service_cores[i];
+            }
+        }
         let tco_dollars = in_service
             .iter()
             .zip(&observations)
@@ -824,6 +1061,11 @@ impl FleetSim {
             in_service_servers: in_service.len(),
             in_service_cores: cores.iter().sum(),
             in_service_by_generation: self.store.in_service_by_generation(),
+            in_service_by_service: self.store.in_service_by_service(),
+            offered_qps: routing.offered_qps,
+            routed_qps: routing.routed_qps,
+            service_load,
+            violating_by_service,
             migrations: std::mem::take(&mut self.pending_migrations),
             tco_dollars,
             queued_jobs: self.queue.pending_len(),
@@ -841,6 +1083,7 @@ impl FleetSim {
             policy: self.policy.name().to_string(),
             server_cores: self.store.servers().iter().map(|s| s.cores).collect(),
             server_generations: self.store.servers().iter().map(|s| s.generation).collect(),
+            server_services: self.store.servers().iter().map(|s| s.service.index()).collect(),
             steps: self.steps,
             jobs: self.queue.into_jobs(),
             events: self.events,
@@ -887,16 +1130,15 @@ pub fn single_server_baseline_violations(config: &FleetConfig, server: &ServerCo
         policy,
         config.colo.with_seed(config.seed ^ 0xBA5E),
     );
-    let trace = DiurnalTrace::websearch_12h(config.seed);
+    // The same websearch demand curve a catalog fleet serves (phase 0), so
+    // the baseline and the fleet face the identical traffic.
+    let catalog = ServiceCatalog::build(ServiceMix::websearch_only(), config.seed, 0.0);
+    let demand = catalog.get(LcKind::Websearch).expect("websearch catalog");
     let step_duration = config.colo.window * config.windows_per_step as u64;
     let mut violating_steps = 0usize;
     for step_idx in 0..config.steps {
         let now = SimTime::ZERO + step_duration * (step_idx as u64 + 1);
-        let load = {
-            let period_s = trace.duration().as_secs_f64();
-            let t = now.as_secs_f64() * config.time_compression % period_s;
-            trace.load_at(SimTime::from_secs_f64(t))
-        };
+        let load = demand.demand_fraction(now.as_secs_f64() * config.time_compression);
         let worst = (0..config.windows_per_step)
             .map(|_| runner.step(load).normalized_latency)
             .fold(0.0, f64::max);
@@ -923,18 +1165,25 @@ mod tests {
     }
 
     #[test]
-    fn server_loads_span_the_diurnal_range() {
+    fn leaves_of_one_service_share_their_load_and_services_span_the_range() {
+        // Single service: the balancer gives every leaf the same fraction
+        // of its own capacity — the fleet moves with its service.
         let sim = FleetSim::new(tiny(), ServerConfig::default_haswell(), PolicyKind::FirstFit);
         let t = SimTime::from_secs(60);
         let loads: Vec<f64> = (0..4).map(|i| sim.server_load(i, t)).collect();
-        // With full spread the phase offsets put servers at different points
-        // of the diurnal swing.
+        for l in &loads {
+            assert!((l - loads[0]).abs() < 1e-12, "websearch leaves diverged: {loads:?}");
+            assert!((0.0..=1.0).contains(l));
+        }
+
+        // Mixed services with full phase spread: the fleet spans the load
+        // range because the *services* peak at different times.
+        let cfg = FleetConfig { services: ServiceMix::mixed_frontend(), ..tiny() };
+        let sim = FleetSim::new(cfg, ServerConfig::default_haswell(), PolicyKind::FirstFit);
+        let loads: Vec<f64> = (0..4).map(|i| sim.server_load(i, t)).collect();
         let min = loads.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = loads.iter().cloned().fold(0.0, f64::max);
-        assert!(max - min > 0.2, "loads {loads:?}");
-        for l in loads {
-            assert!((0.0..=1.0).contains(&l));
-        }
+        assert!(max - min > 0.2, "mixed-service loads did not span the range: {loads:?}");
     }
 
     #[test]
@@ -1035,6 +1284,24 @@ mod tests {
             FleetConfig { time_compression: f64::INFINITY, ..tiny() },
             FleetConfig { mix: GenerationMix { older: 0.8, newer: 0.8 }, ..tiny() },
             FleetConfig {
+                services: ServiceMix { websearch: 0.5, ml_cluster: 0.0, memkeyval: 0.0 },
+                ..tiny()
+            },
+            FleetConfig {
+                // Three services cannot fit on a two-server fleet.
+                servers: 2,
+                services: ServiceMix::mixed_frontend(),
+                ..tiny()
+            },
+            FleetConfig {
+                // A heavily skewed mix on a small fleet error-diffuses the
+                // minority services down to zero leaves: their demand
+                // would silently never be offered.
+                servers: 6,
+                services: ServiceMix { websearch: 0.9, ml_cluster: 0.05, memkeyval: 0.05 },
+                ..tiny()
+            },
+            FleetConfig {
                 jobs: JobStreamConfig { arrivals_per_step: -1.0, ..JobStreamConfig::default() },
                 ..tiny()
             },
@@ -1062,6 +1329,85 @@ mod tests {
     fn constructors_reject_invalid_configs() {
         let cfg = FleetConfig { load_spread: 2.0, ..tiny() };
         FleetSim::new(cfg, ServerConfig::default_haswell(), PolicyKind::FirstFit);
+    }
+
+    #[test]
+    fn retiring_a_leaf_reroutes_its_share_onto_the_survivors() {
+        // No BE arrivals: this test watches pure LC traffic movement.
+        let cfg = FleetConfig {
+            jobs: JobStreamConfig { arrivals_per_step: 0.0, ..JobStreamConfig::default() },
+            ..tiny()
+        };
+        let mut sim = FleetSim::new(cfg, ServerConfig::default_haswell(), PolicyKind::FirstFit);
+        let before = *sim.step_once();
+        assert!(
+            (before.routed_qps[0] - before.offered_qps[0]).abs() < 1e-6 * before.offered_qps[0],
+            "routed {:?} != offered {:?}",
+            before.routed_qps,
+            before.offered_qps
+        );
+        let survivor_load = sim.store().server(1).lc_load;
+        // Retire one of four websearch leaves: the remaining three absorb
+        // its share, so each survivor's load rises by a third.
+        sim.begin_drain(0);
+        sim.retire_server(0);
+        let after = *sim.step_once();
+        let rerouted = sim.store().server(1).lc_load;
+        assert!(
+            rerouted > survivor_load * 1.2,
+            "survivor load {rerouted:.3} did not absorb the retired share ({survivor_load:.3})"
+        );
+        // Conservation: the routed volume did not shrink with the fleet.
+        assert!(
+            (after.routed_qps[0] - after.offered_qps[0]).abs() < 1e-6 * after.offered_qps[0],
+            "routed {:?} != offered {:?}",
+            after.routed_qps,
+            after.offered_qps
+        );
+        assert_eq!(after.in_service_by_service, [3, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "last in-service websearch leaf")]
+    fn retiring_the_last_leaf_of_a_service_panics() {
+        let cfg = FleetConfig { servers: 4, services: ServiceMix::mixed_frontend(), ..tiny() };
+        let mut sim = FleetSim::new(cfg, ServerConfig::default_haswell(), PolicyKind::FirstFit);
+        // mixed_frontend over 4 servers: two websearch leaves, one each of
+        // the others.  Retiring both websearch leaves must be refused at
+        // the second.
+        let ws: Vec<ServerId> = sim
+            .store()
+            .servers()
+            .iter()
+            .filter(|s| s.service == LcKind::Websearch)
+            .map(|s| s.id)
+            .collect();
+        assert_eq!(ws.len(), 2);
+        sim.begin_drain(ws[0]);
+        sim.retire_server(ws[0]);
+        sim.begin_drain(ws[1]);
+        sim.retire_server(ws[1]);
+    }
+
+    #[test]
+    fn purchased_servers_join_the_most_depleted_pool() {
+        let cfg = FleetConfig { servers: 8, services: ServiceMix::mixed_frontend(), ..tiny() };
+        let mut sim = FleetSim::new(cfg, ServerConfig::default_haswell(), PolicyKind::FirstFit);
+        // Retire one memkeyval leaf: its pool is now the furthest below
+        // its provisioned capacity, so the next purchase must replenish it
+        // — even though websearch has the lower service index.
+        let kv: Vec<ServerId> = sim
+            .store()
+            .servers()
+            .iter()
+            .filter(|s| s.service == LcKind::Memkeyval)
+            .map(|s| s.id)
+            .collect();
+        assert!(kv.len() >= 2, "{kv:?}");
+        sim.begin_drain(kv[0]);
+        sim.retire_server(kv[0]);
+        let id = sim.add_server(Generation::Haswell);
+        assert_eq!(sim.store().server(id).service, LcKind::Memkeyval);
     }
 
     #[test]

@@ -15,15 +15,23 @@
 //! * [`generation`] — hardware [`Generation`]s and the fleet's
 //!   [`GenerationMix`]: real datacenters mix server generations, so
 //!   placement has to reason about per-server capacity,
+//! * [`traffic`] — the [`TrafficPlane`]: each LC service's aggregate
+//!   diurnal demand (from a `ServiceCatalog`) is routed onto the
+//!   in-service leaves every step by a pluggable [`LoadBalancer`]
+//!   (capacity-weighted or slack-aware), conserving demand exactly — a
+//!   retired leaf's share lands on the survivors as added load instead of
+//!   silently evaporating,
 //! * [`store`] — the [`PlacementStore`]: per-server capacity (cores, DRAM
-//!   bandwidth, BE slots derived from core count) and BE slot occupancy
-//!   plus the live signals the per-server Heracles controllers expose (LC
-//!   load, latency slack, admission verdict, recent EMU),
+//!   bandwidth, BE slots derived from core count, the (generation ×
+//!   service) cell and its peak QPS) and BE slot occupancy plus the live
+//!   signals the per-server Heracles controllers expose (LC load, latency
+//!   slack, admission verdict, recent EMU),
 //! * [`policy`] — pluggable [`PlacementPolicy`] implementations: Random,
 //!   FirstFit, LeastLoaded and InterferenceAware (which consults the §3.2
-//!   interference characterization, measured per hardware generation, to
-//!   keep hostile antagonists away from near-knee LC services and
-//!   DRAM-hungry jobs on high-bandwidth boxes),
+//!   interference characterization, measured per (hardware generation, LC
+//!   service) cell, to keep hostile antagonists away from near-knee LC
+//!   services — iperf-like jobs off memkeyval leaves — and DRAM-hungry
+//!   jobs on high-bandwidth boxes),
 //! * [`fleet`] — the [`FleetSim`] discrete-time simulator: dispatch,
 //!   parallel per-server stepping, job completion and preemption/requeue
 //!   when a leaf's controller disables BE,
@@ -56,6 +64,7 @@ pub mod job;
 pub mod metrics;
 pub mod policy;
 pub mod store;
+pub mod traffic;
 
 pub use fleet::{single_server_baseline_violations, FleetConfig, FleetSim};
 pub use generation::{Generation, GenerationMix};
@@ -69,3 +78,6 @@ pub use policy::{
     PlacementPolicy, PolicyKind, RandomPlacement,
 };
 pub use store::{PlacementStore, ServerCapacity, ServerEntry, ServerId, ServerState};
+pub use traffic::{
+    BalancerKind, CapacityWeighted, LeafView, LoadBalancer, RoutingStep, SlackAware, TrafficPlane,
+};

@@ -3,6 +3,7 @@
 
 use heracles_cluster::TcoModel;
 use heracles_sim::SimTime;
+use heracles_workloads::{LcKind, NUM_SERVICES};
 use serde::{Deserialize, Serialize};
 
 use crate::job::{BeJob, JobId};
@@ -87,6 +88,24 @@ pub struct FleetStep {
     pub in_service_cores: usize,
     /// In-service servers per hardware generation (older, Haswell, newer).
     pub in_service_by_generation: [usize; 3],
+    /// In-service leaves per LC service, indexed by [`LcKind::index`]
+    /// (websearch, ml_cluster, memkeyval).
+    pub in_service_by_service: [usize; NUM_SERVICES],
+    /// QPS each service's catalog offered this step, indexed by
+    /// [`LcKind::index`] — the demand side of the conservation audit.
+    pub offered_qps: [f64; NUM_SERVICES],
+    /// QPS the traffic plane actually routed onto each service's leaves
+    /// this step.  Equal to `offered_qps` (to floating-point tolerance)
+    /// whenever the service has an in-service leaf: demand is conserved,
+    /// it never silently evaporates with a retired server.
+    pub routed_qps: [f64; NUM_SERVICES],
+    /// Core-weighted mean routed load fraction per service's leaf pool.
+    /// Can exceed 1.0 on a pool scale-in has shrunk below its demand.
+    pub service_load: [f64; NUM_SERVICES],
+    /// In-service leaves of each service that violated their SLO in some
+    /// window this step — which service's latency paid for a scheduling or
+    /// scale decision.
+    pub violating_by_service: [usize; NUM_SERVICES],
     /// Jobs live-migrated between servers during this step's scheduling
     /// round (scale-in drains).
     pub migrations: usize,
@@ -145,6 +164,10 @@ pub struct FleetResult {
     /// Hardware generation index of each server, indexed by server id (the
     /// per-server generation record autoscale traces plot against).
     pub server_generations: Vec<usize>,
+    /// LC service index ([`LcKind::index`]) of each server, indexed by
+    /// server id — the service axis of the (generation × service) cell the
+    /// placement store tracked for each leaf.
+    pub server_services: Vec<usize>,
     /// Per-step records.
     pub steps: Vec<FleetStep>,
     /// Every job the arrival stream produced (completed or not).
@@ -332,6 +355,40 @@ impl FleetResult {
         self.steps.iter().map(|s| s.violating_servers).sum()
     }
 
+    /// SLO violation server-steps per LC service, indexed by
+    /// [`LcKind::index`] — which service's latency paid over the run.
+    pub fn violation_server_steps_by_service(&self) -> [usize; NUM_SERVICES] {
+        let mut totals = [0usize; NUM_SERVICES];
+        for step in &self.steps {
+            for (total, v) in totals.iter_mut().zip(&step.violating_by_service) {
+                *total += v;
+            }
+        }
+        totals
+    }
+
+    /// The worst routed-vs-offered imbalance (relative to the offered
+    /// volume) across every service and step — the run-level conservation
+    /// audit, zero up to floating point on a healthy run.
+    pub fn max_routing_imbalance(&self) -> f64 {
+        self.steps
+            .iter()
+            .flat_map(|s| {
+                s.offered_qps.iter().zip(&s.routed_qps).map(|(o, r)| (o - r).abs() / (1.0 + o))
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean routed load fraction of one service's leaf pool over the run
+    /// (0.0 if the service never served).
+    pub fn mean_service_load(&self, service: LcKind) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        self.steps.iter().map(|s| s.service_load[service.index()]).sum::<f64>()
+            / self.steps.len() as f64
+    }
+
     /// Relative throughput/TCO improvement of this run over the same fleet
     /// without colocation, using the paper's TCO calculator: the no-colo
     /// fleet is utilized at the mean LC load, this run at the mean fleet
@@ -346,18 +403,28 @@ impl FleetResult {
     /// Renders the per-step records as a CSV document for plotting.  The
     /// fleet-size and per-generation columns make autoscale traces (how
     /// many servers of which generation were in service when) plottable
-    /// without post-processing, and the TCO column is the amortized cost
-    /// series the autoscaled-vs-static comparison integrates.
+    /// without post-processing, the TCO column is the amortized cost
+    /// series the autoscaled-vs-static comparison integrates, and the
+    /// per-service offered/routed/load/violation columns make LC capacity
+    /// conservation auditable from the export alone.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "time_s,mean_load,fleet_emu,worst_normalized_latency,violating_server_fraction,\
              violating_servers,in_service_servers,in_service_cores,servers_sandy_bridge,\
              servers_haswell,servers_skylake,migrations,tco_dollars,\
-             queued_jobs,running_jobs,completed_jobs,be_progress_core_s\n",
+             queued_jobs,running_jobs,completed_jobs,be_progress_core_s",
         );
+        for kind in LcKind::all() {
+            let name = kind.name();
+            out.push_str(&format!(
+                ",leaves_{name},offered_qps_{name},routed_qps_{name},load_{name},\
+                 violating_{name}"
+            ));
+        }
+        out.push('\n');
         for s in &self.steps {
             out.push_str(&format!(
-                "{:.6},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{},{},{},{:.6},{},{},{},{:.3}\n",
+                "{:.6},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{},{},{},{:.6},{},{},{},{:.3}",
                 s.time.as_secs_f64(),
                 s.mean_load,
                 s.fleet_emu,
@@ -376,6 +443,18 @@ impl FleetResult {
                 s.completed_jobs,
                 s.be_progress_core_s
             ));
+            for kind in LcKind::all() {
+                let i = kind.index();
+                out.push_str(&format!(
+                    ",{},{:.1},{:.1},{:.4},{}",
+                    s.in_service_by_service[i],
+                    s.offered_qps[i],
+                    s.routed_qps[i],
+                    s.service_load[i],
+                    s.violating_by_service[i]
+                ));
+            }
+            out.push('\n');
         }
         out
     }
@@ -433,6 +512,11 @@ mod tests {
             in_service_servers: 4,
             in_service_cores: 144,
             in_service_by_generation: [0, 4, 0],
+            in_service_by_service: [4, 0, 0],
+            offered_qps: [load * 4.0 * 2_900.0, 0.0, 0.0],
+            routed_qps: [load * 4.0 * 2_900.0, 0.0, 0.0],
+            service_load: [load, 0.0, 0.0],
+            violating_by_service: [(violating * 4.0).round() as usize, 0, 0],
             migrations: 0,
             tco_dollars: 0.5,
             queued_jobs: 0,
@@ -462,6 +546,7 @@ mod tests {
             policy: "test".into(),
             server_cores: Vec::new(),
             server_generations: Vec::new(),
+            server_services: Vec::new(),
             steps: Vec::new(),
             jobs: Vec::new(),
             events: Vec::new(),

@@ -37,7 +37,7 @@ use heracles_colo::characterize::characterize_cell;
 use heracles_colo::ColoConfig;
 use heracles_hw::ServerConfig;
 use heracles_sim::{parallel_map, SimRng};
-use heracles_workloads::{BeKind, BeWorkload, LcWorkload};
+use heracles_workloads::{BeKind, BeWorkload, LcKind, LcWorkload};
 
 use crate::job::BeJob;
 use crate::store::{PlacementStore, ServerEntry, ServerId, REFERENCE_DRAM_GBPS};
@@ -237,28 +237,37 @@ impl PlacementPolicy for LeastLoaded {
 }
 
 /// How hostile each BE workload is to a colocated LC service, measured from
-/// the paper's §3.2 interference characterization (Figure 1), per hardware
-/// generation.
+/// the paper's §3.2 interference characterization (Figure 1), per
+/// (hardware generation, LC service) cell.
 ///
-/// Each workload is run as an antagonist against the generation's LC
-/// workload at 20% load with the characterization's fixed layouts; the
-/// amount by which the resulting tail latency overshoots the SLO is the
-/// hostility score (0 for workloads that leave the SLO intact, ~1+ for DRAM
-/// streaming).  Low load is where Figure 1 separates the antagonists most
-/// sharply — the antagonist holds most of the machine, so the damage it can
-/// do is fully expressed.
+/// Each workload is run as an antagonist against the cell's LC workload at
+/// 20% load with the characterization's fixed layouts; the amount by which
+/// the resulting tail latency overshoots the SLO is the hostility score (0
+/// for workloads that leave the SLO intact, ~1+ for DRAM streaming).  Low
+/// load is where Figure 1 separates the antagonists most sharply — the
+/// antagonist holds most of the machine, so the damage it can do is fully
+/// expressed.
 ///
-/// On a heterogeneous fleet the cells are re-run per *distinct*
-/// [`ServerConfig`]: the same antagonist saturates a low-bandwidth Sandy
-/// Bridge long before it dents a Skylake.  Generations sharing a hardware
-/// configuration share one characterization run (the cells are cached by
-/// config, not by generation index).
+/// The key is two-dimensional because interference is: the same antagonist
+/// saturates a low-bandwidth Sandy Bridge long before it dents a Skylake
+/// (the hardware axis), and an iperf-style network streamer that barely
+/// registers next to ml_cluster devastates a network-bound memkeyval leaf
+/// (the service axis).  Cells sharing an identical (LC workload, hardware)
+/// pair share one characterization run — the cells are cached by content,
+/// not by index.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InterferenceModel {
-    /// Measured scores, keyed by (generation index, workload kind).
-    hostility: HashMap<(usize, BeKind), f64>,
-    /// Generation-independent scores (from [`from_scores`]); consulted when
-    /// a (generation, kind) pair was never measured.
+    /// Measured scores, keyed by (generation index, LC service, workload
+    /// kind).
+    hostility: HashMap<(usize, LcKind, BeKind), f64>,
+    /// Service-agnostic per-generation scores (from
+    /// [`from_generation_scores`]); consulted when a full cell was never
+    /// measured.
+    ///
+    /// [`from_generation_scores`]: InterferenceModel::from_generation_scores
+    by_generation: HashMap<(usize, BeKind), f64>,
+    /// Generation- and service-independent scores (from [`from_scores`]);
+    /// the last fallback before the cautious default.
     ///
     /// [`from_scores`]: InterferenceModel::from_scores
     uniform: HashMap<BeKind, f64>,
@@ -268,73 +277,100 @@ impl InterferenceModel {
     /// Load at which the characterization cells are measured.
     const PROBE_LOAD: f64 = 0.2;
 
-    /// Measures hostility scores for `kinds` against each generation's LC
-    /// workload and hardware configuration, running one characterization
-    /// per *distinct* `ServerConfig` (duplicate configurations share the
-    /// measurement) with all cells in parallel.
+    /// Measures hostility scores for `kinds` against each (generation,
+    /// service) cell's LC workload and hardware configuration, running one
+    /// characterization per *distinct* (workload, `ServerConfig`) pair
+    /// (duplicates share the measurement) with all cells in parallel.
+    ///
+    /// `cells` carries one entry per (generation index, service) pair
+    /// present in the fleet, with the service's workload already scaled to
+    /// the generation's capacity.
     pub fn characterize(
         kinds: &[BeWorkload],
-        generations: &[(LcWorkload, ServerConfig)],
+        cells: &[(usize, LcKind, LcWorkload, ServerConfig)],
         colo: &ColoConfig,
     ) -> Self {
-        // Cache: point each generation at the first generation with an
-        // equal (workload, hardware) pair, and only measure those.
-        let source_of: Vec<usize> = generations
+        // Cache: point each cell at the first cell with an equal
+        // (workload, hardware) pair, and only measure those.
+        let source_of: Vec<usize> = cells
             .iter()
             .enumerate()
-            .map(|(g, (lc, config))| {
-                generations[..g]
+            .map(|(i, (_, _, lc, config))| {
+                cells[..i]
                     .iter()
-                    .position(|(plc, pconfig)| pconfig == config && plc == lc)
-                    .unwrap_or(g)
+                    .position(|(_, _, plc, pconfig)| pconfig == config && plc == lc)
+                    .unwrap_or(i)
             })
             .collect();
-        let cells: Vec<(usize, BeWorkload)> = source_of
+        let probes: Vec<(usize, BeWorkload)> = source_of
             .iter()
             .enumerate()
-            .filter(|&(g, &source)| g == source)
-            .flat_map(|(g, _)| kinds.iter().map(move |w| (g, w.clone())))
+            .filter(|&(i, &source)| i == source)
+            .flat_map(|(i, _)| kinds.iter().map(move |w| (i, w.clone())))
             .collect();
-        let measured: HashMap<(usize, BeKind), f64> = parallel_map(&cells, |(gen, w)| {
-            let (lc, config) = &generations[*gen];
-            let cell = characterize_cell(lc, w, Self::PROBE_LOAD, config, colo);
-            ((*gen, w.kind()), (cell.normalized_latency - 1.0).max(0.0))
+        let measured: HashMap<(usize, BeKind), f64> = parallel_map(&probes, |(cell, w)| {
+            let (_, _, lc, config) = &cells[*cell];
+            let probed = characterize_cell(lc, w, Self::PROBE_LOAD, config, colo);
+            ((*cell, w.kind()), (probed.normalized_latency - 1.0).max(0.0))
         })
         .into_iter()
         .collect();
         let hostility = source_of
             .iter()
             .enumerate()
-            .flat_map(|(gen, &source)| {
+            .flat_map(|(i, &source)| {
                 let measured = &measured;
-                kinds.iter().map(move |w| ((gen, w.kind()), measured[&(source, w.kind())]))
+                let (gen, service, _, _) = cells[i];
+                kinds.iter().map(move |w| ((gen, service, w.kind()), measured[&(source, w.kind())]))
             })
             .collect();
-        InterferenceModel { hostility, uniform: HashMap::new() }
+        InterferenceModel { hostility, by_generation: HashMap::new(), uniform: HashMap::new() }
     }
 
-    /// A model built from explicit generation-independent scores (used by
-    /// tests and callers that already have characterization data).
+    /// A model built from explicit generation- and service-independent
+    /// scores (used by tests and callers that already have
+    /// characterization data).
     pub fn from_scores(scores: impl IntoIterator<Item = (BeKind, f64)>) -> Self {
-        InterferenceModel { hostility: HashMap::new(), uniform: scores.into_iter().collect() }
+        InterferenceModel {
+            hostility: HashMap::new(),
+            by_generation: HashMap::new(),
+            uniform: scores.into_iter().collect(),
+        }
     }
 
     /// A model built from explicit per-(generation, kind) scores — for
-    /// tests and callers carrying external per-generation characterization
-    /// data (e.g. the autoscaler's generation market).
+    /// tests and callers carrying external service-agnostic
+    /// characterization data (e.g. the autoscaler's generation market).
     pub fn from_generation_scores(
         scores: impl IntoIterator<Item = ((usize, BeKind), f64)>,
     ) -> Self {
-        InterferenceModel { hostility: scores.into_iter().collect(), uniform: HashMap::new() }
+        InterferenceModel {
+            hostility: HashMap::new(),
+            by_generation: scores.into_iter().collect(),
+            uniform: HashMap::new(),
+        }
     }
 
-    /// The hostility score of a BE kind on a given hardware generation.
-    /// Unmeasured (generation, kind) pairs fall back to the
-    /// generation-independent scores, then to a cautious middle-of-the-road
-    /// 0.5 rather than zero.
-    pub fn hostility(&self, generation: usize, kind: BeKind) -> f64 {
+    /// A model built from explicit per-(generation, service, kind) cell
+    /// scores — the full key, for tests pinning mixed-service behaviour.
+    pub fn from_cell_scores(
+        scores: impl IntoIterator<Item = ((usize, LcKind, BeKind), f64)>,
+    ) -> Self {
+        InterferenceModel {
+            hostility: scores.into_iter().collect(),
+            by_generation: HashMap::new(),
+            uniform: HashMap::new(),
+        }
+    }
+
+    /// The hostility score of a BE kind on a given (hardware generation,
+    /// LC service) cell.  Unmeasured cells fall back to the
+    /// service-agnostic per-generation scores, then to the uniform scores,
+    /// then to a cautious middle-of-the-road 0.5 rather than zero.
+    pub fn hostility(&self, generation: usize, service: LcKind, kind: BeKind) -> f64 {
         self.hostility
-            .get(&(generation, kind))
+            .get(&(generation, service, kind))
+            .or_else(|| self.by_generation.get(&(generation, kind)))
             .or_else(|| self.uniform.get(&kind))
             .copied()
             .unwrap_or(0.5)
@@ -407,7 +443,7 @@ impl InterferenceAware {
         // Heracles controller, a mediocre placement still beats holding the
         // job at zero progress.
         let kind = job.workload.kind();
-        let hostility = self.model.hostility(server.generation, kind);
+        let hostility = self.model.hostility(server.generation, server.service, kind);
         let pressure = hostility / (1.0 + hostility);
         let projected = server.projected_load(self.trend_horizon);
         let crowd = if server.attached_kind == Some(kind) {
@@ -590,41 +626,65 @@ mod tests {
     fn characterized_model_ranks_dram_streaming_above_small_llc() {
         let model = InterferenceModel::characterize(
             &[BeWorkload::stream_dram(), BeWorkload::llc_small()],
-            &[(LcWorkload::websearch(), ServerConfig::default_haswell())],
+            &[(0, LcKind::Websearch, LcWorkload::websearch(), ServerConfig::default_haswell())],
             &ColoConfig::fast_test(),
         );
-        let dram = model.hostility(0, BeKind::StreamDram);
-        let small = model.hostility(0, BeKind::LlcSmall);
+        let dram = model.hostility(0, LcKind::Websearch, BeKind::StreamDram);
+        let small = model.hostility(0, LcKind::Websearch, BeKind::LlcSmall);
         assert!(dram > 0.5, "stream-DRAM hostility {dram:.2}");
         assert!(dram > small, "dram {dram:.2} <= llc_small {small:.2}");
-        // Unknown kinds and unmeasured generations get the cautious default.
-        assert_eq!(model.hostility(0, BeKind::Iperf), 0.5);
-        assert_eq!(model.hostility(7, BeKind::Iperf), 0.5);
+        // Unknown kinds, unmeasured generations and unmeasured services all
+        // get the cautious default.
+        assert_eq!(model.hostility(0, LcKind::Websearch, BeKind::Iperf), 0.5);
+        assert_eq!(model.hostility(7, LcKind::Websearch, BeKind::Iperf), 0.5);
+        assert_eq!(model.hostility(0, LcKind::Memkeyval, BeKind::StreamDram), 0.5);
     }
 
     #[test]
     fn characterization_is_cached_per_distinct_config() {
         let ws = LcWorkload::websearch();
         let haswell = ServerConfig::default_haswell();
-        // Three generations, two of them identical hardware: the duplicates
-        // must share one measurement exactly.
+        // Three cells, two of them identical (workload, hardware) pairs:
+        // the duplicates must share one measurement exactly.
         let model = InterferenceModel::characterize(
             &[BeWorkload::stream_dram()],
             &[
-                (ws.clone(), haswell.clone()),
-                (ws.scaled_to_capacity(0.5), ServerConfig::small_test()),
-                (ws.clone(), haswell.clone()),
+                (0, LcKind::Websearch, ws.clone(), haswell.clone()),
+                (1, LcKind::Websearch, ws.scaled_to_capacity(0.5), ServerConfig::small_test()),
+                (2, LcKind::Websearch, ws.clone(), haswell.clone()),
             ],
             &ColoConfig::fast_test(),
         );
         assert_eq!(
-            model.hostility(0, BeKind::StreamDram),
-            model.hostility(2, BeKind::StreamDram),
+            model.hostility(0, LcKind::Websearch, BeKind::StreamDram),
+            model.hostility(2, LcKind::Websearch, BeKind::StreamDram),
             "duplicate configs did not share the cached cell"
         );
         // The smaller, lower-bandwidth box sees a different (not cached)
         // score than the Haswell.
-        assert_ne!(model.hostility(0, BeKind::StreamDram), model.hostility(1, BeKind::StreamDram));
+        assert_ne!(
+            model.hostility(0, LcKind::Websearch, BeKind::StreamDram),
+            model.hostility(1, LcKind::Websearch, BeKind::StreamDram)
+        );
+    }
+
+    #[test]
+    fn iperf_is_hostile_to_memkeyval_but_tolerable_next_to_ml_cluster() {
+        // The service axis of the interference key: an iperf-style network
+        // streamer saturates the NIC that a network-bound memkeyval leaf
+        // lives on, while ml_cluster (tiny responses) barely notices.
+        let model = InterferenceModel::characterize(
+            &[BeWorkload::iperf()],
+            &[
+                (1, LcKind::Memkeyval, LcWorkload::memkeyval(), ServerConfig::default_haswell()),
+                (1, LcKind::MlCluster, LcWorkload::ml_cluster(), ServerConfig::default_haswell()),
+            ],
+            &ColoConfig::fast_test(),
+        );
+        let kv = model.hostility(1, LcKind::Memkeyval, BeKind::Iperf);
+        let ml = model.hostility(1, LcKind::MlCluster, BeKind::Iperf);
+        assert!(kv > ml, "iperf on memkeyval {kv:.2} <= on ml_cluster {ml:.2}");
+        assert!(kv > 0.5, "iperf barely dented memkeyval ({kv:.2})");
     }
 
     #[test]
@@ -635,8 +695,22 @@ mod tests {
         // Two servers with identical core counts and loads, differing only
         // in DRAM bandwidth, so the bandwidth-affinity factor is the only
         // discriminator.
-        let slow = ServerCapacity { cores: 36, dram_peak_gbps: 80.0, be_slots: 2, generation: 0 };
-        let fast = ServerCapacity { cores: 36, dram_peak_gbps: 200.0, be_slots: 2, generation: 2 };
+        let slow = ServerCapacity {
+            cores: 36,
+            dram_peak_gbps: 80.0,
+            be_slots: 2,
+            generation: 0,
+            service: LcKind::Websearch,
+            peak_qps: 2_900.0,
+        };
+        let fast = ServerCapacity {
+            cores: 36,
+            dram_peak_gbps: 200.0,
+            be_slots: 2,
+            generation: 2,
+            service: LcKind::Websearch,
+            peak_qps: 2_900.0,
+        };
         let mut store = PlacementStore::heterogeneous(&[slow, fast]);
         for id in 0..2 {
             store.set_load(id, 0.4);
@@ -652,8 +726,22 @@ mod tests {
     #[test]
     fn least_loaded_ranks_by_absolute_headroom_not_load_fraction() {
         let mut rng = SimRng::new(1);
-        let small = ServerCapacity { cores: 16, dram_peak_gbps: 80.0, be_slots: 3, generation: 0 };
-        let big = ServerCapacity { cores: 48, dram_peak_gbps: 200.0, be_slots: 3, generation: 2 };
+        let small = ServerCapacity {
+            cores: 16,
+            dram_peak_gbps: 80.0,
+            be_slots: 3,
+            generation: 0,
+            service: LcKind::Websearch,
+            peak_qps: 1_290.0,
+        };
+        let big = ServerCapacity {
+            cores: 48,
+            dram_peak_gbps: 200.0,
+            be_slots: 3,
+            generation: 2,
+            service: LcKind::Websearch,
+            peak_qps: 3_870.0,
+        };
         let mut store = PlacementStore::heterogeneous(&[small, big]);
         store.set_load(0, 0.30);
         store.set_load(1, 0.40);

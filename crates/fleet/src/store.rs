@@ -10,7 +10,7 @@
 
 use heracles_hw::ServerConfig;
 use heracles_sim::SimTime;
-use heracles_workloads::BeKind;
+use heracles_workloads::{BeKind, LcKind, LcWorkload, NUM_SERVICES};
 use serde::{Deserialize, Serialize};
 
 use crate::job::JobId;
@@ -53,8 +53,9 @@ pub const ADMISSION_LOAD_DISABLE: f64 = 0.85;
 
 /// The static capacity of one server, as the scheduler sees it.
 ///
-/// In a heterogeneous fleet every entry carries its own capacity: the
-/// scheduler never assumes the fleet is uniform.
+/// In a heterogeneous fleet every entry carries its own capacity, and in a
+/// mixed-service fleet every entry is a (generation × service) cell: the
+/// scheduler never assumes the fleet is uniform in either dimension.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServerCapacity {
     /// Physical core count.
@@ -66,10 +67,18 @@ pub struct ServerCapacity {
     /// Index of the server's hardware generation (see
     /// [`Generation`](crate::Generation)).
     pub generation: usize,
+    /// The LC service this leaf serves.
+    pub service: LcKind,
+    /// Peak QPS of this leaf for its service (the service's reference peak
+    /// scaled to the leaf's compute capacity) — the weight the traffic
+    /// plane's balancers route by.
+    pub peak_qps: f64,
 }
 
 impl ServerCapacity {
-    /// Derives a capacity record from a hardware configuration.
+    /// Derives a websearch-leaf capacity record from a hardware
+    /// configuration (the single-service shim over
+    /// [`for_service`](Self::for_service)).
     ///
     /// `be_slots_per_reference` is the BE slot count a reference
     /// ([`REFERENCE_CORES`]-core Haswell) server gets; other generations
@@ -80,6 +89,31 @@ impl ServerCapacity {
         be_slots_per_reference: usize,
         generation: usize,
     ) -> Self {
+        let ratio = config.total_cores() as f64 / REFERENCE_CORES as f64;
+        Self::for_service(
+            config,
+            be_slots_per_reference,
+            generation,
+            LcKind::Websearch,
+            LcWorkload::websearch().peak_qps() * ratio,
+        )
+    }
+
+    /// Derives a capacity record for a leaf of `service` on the given
+    /// hardware: BE slots scale with the core count relative to the
+    /// reference generation, while `peak_qps` is supplied by the caller —
+    /// it must be the peak of the *workload profile the leaf actually
+    /// runs* (the fleet scales profiles against its own baseline, which is
+    /// not always the reference generation), and it is the weight the
+    /// traffic plane routes by.
+    pub fn for_service(
+        config: &ServerConfig,
+        be_slots_per_reference: usize,
+        generation: usize,
+        service: LcKind,
+        peak_qps: f64,
+    ) -> Self {
+        assert!(peak_qps.is_finite() && peak_qps > 0.0, "leaf peak QPS must be positive");
         let cores = config.total_cores();
         let scaled = (be_slots_per_reference * cores + REFERENCE_CORES / 2) / REFERENCE_CORES;
         ServerCapacity {
@@ -87,10 +121,12 @@ impl ServerCapacity {
             dram_peak_gbps: config.dram_peak_gbps(),
             be_slots: scaled.max(1),
             generation,
+            service,
+            peak_qps,
         }
     }
 
-    /// A reference-generation capacity (used by the homogeneous
+    /// A reference-generation websearch capacity (used by the homogeneous
     /// constructors and tests).
     pub fn reference(be_slots: usize) -> Self {
         ServerCapacity {
@@ -98,6 +134,8 @@ impl ServerCapacity {
             dram_peak_gbps: REFERENCE_DRAM_GBPS,
             be_slots,
             generation: 1,
+            service: LcKind::Websearch,
+            peak_qps: LcWorkload::websearch().peak_qps(),
         }
     }
 }
@@ -138,6 +176,12 @@ pub struct ServerEntry {
     pub dram_peak_gbps: f64,
     /// Index of the server's hardware generation.
     pub generation: usize,
+    /// The LC service this leaf serves (entries are (generation × service)
+    /// cells in a mixed fleet).
+    pub service: LcKind,
+    /// Peak QPS of this leaf for its service — the weight the traffic
+    /// plane's balancers route by.
+    pub peak_qps: f64,
     /// How many BE jobs the server may host at once.
     pub be_slots: usize,
     /// Jobs currently resident (placed and not yet completed or preempted).
@@ -280,6 +324,8 @@ impl PlacementStore {
             cores: cap.cores,
             dram_peak_gbps: cap.dram_peak_gbps,
             generation: cap.generation,
+            service: cap.service,
+            peak_qps: cap.peak_qps,
             be_slots: cap.be_slots,
             resident: Vec::new(),
             attached_kind: None,
@@ -390,6 +436,35 @@ impl PlacementStore {
             }
         }
         counts
+    }
+
+    /// How many in-service leaves serve each LC service, indexed by
+    /// [`LcKind::index`] (websearch, ml_cluster, memkeyval).
+    pub fn in_service_by_service(&self) -> [usize; NUM_SERVICES] {
+        let mut counts = [0usize; NUM_SERVICES];
+        for s in self.servers.iter().filter(|s| s.in_service()) {
+            counts[s.service.index()] += 1;
+        }
+        counts
+    }
+
+    /// Number of in-service leaves serving one service — the pool the
+    /// traffic plane routes that service's demand across.  A fleet must
+    /// never retire the last leaf of a service it still serves: the
+    /// service's traffic would have nowhere to go.
+    pub fn in_service_leaves(&self, service: LcKind) -> usize {
+        self.servers.iter().filter(|s| s.in_service() && s.service == service).count()
+    }
+
+    /// Total in-service peak QPS of one service's leaf pool (the
+    /// denominator that turns the service's offered QPS into a per-leaf
+    /// load fraction under capacity-weighted routing).
+    pub fn in_service_peak_qps(&self, service: LcKind) -> f64 {
+        self.servers
+            .iter()
+            .filter(|s| s.in_service() && s.service == service)
+            .map(|s| s.peak_qps)
+            .sum()
     }
 
     /// All per-server entries, indexed by server id.

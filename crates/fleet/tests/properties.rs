@@ -8,19 +8,24 @@
 //!   disabled — such a job would sit at zero progress until preempted,
 //! * core-weighted fleet EMU is scale-invariant: duplicating every server
 //!   leaves it unchanged,
-//! * identical seeds give identical fleet schedules.
+//! * identical seeds give identical fleet schedules,
+//! * LC demand is conserved under any legal sequence of add/drain/retire
+//!   actions, for every balancer: each step, every service's routed QPS
+//!   equals its offered QPS — traffic is re-divided when the pool changes,
+//!   never created or destroyed,
+//! * identical seeds give identical routing decisions for every balancer.
 
 use proptest::prelude::*;
 
 use heracles_colo::ColoConfig;
 use heracles_fleet::{
-    core_weighted_mean, FirstFit, FleetConfig, FleetSim, Generation, GenerationMix,
+    core_weighted_mean, BalancerKind, FirstFit, FleetConfig, FleetSim, Generation, GenerationMix,
     InterferenceAware, InterferenceModel, JobStreamConfig, LeastLoaded, PlacementPolicy,
-    PlacementStore, PolicyKind, RandomPlacement, ServerCapacity,
+    PlacementStore, PolicyKind, RandomPlacement, ServerCapacity, ServerState,
 };
 use heracles_hw::ServerConfig;
 use heracles_sim::{SimRng, SimTime};
-use heracles_workloads::{BeKind, BeWorkload};
+use heracles_workloads::{BeKind, BeWorkload, ServiceMix};
 
 /// Builds a randomized heterogeneous store: `servers` hosts drawn from
 /// `mix`, with loads, slacks and admission verdicts drawn from the seed,
@@ -215,6 +220,112 @@ proptest! {
         prop_assert_eq!(&a.jobs, &b.jobs);
         prop_assert_eq!(&a.steps, &b.steps);
         prop_assert_eq!(&a.server_cores, &b.server_cores);
+    }
+
+    /// LC demand conservation under any legal sequence of scale actions,
+    /// for every balancer: whatever gets added, drained or retired, each
+    /// step routes every service's full offered QPS onto the surviving
+    /// leaves — the balancer re-divides traffic, it never loses it.
+    #[test]
+    fn lc_demand_is_conserved_under_any_scale_action_sequence(
+        servers in 3usize..7,
+        seed in 0u64..200,
+        balancer_idx in 0usize..2,
+        action_seed in 0u64..1_000,
+    ) {
+        let config = FleetConfig {
+            servers,
+            steps: 8,
+            windows_per_step: 2,
+            seed,
+            services: ServiceMix::mixed_frontend(),
+            balancer: BalancerKind::all()[balancer_idx],
+            mix: GenerationMix::mixed_datacenter(),
+            colo: ColoConfig { requests_per_window: 400, ..ColoConfig::fast_test() },
+            jobs: JobStreamConfig { arrivals_per_step: 0.5, ..JobStreamConfig::default() },
+            ..FleetConfig::fast_services()
+        };
+        let mut sim =
+            FleetSim::new(config, ServerConfig::default_haswell(), PolicyKind::LeastLoaded);
+        let mut actions = SimRng::new(action_seed);
+        for _ in 0..config.steps {
+            match actions.index(4) {
+                0 => {
+                    sim.add_server(Generation::all()[actions.index(3)]);
+                }
+                1 => {
+                    let active: Vec<_> = sim
+                        .store()
+                        .servers()
+                        .iter()
+                        .filter(|s| s.is_active())
+                        .map(|s| s.id)
+                        .collect();
+                    if !active.is_empty() {
+                        sim.begin_drain(active[actions.index(active.len())]);
+                    }
+                }
+                2 => {
+                    // Retire a random *legally retirable* draining server:
+                    // empty, and not its service's last in-service leaf.
+                    let retirable: Vec<_> = sim
+                        .store()
+                        .servers()
+                        .iter()
+                        .filter(|s| {
+                            s.state == ServerState::Draining
+                                && s.resident.is_empty()
+                                && sim.store().in_service_leaves(s.service) > 1
+                        })
+                        .map(|s| s.id)
+                        .collect();
+                    if !retirable.is_empty() {
+                        sim.retire_server(retirable[actions.index(retirable.len())]);
+                    }
+                }
+                _ => {}
+            }
+            let step = sim.step_once();
+            for (offered, routed) in step.offered_qps.iter().zip(&step.routed_qps) {
+                prop_assert!(
+                    (offered - routed).abs() <= 1e-6 * (1.0 + offered),
+                    "demand not conserved: offered {offered} routed {routed}"
+                );
+            }
+        }
+    }
+
+    /// Identical seeds give identical routing decisions for every
+    /// balancer (offered series, routed series and the resulting
+    /// per-service loads all match exactly).
+    #[test]
+    fn identical_seeds_give_identical_routing(
+        seed in 0u64..100,
+        balancer_idx in 0usize..2,
+    ) {
+        let config = FleetConfig {
+            servers: 4,
+            steps: 6,
+            windows_per_step: 2,
+            seed,
+            services: ServiceMix::mixed_frontend(),
+            balancer: BalancerKind::all()[balancer_idx],
+            colo: ColoConfig { requests_per_window: 400, ..ColoConfig::fast_test() },
+            jobs: JobStreamConfig { arrivals_per_step: 1.0, ..JobStreamConfig::default() },
+            ..FleetConfig::fast_services()
+        };
+        let run = |cfg: FleetConfig| {
+            FleetSim::new(cfg, ServerConfig::default_haswell(), PolicyKind::LeastLoaded).run()
+        };
+        let a = run(config);
+        let b = run(config);
+        for (sa, sb) in a.steps.iter().zip(&b.steps) {
+            prop_assert_eq!(sa.offered_qps, sb.offered_qps);
+            prop_assert_eq!(sa.routed_qps, sb.routed_qps);
+            prop_assert_eq!(sa.service_load, sb.service_load);
+        }
+        prop_assert_eq!(&a.steps, &b.steps);
+        prop_assert_eq!(&a.server_services, &b.server_services);
     }
 
     /// Generation assignments are deterministic, proportional and cover

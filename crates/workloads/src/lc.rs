@@ -39,6 +39,47 @@ pub enum LcKind {
     Memkeyval,
 }
 
+impl LcKind {
+    /// All service kinds, in catalog (index) order.
+    pub fn all() -> [LcKind; 3] {
+        [LcKind::Websearch, LcKind::MlCluster, LcKind::Memkeyval]
+    }
+
+    /// The kind's index into per-service tables (0 = websearch,
+    /// 1 = ml_cluster, 2 = memkeyval).
+    pub fn index(self) -> usize {
+        match self {
+            LcKind::Websearch => 0,
+            LcKind::MlCluster => 1,
+            LcKind::Memkeyval => 2,
+        }
+    }
+
+    /// The service's name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            LcKind::Websearch => "websearch",
+            LcKind::MlCluster => "ml_cluster",
+            LcKind::Memkeyval => "memkeyval",
+        }
+    }
+}
+
+impl std::str::FromStr for LcKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "websearch" => Ok(LcKind::Websearch),
+            "ml_cluster" => Ok(LcKind::MlCluster),
+            "memkeyval" => Ok(LcKind::Memkeyval),
+            other => Err(format!(
+                "unknown LC service {other:?} (expected websearch, ml_cluster or memkeyval)"
+            )),
+        }
+    }
+}
+
 /// A latency-critical workload profile.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LcWorkload {
@@ -157,6 +198,15 @@ impl LcWorkload {
     /// All three production LC workloads, in the order the paper lists them.
     pub fn all() -> Vec<LcWorkload> {
         vec![Self::websearch(), Self::ml_cluster(), Self::memkeyval()]
+    }
+
+    /// The profile of one service kind.
+    pub fn of_kind(kind: LcKind) -> Self {
+        match kind {
+            LcKind::Websearch => Self::websearch(),
+            LcKind::MlCluster => Self::ml_cluster(),
+            LcKind::Memkeyval => Self::memkeyval(),
+        }
     }
 
     /// The workload's kind.

@@ -20,6 +20,10 @@
 //!   pressure and a throughput model used for Effective Machine Utilization.
 //! * [`DiurnalTrace`] — the synthetic 12-hour diurnal load trace used by the
 //!   cluster experiment (Figure 8).
+//! * [`LcService`] / [`ServiceCatalog`] — first-class LC services: each
+//!   service owns an aggregate diurnal demand curve, an SLO and a fleet
+//!   share, so a fleet's traffic plane routes *service* demand onto leaves
+//!   instead of every server privately owning a trace.
 //! * [`Slo`] — SLO bookkeeping (target, percentile, normalized latency).
 //!
 //! # Example
@@ -38,10 +42,12 @@
 
 pub mod be;
 pub mod lc;
+pub mod service;
 pub mod slo;
 pub mod trace;
 
 pub use be::{BeKind, BeWorkload};
 pub use lc::{LcKind, LcWorkload, WindowResult};
+pub use service::{LcService, ServiceCatalog, ServiceMix, NUM_SERVICES};
 pub use slo::Slo;
 pub use trace::DiurnalTrace;

@@ -1,20 +1,28 @@
-//! Fleet colocation: sweep the placement policies across fleet sizes and
-//! generation mixes.
+//! Fleet colocation: sweep the placement policies across fleet sizes,
+//! generation mixes and LC service catalogs.
 //!
 //! Runs the fleet scheduler (a stream of BE jobs placed over a diurnally
-//! loaded websearch fleet, each server defended by its own Heracles
-//! controller) for every placement policy at a few fleet sizes — first on
-//! the homogeneous Haswell fleet, then on a mixed-generation datacenter
+//! loaded LC fleet, each server defended by its own Heracles controller)
+//! for every placement policy at a few fleet sizes — first on the
+//! homogeneous Haswell fleet, then on a mixed-generation datacenter
 //! (Sandy-Bridge-class, Haswell and Skylake-class boxes) — and prints the
 //! recovered utilization and the throughput/TCO gain over the uncolocated
 //! fleet.  Utilization is core-weighted: on a mixed fleet a 48-core box's
 //! windows represent three times the machine time of a 16-core box's.
 //!
+//! A final block swaps the websearch-only catalog for the mixed front end
+//! (websearch + ml_cluster + memkeyval, phase-spread across the diurnal
+//! cycle) routed by each of the traffic plane's balancers — the
+//! conservation audit (routed == offered) is printed with each row.
+//!
 //! Run with: `cargo run --release --example fleet_colocate`
 
 use heracles::cluster::TcoModel;
-use heracles::fleet::{FleetConfig, FleetSim, GenerationMix, JobStreamConfig, PolicyKind};
+use heracles::fleet::{
+    BalancerKind, FleetConfig, FleetSim, GenerationMix, JobStreamConfig, PolicyKind,
+};
 use heracles::hw::ServerConfig;
+use heracles::workloads::ServiceMix;
 
 fn main() {
     let server = ServerConfig::default_haswell();
@@ -58,6 +66,32 @@ fn main() {
             println!();
         }
     }
+    println!("Mixed LC service catalog (websearch + ml_cluster + memkeyval), per balancer:");
+    println!();
+    for balancer in BalancerKind::all() {
+        let config = FleetConfig {
+            services: ServiceMix::mixed_frontend(),
+            balancer,
+            jobs: JobStreamConfig { arrivals_per_step: 1.2, ..JobStreamConfig::default() },
+            ..FleetConfig::fast_services()
+        };
+        for kind in [PolicyKind::LeastLoaded, PolicyKind::InterferenceAware] {
+            let result = FleetSim::new(config, server.clone(), kind).run();
+            let by = result.violation_server_steps_by_service();
+            println!(
+                "{:>8} {:<18} {:<20} EMU {:>5.1}%  viol ws/ml/kv {}/{}/{}  imbalance {:.1e}",
+                config.servers,
+                balancer.name(),
+                result.policy,
+                result.mean_fleet_emu() * 100.0,
+                by[0],
+                by[1],
+                by[2],
+                result.max_routing_imbalance()
+            );
+        }
+    }
+    println!();
     println!("(EMU − LC load is the machine time the scheduler recovered for batch work;");
     println!(" the TCO column converts it with the paper's cost model, both core-weighted.)");
 }
