@@ -23,8 +23,8 @@
 //! elasticity never buys throughput with latency compliance.
 
 use heracles_fleet::{
-    marginal_headroom_cores, FleetResult, FleetSim, InterferenceModel, JobId, PolicyKind,
-    ServerEntry, ServerId, ServerState,
+    marginal_headroom_cores, ControlPlaneProfile, FleetResult, FleetSim, InterferenceModel, JobId,
+    PolicyKind, ServerEntry, ServerId, ServerState,
 };
 use heracles_hw::ServerConfig;
 use serde::{Deserialize, Serialize};
@@ -188,6 +188,9 @@ pub struct ElasticFleet {
     market: GenerationMarket,
     config: AutoscaleConfig,
     events: Vec<ScaleEvent>,
+    /// Wall-clock seconds spent assembling [`ScaleSignals`] — the
+    /// autoscaler's slice of the per-step control-plane cost.
+    signals_s: f64,
 }
 
 impl ElasticFleet {
@@ -209,7 +212,14 @@ impl ElasticFleet {
         let market =
             GenerationMarket::new(&config.fleet, &server, InterferenceModel::from_scores([]));
         let sim = FleetSim::new(config.fleet, server, placement);
-        ElasticFleet { sim, policy: autoscaler.build(), market, config, events: Vec::new() }
+        ElasticFleet {
+            sim,
+            policy: autoscaler.build(),
+            market,
+            config,
+            events: Vec::new(),
+            signals_s: 0.0,
+        }
     }
 
     /// Replaces the market's interference model (e.g. with §3.2
@@ -233,8 +243,14 @@ impl ElasticFleet {
         let step_s = self.sim.config().step_duration().as_secs_f64();
         let mut stranded = 0usize;
         let mut oldest_wait_steps = 0usize;
-        for job in self.sim.jobs() {
-            if job.first_start.is_none() && job.completion.is_none() {
+        // Between steps, every job that has never started is sitting in the
+        // pending queue (placement is the only thing that sets
+        // `first_start`), so scanning the queue counts exactly the jobs the
+        // old full-ledger scan did — without walking every completed job
+        // the run has ever produced (which made long runs quadratic).
+        for job_id in self.sim.pending_job_ids() {
+            let job = self.sim.job(job_id);
+            if job.first_start.is_none() {
                 let waited = now.saturating_since(job.arrival).as_secs_f64();
                 let waited_steps = (waited / step_s).floor() as usize;
                 if waited_steps >= 1 {
@@ -395,21 +411,46 @@ impl ElasticFleet {
         }
     }
 
-    /// Runs the closed loop to the fleet's horizon and returns the result.
-    pub fn run(mut self) -> AutoscaleResult {
-        let steps = self.sim.config().steps;
-        for _ in 0..steps {
-            let signals = self.signals();
-            let action = self.policy.decide(&signals);
-            self.apply(action);
-            self.drain_step();
-            self.sim.step_once();
-        }
+    /// The underlying fleet simulator (read-only).
+    pub fn sim(&self) -> &FleetSim {
+        &self.sim
+    }
+
+    /// Cumulative wall-clock cost of the control plane so far: the fleet's
+    /// routing and dispatch phases plus this controller's signal assembly.
+    /// Pure observability — timing noise never feeds back into decisions.
+    pub fn control_plane_profile(&self) -> ControlPlaneProfile {
+        ControlPlaneProfile { signals_s: self.signals_s, ..*self.sim.control_plane_profile() }
+    }
+
+    /// Runs one closed-loop step: signals → decide → apply → drain →
+    /// advance the fleet one scheduler step.
+    pub fn step_once(&mut self) {
+        let signals_started = std::time::Instant::now();
+        let signals = self.signals();
+        self.signals_s += signals_started.elapsed().as_secs_f64();
+        let action = self.policy.decide(&signals);
+        self.apply(action);
+        self.drain_step();
+        self.sim.step_once();
+    }
+
+    /// Consumes the controller into its result (steps run so far).
+    pub fn finish(self) -> AutoscaleResult {
         AutoscaleResult {
             autoscaler: self.policy.name().to_string(),
             fleet: self.sim.into_result(),
             events: self.events,
         }
+    }
+
+    /// Runs the closed loop to the fleet's horizon and returns the result.
+    pub fn run(mut self) -> AutoscaleResult {
+        let steps = self.sim.config().steps;
+        while self.sim.current_step() < steps {
+            self.step_once();
+        }
+        self.finish()
     }
 }
 
@@ -420,5 +461,53 @@ impl std::fmt::Debug for ElasticFleet {
             .field("step", &self.sim.current_step())
             .field("active", &self.sim.store().active_servers())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AutoscaleKind;
+
+    /// The pending-queue stranded scan must emit bit-identical signals to
+    /// the full-ledger scan it replaced: between steps, a job without a
+    /// `first_start` is in the queue and nowhere else, so the two scans see
+    /// exactly the same population at every step of a churny run.
+    #[test]
+    fn pending_queue_scan_matches_the_full_ledger_scan() {
+        let mut config = AutoscaleConfig::fast_test();
+        config.fleet.steps = 20;
+        // Oversubscribe the queue so jobs genuinely strand: with every BE
+        // slot full, arrivals back up and the stranded branch is exercised.
+        config.fleet.jobs.arrivals_per_step = 12.0;
+        let mut fleet = ElasticFleet::new(
+            config,
+            ServerConfig::default_haswell(),
+            PolicyKind::LeastLoaded,
+            AutoscaleKind::Reactive,
+        );
+        let mut saw_stranded = false;
+        for _ in 0..config.fleet.steps {
+            let signals = fleet.signals();
+            // The reference: the old O(all jobs ever) ledger walk.
+            let now = fleet.sim.now();
+            let step_s = fleet.sim.config().step_duration().as_secs_f64();
+            let (mut stranded, mut oldest) = (0usize, 0usize);
+            for job in fleet.sim.jobs() {
+                if job.first_start.is_none() && job.completion.is_none() {
+                    let waited_steps =
+                        (now.saturating_since(job.arrival).as_secs_f64() / step_s).floor() as usize;
+                    if waited_steps >= 1 {
+                        stranded += 1;
+                        oldest = oldest.max(waited_steps);
+                    }
+                }
+            }
+            assert_eq!(signals.stranded_jobs, stranded);
+            assert_eq!(signals.oldest_wait_steps, oldest);
+            saw_stranded |= stranded > 0;
+            fleet.step_once();
+        }
+        assert!(saw_stranded, "the run never stranded a job — the pin test saw nothing");
     }
 }

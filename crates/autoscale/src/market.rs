@@ -150,7 +150,12 @@ impl GenerationMarket {
     /// candidate: retiring it would leave that service's traffic with
     /// nowhere to go.
     pub fn sell_first(&self, store: &PlacementStore) -> Option<ServerId> {
-        let value = |s: &ServerEntry| self.value_per_dollar(Generation::all()[s.generation]);
+        // Three generations exist; pricing each once beats re-deriving the
+        // marginal-value quotient for every server on every comparison
+        // (the old inner-loop cost that dominated large-fleet signal
+        // assembly).  Same floats, computed once.
+        let values = Generation::all().map(|g| self.value_per_dollar(g));
+        let value = |s: &ServerEntry| values[s.generation];
         store
             .servers()
             .iter()

@@ -6,12 +6,14 @@
 //! `heracles_sim`, which also serves the fleet simulator) fans them out over
 //! the machine's cores, [`cli`] parses the binaries' `--flag value`
 //! overrides, and [`percent`] / [`print_row`] render the same percent-of-SLO
-//! format the paper uses.
+//! format the paper uses.  [`fleet_bench`] holds the tracked fleet-size
+//! benchmark behind `BENCH_fleet.json` and its schema validator.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cli;
+pub mod fleet_bench;
 
 pub use heracles_sim::{parallel_map, parallel_map_mut};
 

@@ -67,13 +67,14 @@ use serde::{Deserialize, Serialize};
 use crate::generation::{Generation, GenerationMix};
 use crate::job::{BeJob, JobId, JobQueue, JobStreamConfig};
 use crate::metrics::{
-    core_weighted_mean, server_step_tco_dollars, FleetEvent, FleetEventKind, FleetResult, FleetStep,
+    core_weighted_mean, server_step_tco_dollars, ControlPlaneProfile, FleetEvent, FleetEventKind,
+    FleetResult, FleetStep,
 };
 use crate::policy::{
     FirstFit, InterferenceAware, InterferenceModel, LeastLoaded, PlacementPolicy, PolicyKind,
     RandomPlacement,
 };
-use crate::store::{PlacementStore, ServerCapacity, ServerId};
+use crate::store::{PlacementStore, ServerCapacity, ServerId, ShardingMode};
 use crate::traffic::{BalancerKind, TrafficPlane};
 
 /// Configuration of a fleet run.
@@ -123,6 +124,20 @@ pub struct FleetConfig {
     /// Which front-end load balancer routes each service's offered QPS
     /// across its leaves (capacity-weighted by default).
     pub balancer: BalancerKind,
+    /// How the placement store organizes its leaf pools:
+    /// per-(generation × service) shards by default, so placement plans and
+    /// the traffic plane scan pool-local indices instead of the whole
+    /// server table.  [`ShardingMode::Single`] keeps one flat shard — the
+    /// pre-sharding layout, preserved for the shard-equivalence property
+    /// tests (identical seeds must give identical results either way).
+    pub sharding: ShardingMode,
+    /// Whether dispatch plans each step's placements as one batched round
+    /// ([`PlacementPolicy::begin_round`] scores the fleet once per step) —
+    /// the default — or re-scans the fleet per job, exactly like the
+    /// pre-sharding scheduler.  The per-job path is kept as the fleet-size
+    /// benchmark's baseline arm and for the equivalence property tests;
+    /// placements are identical either way.
+    pub batch_dispatch: bool,
     /// Steps a server may sit occupied with BE disabled before its jobs are
     /// preempted and requeued.
     pub preemption_grace_steps: usize,
@@ -148,6 +163,8 @@ impl Default for FleetConfig {
             mix: GenerationMix::homogeneous(),
             services: ServiceMix::websearch_only(),
             balancer: BalancerKind::CapacityWeighted,
+            sharding: ShardingMode::PerPool,
+            batch_dispatch: true,
             preemption_grace_steps: 2,
             tco: TcoModel::paper_case_study(),
             colo: ColoConfig { requests_per_window: 1_200, ..ColoConfig::default() },
@@ -315,6 +332,10 @@ pub struct FleetSim {
     /// Migrations committed since the last recorded step (folded into the
     /// next [`FleetStep`]).
     pending_migrations: usize,
+    /// Cumulative wall-clock cost of the control plane (routing + dispatch)
+    /// — kept outside [`FleetStep`] so timing noise can never break the
+    /// identical-seeds-identical-results determinism contract.
+    profile: ControlPlaneProfile,
 }
 
 impl FleetSim {
@@ -383,9 +404,9 @@ impl FleetSim {
         config.validate().unwrap_or_else(|e| panic!("invalid fleet config: {e}"));
         let (catalog, generations, services) = Self::provisioning(&config);
         let policy: Box<dyn PlacementPolicy> = match policy {
-            PolicyKind::Random => Box::new(RandomPlacement),
-            PolicyKind::FirstFit => Box::new(FirstFit),
-            PolicyKind::LeastLoaded => Box::new(LeastLoaded),
+            PolicyKind::Random => Box::new(RandomPlacement::default()),
+            PolicyKind::FirstFit => Box::new(FirstFit::default()),
+            PolicyKind::LeastLoaded => Box::new(LeastLoaded::default()),
             PolicyKind::InterferenceAware => {
                 let probe = ColoConfig { requests_per_window: 1_000, ..ColoConfig::default() }
                     .with_seed(config.seed ^ 0xCAFE);
@@ -514,7 +535,7 @@ impl FleetSim {
         FleetSim {
             plane,
             runners,
-            store: PlacementStore::heterogeneous(&capacities),
+            store: PlacementStore::heterogeneous_with_sharding(&capacities, config.sharding),
             queue: JobQueue::new(config.jobs, config.seed),
             policy,
             rng: SimRng::new(config.seed).fork(0x9C4ED),
@@ -525,6 +546,7 @@ impl FleetSim {
             completed_total: 0,
             step_idx: 0,
             pending_migrations: 0,
+            profile: ControlPlaneProfile::default(),
             config,
         }
     }
@@ -561,6 +583,23 @@ impl FleetSim {
     /// Number of jobs currently waiting in the queue.
     pub fn queue_depth(&self) -> usize {
         self.queue.pending_len()
+    }
+
+    /// Ids of the jobs currently waiting in the queue, in dispatch order.
+    ///
+    /// Between steps this is exactly the set of jobs that are neither
+    /// resident nor complete, so controllers can scan the queue (bounded by
+    /// its depth) instead of the whole job ledger (which grows with run
+    /// length) when counting stranded work.
+    pub fn pending_job_ids(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.queue.pending_ids()
+    }
+
+    /// Cumulative wall-clock cost of the control plane (routing + dispatch)
+    /// over the steps run so far.  Pure observability: timings live outside
+    /// [`FleetStep`] so they can never perturb the deterministic results.
+    pub fn control_plane_profile(&self) -> &ControlPlaneProfile {
+        &self.profile
     }
 
     /// Index of the next step to run (also: how many steps have run).
@@ -611,12 +650,16 @@ impl FleetSim {
         if v.service != d.service || !v.in_service() {
             return 0.0;
         }
+        // The store's per-service leaf index lists exactly the in-service
+        // leaves of the victim's service, ascending by id — the same
+        // members (and the same float summation order) as the full-fleet
+        // filter it replaces, without touching the other services' leaves.
         let survivors: f64 = self
             .store
-            .servers()
+            .service_leaf_ids(v.service)
             .iter()
-            .filter(|s| s.in_service() && s.service == v.service && s.id != victim)
-            .map(|s| s.peak_qps)
+            .filter(|&&id| id != victim)
+            .map(|&id| self.store.server(id).peak_qps)
             .sum();
         if survivors <= 0.0 {
             return 0.0;
@@ -655,9 +698,16 @@ impl FleetSim {
     pub fn forecast_mean_load(&self, lead_steps: usize) -> f64 {
         let t =
             SimTime::ZERO + self.config.step_duration() * (self.step_idx + 1 + lead_steps) as u64;
+        // The expected pool load is a per-*service* quantity: memoize it
+        // once per service instead of recomputing the catalog lookup for
+        // every leaf.  The accumulation order (and hence the float result)
+        // is identical to the per-server scan this replaces.
+        let mut pool_load: [Option<f64>; NUM_SERVICES] = [None; NUM_SERVICES];
         let (mut weighted, mut cores) = (0.0f64, 0.0f64);
         for s in self.store.servers().iter().filter(|s| s.in_service()) {
-            weighted += self.server_load(s.id, t) * s.cores as f64;
+            let load = *pool_load[s.service.index()]
+                .get_or_insert_with(|| self.plane.expected_pool_load(s.service, t, &self.store));
+            weighted += load * s.cores as f64;
             cores += s.cores as f64;
         }
         if cores > 0.0 {
@@ -857,6 +907,7 @@ impl FleetSim {
         // retired leaf used to serve must land on the survivors, never
         // evaporate — so the imbalance is asserted every step, not only in
         // the property tests.
+        let routing_started = std::time::Instant::now();
         let routing = self.plane.route(now, &self.store);
         assert!(
             routing.max_imbalance() < 1e-9,
@@ -868,12 +919,18 @@ impl FleetSim {
         for (&id, &load) in in_service.iter().zip(&loads) {
             self.store.set_load(id, load);
         }
+        self.profile.routing_s += routing_started.elapsed().as_secs_f64();
 
         // 2. Arrivals.
         self.queue.arrive(now);
 
-        // 3. Dispatch: FIFO with skipping.
+        // 3. Dispatch: FIFO with skipping, planned as one batch round — the
+        // policy scores the fleet once per step instead of once per job.
+        let dispatch_started = std::time::Instant::now();
         let pending = self.queue.take_pending();
+        if self.config.batch_dispatch && !pending.is_empty() {
+            self.policy.begin_round(&self.store);
+        }
         let mut unplaced = Vec::new();
         for job_id in pending {
             match self.policy.place(self.queue.job(job_id), &self.store, &mut self.rng) {
@@ -894,6 +951,7 @@ impl FleetSim {
             }
         }
         self.queue.restore_pending(unplaced);
+        self.profile.dispatch_s += dispatch_started.elapsed().as_secs_f64();
         for &id in &in_service {
             self.sync_attachment(id);
         }
@@ -1074,6 +1132,7 @@ impl FleetSim {
             be_progress_core_s: step_progress,
         });
         self.step_idx += 1;
+        self.profile.steps += 1;
         self.steps.last().expect("just pushed")
     }
 

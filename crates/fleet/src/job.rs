@@ -197,6 +197,11 @@ impl JobQueue {
         self.pending.len()
     }
 
+    /// Ids of the jobs currently waiting, in dispatch order.
+    pub fn pending_ids(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.pending.iter().copied()
+    }
+
     /// A job by id.
     ///
     /// # Panics

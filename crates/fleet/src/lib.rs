@@ -70,14 +70,16 @@ pub use fleet::{single_server_baseline_violations, FleetConfig, FleetSim};
 pub use generation::{Generation, GenerationMix};
 pub use job::{BeJob, JobId, JobMix, JobQueue, JobStreamConfig};
 pub use metrics::{
-    core_weighted_mean, server_step_tco_dollars, FleetEvent, FleetEventKind, FleetResult,
-    FleetStep, QueueingDelaySummary, PLATFORM_COST_FLOOR, SECONDS_PER_YEAR,
+    core_weighted_mean, server_step_tco_dollars, ControlPlaneProfile, FleetEvent, FleetEventKind,
+    FleetResult, FleetStep, QueueingDelaySummary, PLATFORM_COST_FLOOR, SECONDS_PER_YEAR,
 };
 pub use policy::{
     marginal_headroom_cores, FirstFit, InterferenceAware, InterferenceModel, LeastLoaded,
     PlacementPolicy, PolicyKind, RandomPlacement,
 };
-pub use store::{PlacementStore, ServerCapacity, ServerEntry, ServerId, ServerState};
+pub use store::{
+    PlacementStore, PoolShard, ServerCapacity, ServerEntry, ServerId, ServerState, ShardingMode,
+};
 pub use traffic::{
     BalancerKind, CapacityWeighted, LeafView, LoadBalancer, RoutingStep, SlackAware, TrafficPlane,
 };

@@ -60,6 +60,46 @@ pub fn server_step_tco_dollars(tco: &TcoModel, cores: usize, utilization: f64, s
     annual * step_s / SECONDS_PER_YEAR
 }
 
+/// Cumulative wall-clock cost of the scheduler's control plane over a run:
+/// the traffic-routing and dispatch phases of every step, plus (for an
+/// elastic run) the autoscaler's signal assembly.  This is the per-step
+/// cost the fleet-size benchmark tracks — the server plane parallelizes
+/// across cores, so at warehouse scale the control plane is what bounds a
+/// step.
+///
+/// Timings deliberately live outside [`FleetStep`] and [`FleetResult`]:
+/// those are compared bit-for-bit by the determinism and shard-equivalence
+/// tests, and wall-clock noise must never be able to break them.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ControlPlaneProfile {
+    /// Seconds spent routing each service's offered QPS onto its leaves
+    /// (including committing the per-leaf loads to the store).
+    pub routing_s: f64,
+    /// Seconds spent planning and committing BE placements (the policy's
+    /// round plan plus the per-job placement loop).
+    pub dispatch_s: f64,
+    /// Seconds spent assembling autoscale signals.  Zero for a plain fleet
+    /// run; the elastic controller fills it in.
+    pub signals_s: f64,
+    /// Steps profiled so far.
+    pub steps: usize,
+}
+
+impl ControlPlaneProfile {
+    /// Total control-plane seconds (routing + dispatch + signals).
+    pub fn control_plane_s(&self) -> f64 {
+        self.routing_s + self.dispatch_s + self.signals_s
+    }
+
+    /// Mean control-plane milliseconds per step (0.0 before any step ran).
+    pub fn per_step_ms(&self) -> f64 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        self.control_plane_s() * 1e3 / self.steps as f64
+    }
+}
+
 /// One step of a fleet run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FleetStep {

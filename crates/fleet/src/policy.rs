@@ -31,7 +31,7 @@
 //!   chained onto one server so a successor inherits the grown BE
 //!   allocation without a conservative controller restart.
 
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 
 use heracles_colo::characterize::characterize_cell;
 use heracles_colo::ColoConfig;
@@ -51,8 +51,230 @@ pub trait PlacementPolicy: Send {
     /// Short human-readable name used in experiment output.
     fn name(&self) -> &str;
 
+    /// Starts a batch-dispatch round over the store's current state.
+    ///
+    /// During one round only slot occupancy changes — loads, slacks,
+    /// verdicts and attachments are fixed until the next step — so a policy
+    /// may precompute a round plan here (candidate indices, score heaps)
+    /// and serve every `place` call of the round from it instead of
+    /// re-scanning the fleet per job.  The round's contract: between
+    /// `begin_round` and the round's last `place`, the only store mutation
+    /// is committing each returned placement (via
+    /// [`PlacementStore::place`]) before the next `place` call.  Plans must
+    /// reproduce the per-job full-scan decisions exactly; the default is a
+    /// no-op, leaving the policy on its full-scan path (which callers that
+    /// never call `begin_round` keep using).
+    fn begin_round(&mut self, _store: &PlacementStore) {}
+
     /// Chooses a server for `job`, or `None` to leave it queued.
     fn place(&mut self, job: &BeJob, store: &PlacementStore, rng: &mut SimRng) -> Option<ServerId>;
+}
+
+/// Fleet size above which round-plan construction fans out across the
+/// store's pool shards with [`parallel_map`]; below it a serial scan wins
+/// on thread overhead.  Either path visits the same candidates and builds
+/// the same plan, so the threshold never changes placement decisions.
+const PARALLEL_PLAN_MIN_SERVERS: usize = 512;
+
+/// One candidate in a score-ordered round plan.  The heap is a *lazy*
+/// argmax: entries are validated against the live resident count when
+/// popped, because scores strictly decrease as residents accrue within a
+/// round — a stale entry is an upper bound, never an understatement.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    score: f64,
+    id: ServerId,
+    /// Resident count the score was computed at (the only server state
+    /// that changes within a round, and it uniquely determines the score).
+    residents: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    /// Max-heap order matching the scan policies' `max_by` comparator:
+    /// higher score first, ties to the smaller id.  `total_cmp` agrees
+    /// with `partial_cmp` on the finite, strictly positive scores both
+    /// policies produce, and the id tiebreak makes the order total, so
+    /// pop order is unique whatever the insertion order.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score.total_cmp(&other.score).then(other.id.cmp(&self.id))
+    }
+}
+
+/// Scores every admitting server into a max-heap, scanning shard-by-shard
+/// (in parallel on large fleets).
+fn scored_candidates<F>(store: &PlacementStore, score: &F) -> BinaryHeap<HeapEntry>
+where
+    F: Fn(&ServerEntry, usize) -> f64 + Sync,
+{
+    let entry_of = |id: ServerId| {
+        let server = store.server(id);
+        server.admits_be().then(|| HeapEntry {
+            score: score(server, server.resident.len()),
+            id,
+            residents: server.resident.len(),
+        })
+    };
+    let shards = store.shards();
+    if store.servers().len() >= PARALLEL_PLAN_MIN_SERVERS && shards.len() > 1 {
+        let per_shard: Vec<Vec<HeapEntry>> = parallel_map(shards, |shard| {
+            shard.members().iter().filter_map(|&id| entry_of(id)).collect()
+        });
+        per_shard.into_iter().flatten().collect()
+    } else {
+        shards.iter().flat_map(|s| s.members().iter().filter_map(|&id| entry_of(id))).collect()
+    }
+}
+
+/// Pops the current argmax from a lazy score heap, refreshing it for the
+/// placement about to be committed.
+///
+/// Popped entries are validated against the live store: a server that no
+/// longer admits (its last slot was taken this round) drops out; a stale
+/// resident count is re-scored and re-queued (scores only shrink as
+/// residents accrue, so the stale entry was an upper bound and the re-queue
+/// keeps the argmax exact).  A returned winner is immediately re-queued at
+/// its post-commit score when a slot will remain, so the heap always holds
+/// exactly one entry per still-eligible server.
+fn pop_best<F>(
+    heap: &mut BinaryHeap<HeapEntry>,
+    store: &PlacementStore,
+    score: &F,
+) -> Option<ServerId>
+where
+    F: Fn(&ServerEntry, usize) -> f64,
+{
+    while let Some(entry) = heap.pop() {
+        let server = store.server(entry.id);
+        if !server.admits_be() {
+            continue;
+        }
+        let residents = server.resident.len();
+        if entry.residents != residents {
+            heap.push(HeapEntry { score: score(server, residents), id: entry.id, residents });
+            continue;
+        }
+        if server.free_slots() > 1 {
+            // The caller commits this placement before the next `place`:
+            // queue the score the server will have with one more resident.
+            heap.push(HeapEntry {
+                score: score(server, residents + 1),
+                id: entry.id,
+                residents: residents + 1,
+            });
+        }
+        return Some(entry.id);
+    }
+    None
+}
+
+/// A round plan over slot-gated candidates: a Fenwick (binary indexed)
+/// tree of candidate indicators by server id, plus the remaining free
+/// slots per candidate.  Supports O(log n) rank-k selection in ascending
+/// id order — exactly the order the full-scan paths of [`RandomPlacement`]
+/// (uniform draw) and [`FirstFit`] (rank 0) enumerate candidates in.
+#[derive(Debug, Clone)]
+struct SlotPlan {
+    /// 1-indexed Fenwick tree over candidate indicators.
+    tree: Vec<usize>,
+    /// Remaining free slots per server id (0 = not a candidate).
+    free: Vec<usize>,
+    candidates: usize,
+}
+
+impl SlotPlan {
+    /// Builds the plan over every server passing `candidate` (the round's
+    /// static admission predicate) that has a free slot, scanning
+    /// shard-by-shard (in parallel on large fleets).
+    fn build<F>(store: &PlacementStore, candidate: &F) -> Self
+    where
+        F: Fn(&ServerEntry) -> bool + Sync,
+    {
+        let n = store.servers().len();
+        let mut plan = SlotPlan { tree: vec![0; n + 1], free: vec![0; n], candidates: 0 };
+        let slots_of = |id: ServerId| {
+            let server = store.server(id);
+            (candidate(server) && server.has_free_slot()).then(|| (id, server.free_slots()))
+        };
+        let shards = store.shards();
+        let found: Vec<(ServerId, usize)> = if n >= PARALLEL_PLAN_MIN_SERVERS && shards.len() > 1 {
+            parallel_map(shards, |shard| {
+                shard
+                    .members()
+                    .iter()
+                    .filter_map(|&id| slots_of(id))
+                    .collect::<Vec<(ServerId, usize)>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            shards.iter().flat_map(|s| s.members().iter().filter_map(|&id| slots_of(id))).collect()
+        };
+        for (id, slots) in found {
+            plan.free[id] = slots;
+            plan.tree_add(id);
+            plan.candidates += 1;
+        }
+        plan
+    }
+
+    fn tree_add(&mut self, id: ServerId) {
+        let mut i = id + 1;
+        while i < self.tree.len() {
+            self.tree[i] += 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    fn tree_sub(&mut self, id: ServerId) {
+        let mut i = id + 1;
+        while i < self.tree.len() {
+            self.tree[i] -= 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// The id of the rank-`k` candidate in ascending id order (0-based).
+    fn select(&self, k: usize) -> ServerId {
+        debug_assert!(k < self.candidates);
+        let n = self.tree.len() - 1;
+        let mut pos = 0;
+        let mut remaining = k + 1;
+        let mut mask = n.next_power_of_two();
+        while mask > 0 {
+            let next = pos + mask;
+            if next <= n && self.tree[next] < remaining {
+                remaining -= self.tree[next];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        pos
+    }
+
+    /// Consumes one slot on a candidate, dropping it once full.
+    fn take(&mut self, id: ServerId) {
+        debug_assert!(self.free[id] > 0);
+        self.free[id] -= 1;
+        if self.free[id] == 0 {
+            self.tree_sub(id);
+            self.candidates -= 1;
+        }
+    }
 }
 
 /// The built-in placement policies, in the order the sweeps report them.
@@ -114,11 +336,24 @@ impl std::str::FromStr for PolicyKind {
 /// table (a draining or retired server is not a placement target for any
 /// scheduler, however naive).
 #[derive(Debug, Default)]
-pub struct RandomPlacement;
+pub struct RandomPlacement {
+    plan: Option<SlotPlan>,
+}
+
+/// Random's (deliberately weak) candidate predicate, minus the slot check:
+/// it ignores slack, load and trend, but not the lifecycle table or the
+/// controller's hard "BE disabled" verdict.
+fn random_candidate(s: &ServerEntry) -> bool {
+    s.is_active() && s.be_admitted
+}
 
 impl PlacementPolicy for RandomPlacement {
     fn name(&self) -> &str {
         "random"
+    }
+
+    fn begin_round(&mut self, store: &PlacementStore) {
+        self.plan = Some(SlotPlan::build(store, &random_candidate));
     }
 
     fn place(
@@ -127,27 +362,42 @@ impl PlacementPolicy for RandomPlacement {
         store: &PlacementStore,
         rng: &mut SimRng,
     ) -> Option<ServerId> {
-        let candidates: Vec<ServerId> = store
-            .servers()
-            .iter()
-            .filter(|s| s.is_active() && s.has_free_slot() && s.be_admitted)
-            .map(|s| s.id)
-            .collect();
-        if candidates.is_empty() {
-            None
-        } else {
-            Some(candidates[rng.index(candidates.len())])
+        if let Some(plan) = self.plan.as_mut() {
+            if plan.candidates == 0 {
+                return None;
+            }
+            // One `rng.index(count)` per non-empty candidate set, selecting
+            // the rank-k candidate in ascending id order — the exact seeded
+            // choice (and RNG call sequence) of the full scan below.
+            let id = plan.select(rng.index(plan.candidates));
+            plan.take(id);
+            return Some(id);
         }
+        // Full-scan path: count, then select — two passes, no per-job
+        // candidate vector.
+        let candidate = |s: &&ServerEntry| random_candidate(s) && s.has_free_slot();
+        let count = store.servers().iter().filter(candidate).count();
+        if count == 0 {
+            return None;
+        }
+        let k = rng.index(count);
+        store.servers().iter().filter(candidate).nth(k).map(|s| s.id)
     }
 }
 
 /// Lowest-numbered server where the job fits (free slot + admission).
 #[derive(Debug, Default)]
-pub struct FirstFit;
+pub struct FirstFit {
+    plan: Option<SlotPlan>,
+}
 
 impl PlacementPolicy for FirstFit {
     fn name(&self) -> &str {
         "first-fit"
+    }
+
+    fn begin_round(&mut self, store: &PlacementStore) {
+        self.plan = Some(SlotPlan::build(store, &ServerEntry::admits_be_static));
     }
 
     fn place(
@@ -156,6 +406,16 @@ impl PlacementPolicy for FirstFit {
         store: &PlacementStore,
         _rng: &mut SimRng,
     ) -> Option<ServerId> {
+        if let Some(plan) = self.plan.as_mut() {
+            if plan.candidates == 0 {
+                return None;
+            }
+            // Rank 0 in ascending id order is exactly the full scan's
+            // first admitting server.
+            let id = plan.select(0);
+            plan.take(id);
+            return Some(id);
+        }
         store.servers().iter().find(|s| s.admits_be()).map(|s| s.id)
     }
 }
@@ -173,7 +433,20 @@ impl PlacementPolicy for FirstFit {
 /// resident jobs share their server's BE slice, so the marginal throughput
 /// of joining an occupied server shrinks with each incumbent.
 #[derive(Debug, Default)]
-pub struct LeastLoaded;
+pub struct LeastLoaded {
+    plan: Option<BinaryHeap<HeapEntry>>,
+}
+
+/// [`LeastLoaded`]'s score at a given resident count (the only per-round
+/// variable): strictly decreasing in `residents`, which is what makes the
+/// lazy heap's stale entries safe upper bounds.
+fn least_loaded_score(server: &ServerEntry, residents: usize) -> f64 {
+    marginal_headroom_cores(
+        server,
+        server.projected_load(LEAST_LOADED_TREND_HORIZON),
+        residents as f64,
+    )
+}
 
 /// How far ahead [`LeastLoaded`] projects the load trend when ranking
 /// headroom: far enough that a server climbing towards its peak loses
@@ -209,24 +482,25 @@ impl PlacementPolicy for LeastLoaded {
         "least-loaded"
     }
 
+    fn begin_round(&mut self, store: &PlacementStore) {
+        self.plan = Some(scored_candidates(store, &least_loaded_score));
+    }
+
     fn place(
         &mut self,
         _job: &BeJob,
         store: &PlacementStore,
         _rng: &mut SimRng,
     ) -> Option<ServerId> {
+        if let Some(heap) = self.plan.as_mut() {
+            return pop_best(heap, store, &least_loaded_score);
+        }
         store
             .servers()
             .iter()
             .filter(|s| s.admits_be())
             .max_by(|a, b| {
-                let headroom = |s: &ServerEntry| {
-                    marginal_headroom_cores(
-                        s,
-                        s.projected_load(LEAST_LOADED_TREND_HORIZON),
-                        s.resident.len() as f64,
-                    )
-                };
+                let headroom = |s: &ServerEntry| least_loaded_score(s, s.resident.len());
                 headroom(a)
                     .partial_cmp(&headroom(b))
                     .expect("headroom is finite")
@@ -398,6 +672,12 @@ pub struct InterferenceAware {
     /// diurnal trajectory will be while the ramp amortises, not where it is
     /// now.
     trend_horizon: f64,
+    /// The active round's lazy score heaps, one per distinct job profile.
+    /// Two jobs score identically iff they share a workload kind *and*
+    /// memory intensity (custom workloads can differ in intensity within a
+    /// kind), so the key carries both; heaps are built on a profile's
+    /// first job of the round.
+    round: Option<HashMap<(BeKind, u64), BinaryHeap<HeapEntry>>>,
 }
 
 /// Weight of the DRAM-bandwidth affinity factor: the fractional headroom
@@ -408,7 +688,7 @@ const DRAM_AFFINITY_WEIGHT: f64 = 0.4;
 impl InterferenceAware {
     /// Creates the policy from a measured interference model.
     pub fn new(model: InterferenceModel) -> Self {
-        InterferenceAware { model, knee_load: 0.70, trend_horizon: 8.0 }
+        InterferenceAware { model, knee_load: 0.70, trend_horizon: 8.0, round: None }
     }
 
     /// The interference model the policy consults.
@@ -418,6 +698,30 @@ impl InterferenceAware {
 
     /// How desirable `server` is for `job` (higher is better).
     fn score(&self, job: &BeJob, server: &ServerEntry) -> f64 {
+        Self::score_at(
+            &self.model,
+            self.knee_load,
+            self.trend_horizon,
+            job,
+            server,
+            server.resident.len(),
+        )
+    }
+
+    /// [`score`](Self::score) at an explicit resident count — the round
+    /// plans re-score winners at `residents + 1` before their placements
+    /// commit.  Free-standing over the model so a `place` call can borrow
+    /// the round heaps mutably at the same time.  Strictly decreasing in
+    /// `residents` (the crowd divisor only grows), which is what makes the
+    /// lazy heap's stale entries safe upper bounds.
+    fn score_at(
+        model: &InterferenceModel,
+        knee_load: f64,
+        trend_horizon: f64,
+        job: &BeJob,
+        server: &ServerEntry,
+        residents: usize,
+    ) -> f64 {
         // The base currency is marginal headroom in absolute cores — what
         // the job would actually get to grow into — computed against the
         // *projected* load: a placement is an investment (the controller
@@ -443,16 +747,16 @@ impl InterferenceAware {
         // Heracles controller, a mediocre placement still beats holding the
         // job at zero progress.
         let kind = job.workload.kind();
-        let hostility = self.model.hostility(server.generation, server.service, kind);
+        let hostility = model.hostility(server.generation, server.service, kind);
         let pressure = hostility / (1.0 + hostility);
-        let projected = server.projected_load(self.trend_horizon);
+        let projected = server.projected_load(trend_horizon);
         let crowd = if server.attached_kind == Some(kind) {
-            SAME_KIND_OCCUPANCY_DISCOUNT * server.resident.len() as f64
+            SAME_KIND_OCCUPANCY_DISCOUNT * residents as f64
         } else {
-            server.resident.len() as f64
+            residents as f64
         };
         let headroom = marginal_headroom_cores(server, projected, crowd);
-        let knee_penalty = pressure * (projected - self.knee_load).max(0.0) * 4.0
+        let knee_penalty = pressure * (projected - knee_load).max(0.0) * 4.0
             + (projected - crate::store::ADMISSION_LOAD_DISABLE).max(0.0) * 10.0;
         let bandwidth_ratio = server.dram_peak_gbps / REFERENCE_DRAM_GBPS;
         let dram_affinity =
@@ -466,12 +770,28 @@ impl PlacementPolicy for InterferenceAware {
         "interference-aware"
     }
 
+    fn begin_round(&mut self, _store: &PlacementStore) {
+        // Heaps are profile-keyed and built lazily on each profile's first
+        // job, so there is nothing to precompute until jobs arrive.
+        self.round = Some(HashMap::new());
+    }
+
     fn place(
         &mut self,
         job: &BeJob,
         store: &PlacementStore,
         _rng: &mut SimRng,
     ) -> Option<ServerId> {
+        let model = &self.model;
+        let (knee_load, trend_horizon) = (self.knee_load, self.trend_horizon);
+        let score = |server: &ServerEntry, residents: usize| {
+            Self::score_at(model, knee_load, trend_horizon, job, server, residents)
+        };
+        if let Some(round) = self.round.as_mut() {
+            let key = (job.workload.kind(), job.workload.memory_intensity().to_bits());
+            let heap = round.entry(key).or_insert_with(|| scored_candidates(store, &score));
+            return pop_best(heap, store, &score);
+        }
         store
             .servers()
             .iter()
@@ -535,7 +855,7 @@ mod tests {
         let mut rng = SimRng::new(1);
         let mut hits = [0usize; 3];
         for _ in 0..300 {
-            let s = RandomPlacement
+            let s = RandomPlacement::default()
                 .place(&job_of(BeWorkload::brain()), &store, &mut rng)
                 .expect("slots are free");
             hits[s] += 1;
@@ -546,7 +866,7 @@ mod tests {
         // the draw: a job placed there cannot run at all.
         store.observe(0, SimTime::from_secs(3), 0.5, 0.7, 0.0, false);
         for _ in 0..100 {
-            let s = RandomPlacement
+            let s = RandomPlacement::default()
                 .place(&job_of(BeWorkload::brain()), &store, &mut rng)
                 .expect("servers 1 and 2 admit");
             assert_ne!(s, 0, "random placed onto a BE-disabled server");
@@ -561,10 +881,10 @@ mod tests {
         let mut rng = SimRng::new(1);
         let job = job_of(BeWorkload::brain());
         for _ in 0..50 {
-            assert_ne!(RandomPlacement.place(&job, &store, &mut rng), Some(1));
+            assert_ne!(RandomPlacement::default().place(&job, &store, &mut rng), Some(1));
         }
-        assert_eq!(FirstFit.place(&job, &store, &mut rng), Some(0));
-        assert_eq!(LeastLoaded.place(&job, &store, &mut rng), Some(2));
+        assert_eq!(FirstFit::default().place(&job, &store, &mut rng), Some(0));
+        assert_eq!(LeastLoaded::default().place(&job, &store, &mut rng), Some(2));
         let mut aware = InterferenceAware::new(InterferenceModel::from_scores([]));
         assert_ne!(aware.place(&job, &store, &mut rng), Some(1));
     }
@@ -573,21 +893,30 @@ mod tests {
     fn first_fit_takes_the_lowest_admitting_server() {
         let mut store = store();
         let mut rng = SimRng::new(1);
-        assert_eq!(FirstFit.place(&job_of(BeWorkload::brain()), &store, &mut rng), Some(0));
+        assert_eq!(
+            FirstFit::default().place(&job_of(BeWorkload::brain()), &store, &mut rng),
+            Some(0)
+        );
         // Server 0 loses its slack entirely: first fit moves on to server 1.
         store.observe(0, SimTime::from_secs(2), -0.05, 0.7, 0.0, true);
-        assert_eq!(FirstFit.place(&job_of(BeWorkload::brain()), &store, &mut rng), Some(1));
+        assert_eq!(
+            FirstFit::default().place(&job_of(BeWorkload::brain()), &store, &mut rng),
+            Some(1)
+        );
         // Fill every slot: nothing fits.
         store.place(10, 1);
         store.place(11, 2);
-        assert_eq!(FirstFit.place(&job_of(BeWorkload::brain()), &store, &mut rng), None);
+        assert_eq!(FirstFit::default().place(&job_of(BeWorkload::brain()), &store, &mut rng), None);
     }
 
     #[test]
     fn least_loaded_picks_the_emptiest_admitting_server() {
         let store = store();
         let mut rng = SimRng::new(1);
-        assert_eq!(LeastLoaded.place(&job_of(BeWorkload::brain()), &store, &mut rng), Some(1));
+        assert_eq!(
+            LeastLoaded::default().place(&job_of(BeWorkload::brain()), &store, &mut rng),
+            Some(1)
+        );
     }
 
     #[test]
@@ -723,6 +1052,115 @@ mod tests {
         assert_eq!(policy.place(&job_of(BeWorkload::spinloop()), &store, &mut rng), Some(0));
     }
 
+    /// A five-server store mixing generations, loads, slacks, verdicts,
+    /// lifecycle states and prior occupancy — enough structure that every
+    /// policy's plan has winners, losers, staleness and exhaustion to get
+    /// right.
+    fn churned_store() -> PlacementStore {
+        let caps = [
+            ServerCapacity::from_config(&ServerConfig::older_sandy_bridge(), 3, 0),
+            ServerCapacity::from_config(&ServerConfig::default_haswell(), 3, 1),
+            ServerCapacity::from_config(&ServerConfig::newer_skylake(), 3, 2),
+            ServerCapacity::reference(2),
+            ServerCapacity::reference(2),
+        ];
+        let mut store = PlacementStore::heterogeneous(&caps);
+        for (id, load, slack, admitted) in [
+            (0, 0.72, 0.05, true),
+            (1, 0.30, 0.40, true),
+            (2, 0.55, 0.20, true),
+            (3, 0.10, 0.80, false),
+            (4, 0.40, 0.30, true),
+        ] {
+            store.set_load(id, load);
+            store.observe(id, SimTime::from_secs(1), slack, load, 0.1, admitted);
+        }
+        store.begin_drain(4);
+        store.place(90, 1);
+        store.set_attached_kind(1, Some(BeKind::Brain));
+        store
+    }
+
+    #[test]
+    fn round_plans_match_the_per_job_scans() {
+        let model = InterferenceModel::from_scores([
+            (BeKind::Brain, 1.5),
+            (BeKind::StreamDram, 290.0),
+            (BeKind::Streetview, 50.0),
+            (BeKind::LlcSmall, 0.1),
+        ]);
+        let fresh: Vec<Box<dyn Fn() -> Box<dyn PlacementPolicy>>> = vec![
+            Box::new(|| Box::new(RandomPlacement::default())),
+            Box::new(|| Box::new(FirstFit::default())),
+            Box::new(|| Box::new(LeastLoaded::default())),
+            Box::new(move || Box::new(InterferenceAware::new(model.clone()))),
+        ];
+        let workloads = [
+            BeWorkload::brain(),
+            BeWorkload::stream_dram(),
+            BeWorkload::llc_small(),
+            BeWorkload::streetview(),
+            BeWorkload::brain(),
+            BeWorkload::iperf(),
+            BeWorkload::stream_dram(),
+            BeWorkload::llc_medium(),
+            BeWorkload::brain(),
+            BeWorkload::spinloop(),
+        ];
+        for seed in 0..10u64 {
+            for make in &fresh {
+                let run = |batched: bool| {
+                    let mut policy = make();
+                    let mut store = churned_store();
+                    let mut rng = SimRng::new(seed);
+                    if batched {
+                        policy.begin_round(&store);
+                    }
+                    let mut picks = Vec::new();
+                    for (i, w) in workloads.iter().enumerate() {
+                        let mut job = job_of(w.clone());
+                        job.id = 100 + i;
+                        let pick = policy.place(&job, &store, &mut rng);
+                        if let Some(server) = pick {
+                            store.place(job.id, server);
+                        }
+                        picks.push(pick);
+                    }
+                    picks
+                };
+                let scanned = run(false);
+                let planned = run(true);
+                assert_eq!(
+                    scanned,
+                    planned,
+                    "round plan diverged from per-job scans for {} (seed {seed})",
+                    make().name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a_new_round_rebuilds_the_plan_against_fresh_state() {
+        let mut policy = LeastLoaded::default();
+        let mut store = churned_store();
+        let mut rng = SimRng::new(3);
+        policy.begin_round(&store);
+        let job = job_of(BeWorkload::brain());
+        let first = policy.place(&job, &store, &mut rng).expect("servers admit");
+        store.place(200, first);
+        // Between rounds the world changes: the previous winner's load
+        // spikes past admission and a prior loser recovers.
+        store.set_load(first, 0.95);
+        store.observe(first, SimTime::from_secs(2), 0.01, 0.95, 0.0, true);
+        store.set_load(3, 0.10);
+        store.observe(3, SimTime::from_secs(2), 0.85, 0.10, 0.2, true);
+        policy.begin_round(&store);
+        let second = policy.place(&job, &store, &mut rng).expect("server 3 admits");
+        assert_ne!(second, first, "stale plan survived into the next round");
+        assert_eq!(second, 3);
+    }
+
     #[test]
     fn least_loaded_ranks_by_absolute_headroom_not_load_fraction() {
         let mut rng = SimRng::new(1);
@@ -751,11 +1189,17 @@ mod tests {
         // Load-fraction thinking would pick the 30%-loaded small box; in
         // absolute terms the 40%-loaded big box offers 28.8 free cores
         // against 11.2.
-        assert_eq!(LeastLoaded.place(&job_of(BeWorkload::brain()), &store, &mut rng), Some(1));
+        assert_eq!(
+            LeastLoaded::default().place(&job_of(BeWorkload::brain()), &store, &mut rng),
+            Some(1)
+        );
         // Crowding shrinks the big box's marginal share: with two residents
         // it offers 28.8/3 = 9.6 cores, so the empty small box (11.2) wins.
         store.place(40, 1);
         store.place(41, 1);
-        assert_eq!(LeastLoaded.place(&job_of(BeWorkload::brain()), &store, &mut rng), Some(0));
+        assert_eq!(
+            LeastLoaded::default().place(&job_of(BeWorkload::brain()), &store, &mut rng),
+            Some(0)
+        );
     }
 }

@@ -258,13 +258,23 @@ impl ServerEntry {
     /// until they burn their preemption grace, so placing onto such a server
     /// is strictly worse than leaving the job queued one more step.
     pub fn admits_be(&self) -> bool {
+        self.has_free_slot() && self.admits_be_static()
+    }
+
+    /// The slot-independent part of [`admits_be`](Self::admits_be):
+    /// lifecycle, controller verdict, slack and the hysteretic load ceiling.
+    ///
+    /// Within one dispatch round only slot occupancy changes (placements
+    /// commit between `place` calls; loads, slacks and verdicts are fixed
+    /// until the next step), so the batch-dispatch plans evaluate this once
+    /// per server per round and track free slots separately.
+    pub(crate) fn admits_be_static(&self) -> bool {
         let ceiling = if self.seen_observation && self.be_admitted {
             ADMISSION_LOAD_DISABLE
         } else {
             ADMISSION_LOAD_CEILING
         };
         self.is_active()
-            && self.has_free_slot()
             && self.be_admitted
             && self.slack > ADMISSION_SLACK_FLOOR
             && self.lc_load < ceiling
@@ -277,11 +287,76 @@ impl ServerEntry {
     }
 }
 
+/// How the store partitions its shard index.
+///
+/// Both modes expose identical observable behavior — the shards are an
+/// index over the same server table, never a source of truth — so sharded
+/// and unsharded runs of the same seed produce identical schedules (pinned
+/// by the shard-equivalence property test).  `Single` exists as the
+/// reference point for that test and for apples-to-apples benchmarking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ShardingMode {
+    /// One shard per (generation × service) pool — the default.  Placement
+    /// policies score shards independently (in parallel on large fleets)
+    /// and a cheap global reduce picks the winner.
+    #[default]
+    PerPool,
+    /// A single shard holding the whole fleet (the unsharded reference).
+    Single,
+}
+
+/// One pool shard: the in-service members of a (generation × service) cell,
+/// in ascending id order.
+///
+/// Shards partition the in-service fleet; retired servers belong to no
+/// shard.  Policies use them as parallel scan units during batch dispatch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolShard {
+    /// The (generation index, service) cell, or `None` for the single
+    /// whole-fleet shard of [`ShardingMode::Single`].
+    cell: Option<(usize, LcKind)>,
+    /// In-service member ids, ascending.
+    members: Vec<ServerId>,
+}
+
+impl PoolShard {
+    /// The (generation index, service) cell this shard indexes, or `None`
+    /// for the single whole-fleet shard.
+    pub fn cell(&self) -> Option<(usize, LcKind)> {
+        self.cell
+    }
+
+    /// In-service member ids, in ascending order.
+    pub fn members(&self) -> &[ServerId] {
+        &self.members
+    }
+}
+
 /// The fleet-wide placement table.
+///
+/// Besides the per-server entries, the store maintains incremental indices
+/// — pool shards, per-service leaf lists and integer aggregate counters —
+/// kept in sync by every lifecycle mutator, so the aggregate accessors and
+/// the traffic plane's per-service scans are O(pool) instead of O(fleet).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlacementStore {
     servers: Vec<ServerEntry>,
     last_updated: SimTime,
+    sharding: ShardingMode,
+    /// Pool shards partitioning the in-service fleet (see [`PoolShard`]).
+    shards: Vec<PoolShard>,
+    /// Shard index of each server id (meaningless once retired).
+    shard_of: Vec<usize>,
+    /// In-service leaf ids per service, ascending — the traffic plane's
+    /// routing pools, and the iteration order that keeps the per-service
+    /// peak-QPS float sums bit-identical to a full-fleet filtered scan.
+    service_leaves: [Vec<ServerId>; NUM_SERVICES],
+    active_count: usize,
+    draining_count: usize,
+    in_service_cores_total: usize,
+    in_service_gen_counts: [usize; 3],
+    in_service_service_counts: [usize; NUM_SERVICES],
+    running_jobs_total: usize,
 }
 
 impl PlacementStore {
@@ -297,22 +372,97 @@ impl PlacementStore {
     }
 
     /// Creates a store with one entry per capacity record (the
-    /// heterogeneous fleet).
+    /// heterogeneous fleet), with the default per-pool sharding.
     ///
     /// # Panics
     ///
     /// Panics if `capacities` is empty or any entry has zero cores or BE
     /// slots.
     pub fn heterogeneous(capacities: &[ServerCapacity]) -> Self {
+        Self::heterogeneous_with_sharding(capacities, ShardingMode::default())
+    }
+
+    /// Creates a heterogeneous store with an explicit [`ShardingMode`].
+    /// Sharding never changes observable behavior — it only sets the shape
+    /// of the scan units the batch-dispatch plans parallelize over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities` is empty or any entry has zero cores or BE
+    /// slots.
+    pub fn heterogeneous_with_sharding(
+        capacities: &[ServerCapacity],
+        sharding: ShardingMode,
+    ) -> Self {
         assert!(!capacities.is_empty(), "a fleet needs at least one server");
-        PlacementStore {
-            servers: capacities
-                .iter()
-                .enumerate()
-                .map(|(id, cap)| Self::entry_for(id, cap))
-                .collect(),
+        let mut store = PlacementStore {
+            servers: Vec::with_capacity(capacities.len()),
             last_updated: SimTime::ZERO,
+            sharding,
+            shards: Vec::new(),
+            shard_of: Vec::new(),
+            service_leaves: Default::default(),
+            active_count: 0,
+            draining_count: 0,
+            in_service_cores_total: 0,
+            in_service_gen_counts: [0; 3],
+            in_service_service_counts: [0; NUM_SERVICES],
+            running_jobs_total: 0,
+        };
+        for cap in capacities {
+            store.push_server(cap);
         }
+        store
+    }
+
+    /// Appends a fresh active entry and threads it into every index.
+    fn push_server(&mut self, cap: &ServerCapacity) -> ServerId {
+        let id = self.servers.len();
+        self.servers.push(Self::entry_for(id, cap));
+        let key = match self.sharding {
+            ShardingMode::PerPool => Some((cap.generation, cap.service)),
+            ShardingMode::Single => None,
+        };
+        let shard = match self.shards.iter().position(|s| s.cell == key) {
+            Some(idx) => idx,
+            None => {
+                self.shards.push(PoolShard { cell: key, members: Vec::new() });
+                self.shards.len() - 1
+            }
+        };
+        // Ids are dense and increasing, so pushing keeps members ascending.
+        self.shards[shard].members.push(id);
+        self.shard_of.push(shard);
+        self.service_leaves[cap.service.index()].push(id);
+        self.active_count += 1;
+        self.in_service_cores_total += cap.cores;
+        if let Some(slot) = self.in_service_gen_counts.get_mut(cap.generation) {
+            *slot += 1;
+        }
+        self.in_service_service_counts[cap.service.index()] += 1;
+        id
+    }
+
+    /// Drops a server out of the in-service indices (retirement).
+    fn unindex_server(&mut self, id: ServerId) {
+        let entry = &self.servers[id];
+        match entry.state {
+            ServerState::Active => self.active_count -= 1,
+            ServerState::Draining => self.draining_count -= 1,
+            ServerState::Retired => unreachable!("server {id} unindexed twice"),
+        }
+        self.in_service_cores_total -= entry.cores;
+        let (generation, service) = (entry.generation, entry.service);
+        if let Some(slot) = self.in_service_gen_counts.get_mut(generation) {
+            *slot -= 1;
+        }
+        self.in_service_service_counts[service.index()] -= 1;
+        let members = &mut self.shards[self.shard_of[id]].members;
+        let idx = members.binary_search(&id).expect("in-service server is in its shard");
+        members.remove(idx);
+        let leaves = &mut self.service_leaves[service.index()];
+        let idx = leaves.binary_search(&id).expect("in-service leaf is in its service pool");
+        leaves.remove(idx);
     }
 
     fn entry_for(id: ServerId, cap: &ServerCapacity) -> ServerEntry {
@@ -349,9 +499,7 @@ impl PlacementStore {
     ///
     /// Panics if the capacity has zero cores or BE slots.
     pub fn add_server(&mut self, cap: ServerCapacity) -> ServerId {
-        let id = self.servers.len();
-        self.servers.push(Self::entry_for(id, &cap));
-        id
+        self.push_server(&cap)
     }
 
     /// Marks a server as draining (autoscaler scale-in, phase one): it stops
@@ -364,7 +512,11 @@ impl PlacementStore {
     pub fn begin_drain(&mut self, id: ServerId) {
         let entry = &mut self.servers[id];
         assert!(entry.state != ServerState::Retired, "server {id} is already retired");
-        entry.state = ServerState::Draining;
+        if entry.state == ServerState::Active {
+            self.active_count -= 1;
+            self.draining_count += 1;
+        }
+        self.servers[id].state = ServerState::Draining;
     }
 
     /// Returns a draining server to active service (a cancelled scale-in).
@@ -375,7 +527,11 @@ impl PlacementStore {
     pub fn reactivate(&mut self, id: ServerId) {
         let entry = &mut self.servers[id];
         assert!(entry.state != ServerState::Retired, "server {id} is already retired");
-        entry.state = ServerState::Active;
+        if entry.state == ServerState::Draining {
+            self.draining_count -= 1;
+            self.active_count += 1;
+        }
+        self.servers[id].state = ServerState::Active;
     }
 
     /// Retires a drained server (autoscaler scale-in, phase two).  This is
@@ -386,12 +542,16 @@ impl PlacementStore {
     ///
     /// Panics if the server still hosts resident jobs.
     pub fn retire(&mut self, id: ServerId) {
-        let entry = &mut self.servers[id];
+        let entry = &self.servers[id];
         assert!(
             entry.resident.is_empty(),
             "server {id} retired with {} unmigrated resident jobs",
             entry.resident.len()
         );
+        if entry.state != ServerState::Retired {
+            self.unindex_server(id);
+        }
+        let entry = &mut self.servers[id];
         entry.state = ServerState::Retired;
         entry.be_admitted = false;
         entry.disabled_streak = 0;
@@ -413,39 +573,29 @@ impl PlacementStore {
 
     /// Number of servers currently active (in service and not draining).
     pub fn active_servers(&self) -> usize {
-        self.servers.iter().filter(|s| s.is_active()).count()
+        self.active_count
     }
 
     /// Number of servers currently draining.
     pub fn draining_servers(&self) -> usize {
-        self.servers.iter().filter(|s| s.state == ServerState::Draining).count()
+        self.draining_count
     }
 
     /// Total core count across in-service (active or draining) servers.
     pub fn in_service_cores(&self) -> usize {
-        self.servers.iter().filter(|s| s.in_service()).map(|s| s.cores).sum()
+        self.in_service_cores_total
     }
 
     /// How many in-service servers run each generation, indexed by
     /// generation index (older, Haswell, newer).
     pub fn in_service_by_generation(&self) -> [usize; 3] {
-        let mut counts = [0usize; 3];
-        for s in self.servers.iter().filter(|s| s.in_service()) {
-            if let Some(slot) = counts.get_mut(s.generation) {
-                *slot += 1;
-            }
-        }
-        counts
+        self.in_service_gen_counts
     }
 
     /// How many in-service leaves serve each LC service, indexed by
     /// [`LcKind::index`] (websearch, ml_cluster, memkeyval).
     pub fn in_service_by_service(&self) -> [usize; NUM_SERVICES] {
-        let mut counts = [0usize; NUM_SERVICES];
-        for s in self.servers.iter().filter(|s| s.in_service()) {
-            counts[s.service.index()] += 1;
-        }
-        counts
+        self.in_service_service_counts
     }
 
     /// Number of in-service leaves serving one service — the pool the
@@ -453,18 +603,37 @@ impl PlacementStore {
     /// never retire the last leaf of a service it still serves: the
     /// service's traffic would have nowhere to go.
     pub fn in_service_leaves(&self, service: LcKind) -> usize {
-        self.servers.iter().filter(|s| s.in_service() && s.service == service).count()
+        self.service_leaves[service.index()].len()
+    }
+
+    /// In-service leaf ids of one service, in ascending id order — the
+    /// pool the traffic plane routes across, maintained incrementally on
+    /// `add_server`/`retire` instead of rebuilt from a full-fleet filter
+    /// every step.
+    pub fn service_leaf_ids(&self, service: LcKind) -> &[ServerId] {
+        &self.service_leaves[service.index()]
     }
 
     /// Total in-service peak QPS of one service's leaf pool (the
     /// denominator that turns the service's offered QPS into a per-leaf
     /// load fraction under capacity-weighted routing).
+    ///
+    /// Sums the per-service leaf list in ascending id order — the same
+    /// addition order as a filtered full-fleet scan, so the result is
+    /// bit-identical whatever the sharding mode.
     pub fn in_service_peak_qps(&self, service: LcKind) -> f64 {
-        self.servers
-            .iter()
-            .filter(|s| s.in_service() && s.service == service)
-            .map(|s| s.peak_qps)
-            .sum()
+        self.service_leaves[service.index()].iter().map(|&id| self.servers[id].peak_qps).sum()
+    }
+
+    /// The store's sharding mode.
+    pub fn sharding(&self) -> ShardingMode {
+        self.sharding
+    }
+
+    /// The pool shards partitioning the in-service fleet — the scan units
+    /// placement policies parallelize over during batch dispatch.
+    pub fn shards(&self) -> &[PoolShard] {
+        &self.shards
     }
 
     /// All per-server entries, indexed by server id.
@@ -488,7 +657,7 @@ impl PlacementStore {
 
     /// Total BE jobs currently resident across the fleet.
     pub fn running_jobs(&self) -> usize {
-        self.servers.iter().map(|s| s.resident.len()).sum()
+        self.running_jobs_total
     }
 
     /// Commits a placement.
@@ -507,6 +676,7 @@ impl PlacementStore {
         );
         assert!(!entry.resident.contains(&job), "job {job} already resident on server {server}");
         entry.resident.push(job);
+        self.running_jobs_total += 1;
     }
 
     /// Releases a job's slot (completion or preemption).
@@ -522,10 +692,11 @@ impl PlacementStore {
             .position(|&j| j == job)
             .unwrap_or_else(|| panic!("job {job} is not resident on server {server}"));
         entry.resident.remove(idx);
-        if entry.resident.is_empty() {
+        self.running_jobs_total -= 1;
+        if self.servers[server].resident.is_empty() {
             // The streak tracks one occupancy episode; once the last job
             // leaves, a future placement starts its grace period afresh.
-            entry.disabled_streak = 0;
+            self.servers[server].disabled_streak = 0;
         }
     }
 
@@ -781,6 +952,103 @@ mod tests {
         // original fleet.
         store.set_load(1, 0.9);
         assert!((store.server(1).slack - 0.1).abs() < 1e-12);
+    }
+
+    /// Recomputes every incremental index from the server table and asserts
+    /// each one matches — the invariant every mutator must preserve.
+    fn assert_index_matches_table(store: &PlacementStore) {
+        let servers = store.servers();
+        assert_eq!(store.active_servers(), servers.iter().filter(|s| s.is_active()).count());
+        assert_eq!(
+            store.draining_servers(),
+            servers.iter().filter(|s| s.state == ServerState::Draining).count()
+        );
+        assert_eq!(
+            store.in_service_cores(),
+            servers.iter().filter(|s| s.in_service()).map(|s| s.cores).sum::<usize>()
+        );
+        assert_eq!(store.running_jobs(), servers.iter().map(|s| s.resident.len()).sum::<usize>());
+        let mut sharded: Vec<ServerId> =
+            store.shards().iter().flat_map(|s| s.members().iter().copied()).collect();
+        sharded.sort_unstable();
+        let in_service: Vec<ServerId> =
+            servers.iter().filter(|s| s.in_service()).map(|s| s.id).collect();
+        assert_eq!(sharded, in_service, "shards must partition the in-service fleet");
+        for shard in store.shards() {
+            assert!(shard.members().windows(2).all(|w| w[0] < w[1]), "members ascending");
+            if let Some((generation, service)) = shard.cell() {
+                for &id in shard.members() {
+                    assert_eq!(servers[id].generation, generation);
+                    assert_eq!(servers[id].service, service);
+                }
+            }
+        }
+        for s in servers.iter().filter(|s| s.in_service()) {
+            let pool = store.service_leaf_ids(s.service);
+            assert!(pool.binary_search(&s.id).is_ok(), "leaf {} missing from its pool", s.id);
+        }
+    }
+
+    #[test]
+    fn indices_track_lifecycle_churn() {
+        let mut store = PlacementStore::new(3, 2);
+        assert_index_matches_table(&store);
+        store.place(1, 0);
+        store.place(2, 1);
+        store.begin_drain(1);
+        assert_index_matches_table(&store);
+        // Draining twice is a no-op, not a double decrement.
+        store.begin_drain(1);
+        assert_index_matches_table(&store);
+        store.reactivate(1);
+        store.reactivate(1);
+        assert_index_matches_table(&store);
+        store.release(2, 1);
+        store.begin_drain(1);
+        store.retire(1);
+        assert_index_matches_table(&store);
+        // Retiring straight from active is legal once empty.
+        store.release(1, 0);
+        store.retire(0);
+        assert_index_matches_table(&store);
+        let id = store.add_server(ServerCapacity::reference(2));
+        assert_eq!(id, 3);
+        assert_index_matches_table(&store);
+        assert_eq!(store.in_service_leaves(LcKind::Websearch), 2);
+    }
+
+    #[test]
+    fn single_mode_keeps_one_shard_and_identical_aggregates() {
+        let caps = vec![
+            ServerCapacity::from_config(&ServerConfig::older_sandy_bridge(), 2, 0),
+            ServerCapacity::from_config(&ServerConfig::default_haswell(), 2, 1),
+            ServerCapacity::from_config(&ServerConfig::newer_skylake(), 2, 2),
+        ];
+        let sharded = PlacementStore::heterogeneous_with_sharding(&caps, ShardingMode::PerPool);
+        let single = PlacementStore::heterogeneous_with_sharding(&caps, ShardingMode::Single);
+        assert_eq!(sharded.shards().len(), 3);
+        assert_eq!(single.shards().len(), 1);
+        assert_eq!(single.shards()[0].cell(), None);
+        assert_eq!(single.shards()[0].members(), &[0, 1, 2]);
+        assert_index_matches_table(&sharded);
+        assert_index_matches_table(&single);
+        assert_eq!(sharded.servers(), single.servers());
+        assert_eq!(
+            sharded.in_service_peak_qps(LcKind::Websearch).to_bits(),
+            single.in_service_peak_qps(LcKind::Websearch).to_bits(),
+            "peak QPS sums must be bit-identical across sharding modes"
+        );
+    }
+
+    #[test]
+    fn service_pools_stay_ascending_across_churn() {
+        let mut store = PlacementStore::new(4, 1);
+        store.begin_drain(2);
+        store.retire(2);
+        assert_eq!(store.service_leaf_ids(LcKind::Websearch), &[0, 1, 3]);
+        let id = store.add_server(ServerCapacity::reference(1));
+        assert_eq!(store.service_leaf_ids(LcKind::Websearch), &[0, 1, 3, id]);
+        assert_index_matches_table(&store);
     }
 
     #[test]

@@ -146,8 +146,12 @@ const DISTRESS_STREAK_STEPS: u32 = 2;
 /// balancing redistributes SLO risk, it cannot make demand disappear.
 #[derive(Debug, Default)]
 pub struct SlackAware {
-    /// Consecutive distressed observations per server id.
-    streaks: std::collections::HashMap<ServerId, u32>,
+    /// Consecutive distressed observations per server id, scoped per
+    /// service.  One balancer instance routes every service in turn, so
+    /// the per-round pruning below must only consider the routed service's
+    /// own pool — a global map pruned against one service's leaves would
+    /// wipe the other services' streaks.
+    streaks: [std::collections::HashMap<ServerId, u32>; NUM_SERVICES],
 }
 
 impl LoadBalancer for SlackAware {
@@ -155,14 +159,20 @@ impl LoadBalancer for SlackAware {
         "slack-aware"
     }
 
-    fn route(&mut self, _service: LcKind, offered_qps: f64, leaves: &[LeafView]) -> Vec<f64> {
+    fn route(&mut self, service: LcKind, offered_qps: f64, leaves: &[LeafView]) -> Vec<f64> {
+        // Rebuild the service's streak map from this round's pool: leaves
+        // that drained or retired out of the pool drop their entries, so
+        // the map stays bounded by the live pool under autoscale churn and
+        // a leaf that later rejoins starts a fresh streak.
+        let streaks = &mut self.streaks[service.index()];
+        let mut next = std::collections::HashMap::with_capacity(leaves.len());
         for l in leaves {
             if l.slack < SLACK_DISTRESS_FLOOR {
-                *self.streaks.entry(l.id).or_insert(0) += 1;
-            } else {
-                self.streaks.remove(&l.id);
+                next.insert(l.id, streaks.get(&l.id).copied().unwrap_or(0) + 1);
             }
         }
+        *streaks = next;
+        let streaks = &self.streaks[service.index()];
         let base = {
             let weights: Vec<f64> = leaves.iter().map(|l| l.peak_qps).collect();
             route_by_weight(offered_qps, &weights)
@@ -172,7 +182,7 @@ impl LoadBalancer for SlackAware {
             .iter()
             .zip(&base)
             .map(|(l, b)| {
-                let streak = self.streaks.get(&l.id).copied().unwrap_or(0);
+                let streak = streaks.get(&l.id).copied().unwrap_or(0);
                 if streak < DISTRESS_STREAK_STEPS {
                     0.0
                 } else {
@@ -371,15 +381,16 @@ impl TrafficPlane {
         for service in self.catalog.services().iter().map(|s| s.kind()).collect::<Vec<_>>() {
             let offered = self.offered_qps(service, now);
             step.offered_qps[service.index()] = offered;
+            // The store maintains the per-service leaf pool incrementally
+            // (updated on add/drain/retire), in the same ascending id
+            // order the old full-fleet filter produced — O(pool) per step
+            // instead of O(fleet × services).
             let leaves: Vec<LeafView> = store
-                .servers()
+                .service_leaf_ids(service)
                 .iter()
-                .filter(|s| s.in_service() && s.service == service)
-                .map(|s| LeafView {
-                    id: s.id,
-                    peak_qps: s.peak_qps,
-                    slack: s.slack,
-                    load: s.lc_load,
+                .map(|&id| {
+                    let s = store.server(id);
+                    LeafView { id: s.id, peak_qps: s.peak_qps, slack: s.slack, load: s.lc_load }
                 })
                 .collect();
             if leaves.is_empty() {
@@ -475,6 +486,46 @@ mod tests {
             let routed = kneebound.route(LcKind::Websearch, 2000.0, &knee);
             assert!((routed[0] - 1000.0).abs() < 1e-9, "diverted with no absorber: {routed:?}");
         }
+    }
+
+    #[test]
+    fn slack_aware_prunes_streaks_for_leaves_that_leave_the_pool() {
+        let mut balancer = SlackAware::default();
+        // Autoscale churn: the distressed pool rotates every round, so a
+        // leaky streak map would accumulate one stale entry per round.
+        for round in 0..20 {
+            let pool = [leaf(round, 1000.0, 0.02), leaf(round + 1, 1000.0, 0.02)];
+            balancer.route(LcKind::Websearch, 1000.0, &pool);
+            let tracked: usize = balancer.streaks.iter().map(|m| m.len()).sum();
+            assert!(
+                tracked <= pool.len(),
+                "streak map grew past the live pool after round {round}: {tracked} entries"
+            );
+        }
+        // A leaf that left the pool and rejoins starts a fresh streak: its
+        // first distressed round back is treated as window noise again.
+        let rejoined = balancer.route(
+            LcKind::Websearch,
+            1000.0,
+            &[leaf(0, 1000.0, 0.02), leaf(1, 1000.0, 0.9)],
+        );
+        assert!((rejoined[0] - 500.0).abs() < 1e-9, "stale streak survived: {rejoined:?}");
+    }
+
+    #[test]
+    fn slack_aware_streaks_are_scoped_per_service() {
+        let mut balancer = SlackAware::default();
+        let ws = [leaf(0, 1000.0, 0.02), leaf(1, 1000.0, 0.60)];
+        let mkv = [leaf(2, 1000.0, 0.9), leaf(3, 1000.0, 0.9)];
+        balancer.route(LcKind::Websearch, 1000.0, &ws);
+        // Routing another service's (disjoint) pool between websearch
+        // rounds must not clear websearch's distress streaks.
+        balancer.route(LcKind::Memkeyval, 1000.0, &mkv);
+        let routed = balancer.route(LcKind::Websearch, 1000.0, &ws);
+        assert!(
+            routed[1] > routed[0],
+            "interleaved service routing cleared the distress streak: {routed:?}"
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ use heracles_colo::ColoConfig;
 use heracles_fleet::{
     core_weighted_mean, BalancerKind, FirstFit, FleetConfig, FleetSim, Generation, GenerationMix,
     InterferenceAware, InterferenceModel, JobStreamConfig, LeastLoaded, PlacementPolicy,
-    PlacementStore, PolicyKind, RandomPlacement, ServerCapacity, ServerState,
+    PlacementStore, PolicyKind, RandomPlacement, ServerCapacity, ServerState, ShardingMode,
 };
 use heracles_hw::ServerConfig;
 use heracles_sim::{SimRng, SimTime};
@@ -67,9 +67,9 @@ fn policies() -> Vec<Box<dyn PlacementPolicy>> {
         (BeKind::LlcMedium, 0.3),
     ]);
     vec![
-        Box::new(RandomPlacement),
-        Box::new(FirstFit),
-        Box::new(LeastLoaded),
+        Box::new(RandomPlacement::default()),
+        Box::new(FirstFit::default()),
+        Box::new(LeastLoaded::default()),
         Box::new(InterferenceAware::new(model)),
     ]
 }
@@ -292,6 +292,89 @@ proptest! {
                     "demand not conserved: offered {offered} routed {routed}"
                 );
             }
+        }
+    }
+
+    /// The sharded store is a pure indexing change: for arbitrary mixes,
+    /// seeds, policies, balancers and add/drain/retire churn, a
+    /// per-(generation × service)-sharded store and a single flat shard
+    /// yield identical placements (the event log), identical routed loads
+    /// and step metrics, and an identical job ledger.
+    #[test]
+    fn sharded_and_unsharded_stores_give_identical_results(
+        servers in 3usize..7,
+        seed in 0u64..100,
+        policy_idx in 0usize..4,
+        balancer_idx in 0usize..2,
+        action_seed in 0u64..500,
+    ) {
+        let base = FleetConfig {
+            servers,
+            steps: 8,
+            windows_per_step: 2,
+            seed,
+            services: ServiceMix::mixed_frontend(),
+            balancer: BalancerKind::all()[balancer_idx],
+            mix: GenerationMix::mixed_datacenter(),
+            colo: ColoConfig { requests_per_window: 400, ..ColoConfig::fast_test() },
+            jobs: JobStreamConfig { arrivals_per_step: 1.5, ..JobStreamConfig::default() },
+            ..FleetConfig::fast_services()
+        };
+        let run = |sharding: ShardingMode, batch_dispatch: bool| {
+            let config = FleetConfig { sharding, batch_dispatch, ..base };
+            let policy = policies().remove(policy_idx);
+            let mut sim =
+                FleetSim::with_policy(config, ServerConfig::default_haswell(), policy);
+            let mut actions = SimRng::new(action_seed);
+            for _ in 0..config.steps {
+                match actions.index(4) {
+                    0 => {
+                        sim.add_server(Generation::all()[actions.index(3)]);
+                    }
+                    1 => {
+                        let active: Vec<_> = sim
+                            .store()
+                            .servers()
+                            .iter()
+                            .filter(|s| s.is_active())
+                            .map(|s| s.id)
+                            .collect();
+                        if !active.is_empty() {
+                            sim.begin_drain(active[actions.index(active.len())]);
+                        }
+                    }
+                    2 => {
+                        let retirable: Vec<_> = sim
+                            .store()
+                            .servers()
+                            .iter()
+                            .filter(|s| {
+                                s.state == ServerState::Draining
+                                    && s.resident.is_empty()
+                                    && sim.store().in_service_leaves(s.service) > 1
+                            })
+                            .map(|s| s.id)
+                            .collect();
+                        if !retirable.is_empty() {
+                            sim.retire_server(retirable[actions.index(retirable.len())]);
+                        }
+                    }
+                    _ => {}
+                }
+                sim.step_once();
+            }
+            sim.into_result()
+        };
+        let sharded = run(ShardingMode::PerPool, true);
+        let flat = run(ShardingMode::Single, true);
+        // Flat store AND per-job dispatch: exactly the pre-sharding
+        // scheduler's control plane, end to end.
+        let legacy = run(ShardingMode::Single, false);
+        for other in [&flat, &legacy] {
+            prop_assert_eq!(&sharded.events, &other.events);
+            prop_assert_eq!(&sharded.jobs, &other.jobs);
+            prop_assert_eq!(&sharded.steps, &other.steps);
+            prop_assert_eq!(&sharded.server_services, &other.server_services);
         }
     }
 
