@@ -27,6 +27,7 @@ use heracles_fleet::{
     PolicyKind, ServerEntry, ServerId, ServerState,
 };
 use heracles_hw::ServerConfig;
+use heracles_telemetry::TraceEvent;
 use serde::{Deserialize, Serialize};
 
 use crate::action::{ScaleAction, ScaleEvent, ScaleEventKind, ScaleSignals};
@@ -188,9 +189,6 @@ pub struct ElasticFleet {
     market: GenerationMarket,
     config: AutoscaleConfig,
     events: Vec<ScaleEvent>,
-    /// Wall-clock seconds spent assembling [`ScaleSignals`] — the
-    /// autoscaler's slice of the per-step control-plane cost.
-    signals_s: f64,
 }
 
 impl ElasticFleet {
@@ -212,14 +210,7 @@ impl ElasticFleet {
         let market =
             GenerationMarket::new(&config.fleet, &server, InterferenceModel::from_scores([]));
         let sim = FleetSim::new(config.fleet, server, placement);
-        ElasticFleet {
-            sim,
-            policy: autoscaler.build(),
-            market,
-            config,
-            events: Vec::new(),
-            signals_s: 0.0,
-        }
+        ElasticFleet { sim, policy: autoscaler.build(), market, config, events: Vec::new() }
     }
 
     /// Replaces the market's interference model (e.g. with §3.2
@@ -313,6 +304,13 @@ impl ElasticFleet {
                         step,
                         kind: ScaleEventKind::Bought { generation, server },
                     });
+                    if self.sim.telemetry_enabled() {
+                        let event = TraceEvent::new(self.sim.now(), "autoscale", "buy")
+                            .str("generation", generation.name())
+                            .u64("server", server as u64)
+                            .f64("value_per_dollar", self.market.value_per_dollar(generation));
+                        self.sim.emit_trace(event);
+                    }
                 }
             }
             ScaleAction::ScaleIn { server } => {
@@ -328,6 +326,12 @@ impl ElasticFleet {
                     self.sim.begin_drain(server);
                     self.events
                         .push(ScaleEvent { step, kind: ScaleEventKind::DrainStarted { server } });
+                    if self.sim.telemetry_enabled() {
+                        let event = TraceEvent::new(self.sim.now(), "autoscale", "drain")
+                            .u64("server", server as u64)
+                            .f64("post_shed_load", self.sim.post_retire_pool_load(server, 0));
+                        self.sim.emit_trace(event);
+                    }
                 }
             }
         }
@@ -416,11 +420,21 @@ impl ElasticFleet {
         &self.sim
     }
 
+    /// Takes the fleet's telemetry bundle out of the controller (None when
+    /// telemetry is off).  Call after the last step, before
+    /// [`finish`](Self::finish).
+    pub fn take_telemetry(&mut self) -> Option<heracles_telemetry::Telemetry> {
+        self.sim.take_telemetry()
+    }
+
     /// Cumulative wall-clock cost of the control plane so far: the fleet's
-    /// routing and dispatch phases plus this controller's signal assembly.
-    /// Pure observability — timing noise never feeds back into decisions.
+    /// routing and dispatch phases plus this controller's signal assembly,
+    /// all charged into the *fleet's* single profile (via
+    /// [`FleetSim::charge_signals_s`]) so each part is attributed exactly
+    /// once.  Pure observability — timing noise never feeds back into
+    /// decisions.
     pub fn control_plane_profile(&self) -> ControlPlaneProfile {
-        ControlPlaneProfile { signals_s: self.signals_s, ..*self.sim.control_plane_profile() }
+        *self.sim.control_plane_profile()
     }
 
     /// Runs one closed-loop step: signals → decide → apply → drain →
@@ -428,8 +442,35 @@ impl ElasticFleet {
     pub fn step_once(&mut self) {
         let signals_started = std::time::Instant::now();
         let signals = self.signals();
-        self.signals_s += signals_started.elapsed().as_secs_f64();
+        self.sim.charge_signals_s(signals_started.elapsed().as_secs_f64());
         let action = self.policy.decide(&signals);
+        if self.sim.telemetry_enabled() {
+            let now = self.sim.now();
+            let best_buy = signals.best_buy;
+            self.sim.emit_trace(
+                TraceEvent::new(now, "autoscale", "signals")
+                    .u64("step", signals.step as u64)
+                    .u64("queued", signals.queued_jobs as u64)
+                    .u64("stranded", signals.stranded_jobs as u64)
+                    .u64("active", signals.active_servers as u64)
+                    .u64("draining", signals.draining_servers as u64)
+                    .f64("mean_load", signals.mean_load)
+                    .f64("load_ahead", signals.load_ahead)
+                    .str("best_buy", best_buy.name())
+                    .f64("buy_value_per_dollar", self.market.value_per_dollar(best_buy))
+                    .f64("post_shed_load", signals.post_shed_load),
+            );
+            let (kind, detail) = match action {
+                ScaleAction::Hold => ("hold", None),
+                ScaleAction::ScaleOut { generation } => ("scale-out", Some(generation.index())),
+                ScaleAction::ScaleIn { server } => ("scale-in", Some(server)),
+            };
+            let mut event = TraceEvent::new(now, "autoscale", "decide").str("action", kind);
+            if let Some(value) = detail {
+                event = event.u64("target", value as u64);
+            }
+            self.sim.emit_trace(event);
+        }
         self.apply(action);
         self.drain_step();
         self.sim.step_once();
@@ -509,5 +550,36 @@ mod tests {
             fleet.step_once();
         }
         assert!(saw_stranded, "the run never stranded a job — the pin test saw nothing");
+    }
+
+    /// Every control-plane phase — routing, dispatch, signal assembly — is
+    /// charged exactly once per step: the per-part fields must sum to the
+    /// total the charge methods recorded, and an elastic run exercises all
+    /// three parts.
+    #[test]
+    fn control_plane_phases_are_attributed_exactly_once_per_step() {
+        let mut config = AutoscaleConfig::fast_test();
+        config.fleet.steps = 8;
+        let mut fleet = ElasticFleet::new(
+            config,
+            ServerConfig::default_haswell(),
+            PolicyKind::LeastLoaded,
+            AutoscaleKind::Reactive,
+        );
+        for _ in 0..config.fleet.steps {
+            fleet.step_once();
+        }
+        let profile = fleet.control_plane_profile();
+        assert_eq!(profile.steps, config.fleet.steps);
+        assert!(profile.routing_s > 0.0, "routing was never charged");
+        assert!(profile.dispatch_s > 0.0, "dispatch was never charged");
+        assert!(profile.signals_s > 0.0, "signal assembly was never charged");
+        let total = profile.control_plane_s();
+        let recorded = profile.recorded_total_s();
+        assert!(
+            (total - recorded).abs() <= 1e-9 * total.max(1e-12),
+            "parts ({total}) drifted from the recorded total ({recorded}): \
+             a phase was double-charged or written around the charge methods"
+        );
     }
 }

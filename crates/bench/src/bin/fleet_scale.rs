@@ -30,18 +30,30 @@
 //! leaves every step, conserving demand exactly — the per-service
 //! routed-vs-offered audit is printed per row.
 //!
+//! With `--trace <path>` the binary instead runs a *single* policy (default
+//! least-loaded, `--policy` to change; `--autoscale <kind>` for an elastic
+//! run) with the telemetry plane enabled and writes the flight-recorder
+//! trace as schema-validated JSONL; `--metrics <path>` also writes the
+//! metrics-registry JSON.  `--telemetry-gate <pct>` re-runs the same
+//! configuration untraced and fails (exit 1) if tracing inflates per-step
+//! wall time by more than `pct` percent — the zero-cost-when-disabled and
+//! cheap-when-enabled regression gate CI runs.
+//!
 //! Run with: `cargo run --release -p heracles_bench --bin fleet_scale --
 //! [--fast] [--servers N] [--steps N] [--seed N] [--slots N]
 //! [--mix homogeneous|mixed|O:N] [--services SPEC] [--balancer KIND]
-//! [--autoscale POLICY] [--csv]`
+//! [--autoscale POLICY] [--csv] [--trace PATH] [--metrics PATH]
+//! [--policy KIND] [--telemetry-gate PCT]`
 
 use heracles_autoscale::{AutoscaleConfig, AutoscaleKind, ElasticFleet};
 use heracles_bench::cli::Args;
 use heracles_cluster::TcoModel;
 use heracles_fleet::{
-    single_server_baseline_violations, FleetConfig, FleetSim, GenerationMix, PolicyKind,
+    single_server_baseline_violations, FleetConfig, FleetSim, GenerationMix, PolicyKind, Telemetry,
+    TelemetryConfig,
 };
 use heracles_hw::ServerConfig;
+use heracles_telemetry::{validate_metrics_json, validate_trace_jsonl};
 use heracles_workloads::ServiceMix;
 
 fn sweep(config: FleetConfig, server: &ServerConfig, tco: &TcoModel, csv: bool) {
@@ -202,6 +214,117 @@ fn autoscale_sweep(config: FleetConfig, server: &ServerConfig, which: &str, csv:
     println!(" BE core·seconds — the autoscaler's whole mandate is the last two columns.)");
 }
 
+/// Runs `config` once under `policy` (elastically when `autoscale` names a
+/// kind), returning the wall seconds the run took and, when traced, its
+/// telemetry bundle.
+fn timed_run(
+    config: FleetConfig,
+    server: &ServerConfig,
+    policy: PolicyKind,
+    autoscale: &str,
+) -> (f64, Option<Telemetry>) {
+    let started = std::time::Instant::now();
+    let telemetry = if autoscale.is_empty() {
+        let mut sim = FleetSim::new(config, server.clone(), policy);
+        for _ in 0..config.steps {
+            sim.step_once();
+        }
+        sim.take_telemetry()
+    } else {
+        let kind: AutoscaleKind = autoscale.parse().unwrap_or_else(|e| {
+            eprintln!("invalid --autoscale value for a traced run: {e}");
+            std::process::exit(2);
+        });
+        let scenario = AutoscaleConfig::diurnal(config);
+        let mut fleet = ElasticFleet::new(scenario, server.clone(), policy, kind);
+        for _ in 0..scenario.fleet.steps {
+            fleet.step_once();
+        }
+        fleet.take_telemetry()
+    };
+    (started.elapsed().as_secs_f64(), telemetry)
+}
+
+/// The traced single-run mode behind `--trace`: runs once with the
+/// telemetry plane on, schema-validates the artifacts, writes them to
+/// disk, and optionally gates the tracing overhead against an untraced
+/// run of the identical configuration.
+fn traced_run(
+    config: FleetConfig,
+    server: &ServerConfig,
+    policy: PolicyKind,
+    autoscale: &str,
+    trace_path: &str,
+    metrics_path: &str,
+    gate_pct: f64,
+) {
+    let traced_cfg = FleetConfig { telemetry: TelemetryConfig::enabled(), ..config };
+    let (traced_wall, telemetry) = timed_run(traced_cfg, server, policy, autoscale);
+    let telemetry = telemetry.expect("telemetry was enabled");
+
+    let mut header = vec![
+        ("policy", policy.name().to_string()),
+        ("balancer", config.balancer.name().to_string()),
+        ("seed", config.seed.to_string()),
+        ("servers", config.servers.to_string()),
+        ("steps", config.steps.to_string()),
+    ];
+    if !autoscale.is_empty() {
+        header.push(("autoscaler", autoscale.to_string()));
+    }
+    let trace_doc = telemetry.trace_jsonl(&header);
+    if let Err(e) = validate_trace_jsonl(&trace_doc) {
+        eprintln!("trace failed schema validation before writing: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(trace_path, &trace_doc) {
+        eprintln!("cannot write {trace_path}: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "trace: {} events ({} dropped) -> {trace_path}",
+        telemetry.recorder.len(),
+        telemetry.recorder.dropped()
+    );
+    if !metrics_path.is_empty() {
+        let metrics_doc = telemetry.metrics_json();
+        if let Err(e) = validate_metrics_json(&metrics_doc) {
+            eprintln!("metrics failed schema validation before writing: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(metrics_path, &metrics_doc) {
+            eprintln!("cannot write {metrics_path}: {e}");
+            std::process::exit(2);
+        }
+        println!(
+            "metrics: {} jobs placed, {} violation server-steps -> {metrics_path}",
+            telemetry.metrics.counter("fleet.jobs_placed"),
+            telemetry.metrics.counter("fleet.violation_server_steps"),
+        );
+    }
+
+    if gate_pct > 0.0 {
+        // Best-of-3 on each side to shave scheduler noise off the gate.
+        let best = |cfg: FleetConfig| {
+            (0..3)
+                .map(|_| timed_run(cfg, server, policy, autoscale).0)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let traced_best = best(traced_cfg).min(traced_wall);
+        let untraced_best = best(config);
+        let overhead_pct = (traced_best / untraced_best - 1.0) * 100.0;
+        println!(
+            "telemetry overhead: traced {:.3}s vs untraced {:.3}s per run ({overhead_pct:+.1}%, \
+             gate {gate_pct}%)",
+            traced_best, untraced_best
+        );
+        if overhead_pct > gate_pct {
+            eprintln!("telemetry overhead gate failed: {overhead_pct:.1}% > {gate_pct}%");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = Args::from_env();
     let base = if args.flag("--fast") { FleetConfig::fast_test() } else { FleetConfig::default() };
@@ -232,6 +355,20 @@ fn main() {
     let tco = TcoModel::paper_case_study();
 
     let autoscale = args.value("--autoscale", String::new());
+    let trace_path = args.value("--trace", String::new());
+    if !trace_path.is_empty() {
+        let config = FleetConfig { mix: args.value("--mix", config.mix), ..config };
+        traced_run(
+            config,
+            &server,
+            args.value("--policy", PolicyKind::LeastLoaded),
+            &autoscale,
+            &trace_path,
+            &args.value("--metrics", String::new()),
+            args.value("--telemetry-gate", 0.0f64),
+        );
+        return;
+    }
     if !autoscale.is_empty() {
         let config = FleetConfig { mix: args.value("--mix", config.mix), ..config };
         println!("Elastic fleet: autoscalers over per-server Heracles controllers");

@@ -1,0 +1,37 @@
+//! Renders a flight-recorder trace (`heracles-trace/v1` JSONL, as written
+//! by `fleet_scale --trace`) as a human-readable report: placement
+//! outcomes for the run's policy, every SLO-violation server-step
+//! attributed to its (service, generation, balancer-decision) cause, and
+//! the autoscale / lifecycle action timeline.
+//!
+//! Run with: `cargo run --release -p heracles_bench --bin trace_report --
+//! <trace.jsonl>`
+//!
+//! Exits 2 on a missing argument or unreadable file, 1 when the document
+//! fails schema validation or contains an unattributable violation.
+
+use heracles_bench::trace_report::TraceReport;
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: trace_report <trace.jsonl>");
+            std::process::exit(2);
+        }
+    };
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match TraceReport::from_jsonl(&doc) {
+        Ok(report) => print!("{}", report.render()),
+        Err(e) => {
+            eprintln!("invalid trace {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

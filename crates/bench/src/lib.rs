@@ -14,6 +14,7 @@
 
 pub mod cli;
 pub mod fleet_bench;
+pub mod trace_report;
 
 pub use heracles_sim::{parallel_map, parallel_map_mut};
 

@@ -1,0 +1,334 @@
+//! Post-hoc analysis of a flight-recorder trace (`heracles-trace/v1`
+//! JSONL, as written by `fleet_scale --trace`).
+//!
+//! The reader is a hand-rolled line scanner over the schema's fixed
+//! rendering — `{"t":...,"scope":"...","kind":"...",...}` with keys in
+//! emission order — so the bench crate needs no JSON dependency.  It
+//! produces three views:
+//!
+//! * **placement outcomes** — dispatch rounds, jobs placed vs unplaced,
+//!   batched-plan usage, per placement policy (the trace header names the
+//!   policy the run used),
+//! * **violation attribution** — every SLO-violation server-step keyed by
+//!   its `(service, generation, balancer-decision)` cause; the parse fails
+//!   loudly if any violation line is missing one of the three, so an
+//!   attributed report always covers 100% of violations,
+//! * **autoscale timeline** — buy/drain/migrate/requeue/retire actions in
+//!   simulated-time order.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use heracles_fleet::Generation;
+use heracles_telemetry::validate_trace_jsonl;
+
+/// Extracts the raw JSON value of `key` from one rendered trace line.
+///
+/// The scanner relies on the writer's canonical rendering (no whitespace,
+/// keys emitted once); it is not a general JSON parser.
+pub fn field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        // String value: scan to the closing unescaped quote.
+        let mut escaped = false;
+        for (i, c) in stripped.char_indices() {
+            match c {
+                '\\' if !escaped => escaped = true,
+                '"' if !escaped => return Some(&stripped[..i]),
+                _ => escaped = false,
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(&rest[..end])
+    }
+}
+
+/// The string value of `key`, unescaped for the escapes the writer emits.
+pub fn field_str(line: &str, key: &str) -> Option<String> {
+    Some(field_raw(line, key)?.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+/// The numeric value of `key` as f64.
+pub fn field_f64(line: &str, key: &str) -> Option<f64> {
+    field_raw(line, key)?.parse().ok()
+}
+
+/// The numeric value of `key` as u64 (floats with a zero fraction accepted).
+pub fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let raw = field_raw(line, key)?;
+    raw.parse::<u64>().ok().or_else(|| {
+        let f: f64 = raw.parse().ok()?;
+        (f >= 0.0 && f.fract() == 0.0).then_some(f as u64)
+    })
+}
+
+/// One violation cause: the service the server ran, its hardware
+/// generation, and what the balancer did to it on the violating step.
+pub type ViolationKey = (String, String, String);
+
+/// Everything the report extracts from one trace document.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Run metadata from the header line (policy, balancer, seed, ...),
+    /// in rendered order.
+    pub header: Vec<(String, String)>,
+    /// Events retained / dropped by the flight recorder.
+    pub events: u64,
+    /// Events the bounded ring evicted before the run ended.
+    pub dropped: u64,
+    /// Dispatch rounds observed (one per step with pending jobs).
+    pub dispatch_rounds: u64,
+    /// Rounds that used a batched placement plan.
+    pub batched_rounds: u64,
+    /// Jobs placed, total.
+    pub placed: u64,
+    /// Jobs that no server admitted, total.
+    pub unplaced: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs preempted.
+    pub preempted: u64,
+    /// SLO-violation server-steps by (service, generation, balancer
+    /// decision) — sums to every `violation` line in the trace.
+    pub violations: BTreeMap<ViolationKey, u64>,
+    /// Balancer divert verdicts (shed / absorbed) by (service, verdict).
+    pub diverts: BTreeMap<(String, String), u64>,
+    /// Worst routing imbalance any conservation check saw.
+    pub max_imbalance: f64,
+    /// Per-server controller decision counts by kind (core scope).
+    pub core_decisions: BTreeMap<String, u64>,
+    /// Admission verdict flips recorded by the store.
+    pub admission_flips: u64,
+    /// Autoscale / fleet lifecycle actions in simulated-time order, as
+    /// `(time_s, description)` rows.
+    pub timeline: Vec<(f64, String)>,
+}
+
+impl TraceReport {
+    /// Parses a trace document, validating it against the schema first.
+    ///
+    /// Fails if the document is not schema-valid, or if any `violation`
+    /// event lacks one of its three attribution fields — a report that
+    /// silently dropped causes would defeat its purpose.
+    pub fn from_jsonl(doc: &str) -> Result<TraceReport, String> {
+        validate_trace_jsonl(doc)?;
+        let mut lines = doc.lines();
+        let header_line = lines.next().ok_or("empty trace document")?;
+        let mut report = TraceReport {
+            events: field_u64(header_line, "events").unwrap_or(0),
+            dropped: field_u64(header_line, "dropped").unwrap_or(0),
+            ..TraceReport::default()
+        };
+        for key in ["policy", "balancer", "autoscaler", "seed", "servers", "steps"] {
+            if let Some(value) = field_str(header_line, key) {
+                report.header.push((key.to_string(), value));
+            }
+        }
+
+        for (idx, line) in lines.enumerate() {
+            let t = field_f64(line, "t").unwrap_or(0.0);
+            let scope = field_str(line, "scope").unwrap_or_default();
+            let kind = field_str(line, "kind").unwrap_or_default();
+            match (scope.as_str(), kind.as_str()) {
+                ("fleet", "dispatch_round") => {
+                    report.dispatch_rounds += 1;
+                    if field_raw(line, "batched").map(|b| b == "true").unwrap_or(false) {
+                        report.batched_rounds += 1;
+                    }
+                }
+                ("fleet", "place") => report.placed += 1,
+                ("fleet", "unplaced") => report.unplaced += 1,
+                ("fleet", "complete") => report.completed += 1,
+                ("fleet", "preempt") => report.preempted += 1,
+                ("fleet", "violation") => {
+                    let service = field_str(line, "service");
+                    let generation = field_u64(line, "generation")
+                        .and_then(|g| Generation::all().get(g as usize).copied())
+                        .map(|g| g.name().to_string());
+                    let balancer = field_str(line, "balancer");
+                    match (service, generation, balancer) {
+                        (Some(s), Some(g), Some(b)) => {
+                            *report.violations.entry((s, g, b)).or_insert(0) += 1;
+                        }
+                        _ => {
+                            return Err(format!(
+                                "violation event {} lacks (service, generation, balancer) \
+                                 attribution: {line}",
+                                idx + 2
+                            ));
+                        }
+                    }
+                }
+                ("fleet", "migrate") => {
+                    let (job, from, to) = (
+                        field_u64(line, "job").unwrap_or(0),
+                        field_u64(line, "from").unwrap_or(0),
+                        field_u64(line, "to").unwrap_or(0),
+                    );
+                    report.timeline.push((t, format!("migrate job {job}: {from} -> {to}")));
+                }
+                ("fleet", "requeue") => {
+                    let job = field_u64(line, "job").unwrap_or(0);
+                    report.timeline.push((t, format!("requeue job {job}")));
+                }
+                ("traffic", "divert") => {
+                    let service = field_str(line, "service").unwrap_or_default();
+                    let verdict = field_str(line, "verdict").unwrap_or_default();
+                    *report.diverts.entry((service, verdict)).or_insert(0) += 1;
+                }
+                ("traffic", "conservation") => {
+                    if let Some(m) = field_f64(line, "max_imbalance") {
+                        report.max_imbalance = report.max_imbalance.max(m);
+                    }
+                }
+                ("core", _) => {
+                    *report.core_decisions.entry(kind.clone()).or_insert(0) += 1;
+                }
+                ("store", "admission") => report.admission_flips += 1,
+                ("store", "server_added") => {
+                    let server = field_u64(line, "server").unwrap_or(0);
+                    let gen = field_str(line, "generation")
+                        .or_else(|| field_u64(line, "generation").map(|g| g.to_string()))
+                        .unwrap_or_default();
+                    report.timeline.push((t, format!("commission server {server} (gen {gen})")));
+                }
+                ("store", "drain_started") => {
+                    let server = field_u64(line, "server").unwrap_or(0);
+                    report.timeline.push((t, format!("drain server {server}")));
+                }
+                ("store", "retired") => {
+                    let server = field_u64(line, "server").unwrap_or(0);
+                    report.timeline.push((t, format!("retire server {server}")));
+                }
+                ("store", "reactivated") => {
+                    let server = field_u64(line, "server").unwrap_or(0);
+                    report.timeline.push((t, format!("reactivate server {server}")));
+                }
+                ("autoscale", "buy") => {
+                    let gen = field_str(line, "generation").unwrap_or_default();
+                    let server = field_u64(line, "server").unwrap_or(0);
+                    report.timeline.push((t, format!("buy {gen} -> server {server}")));
+                }
+                ("autoscale", "drain") => {
+                    let server = field_u64(line, "server").unwrap_or(0);
+                    report.timeline.push((t, format!("scale-in: drain server {server}")));
+                }
+                _ => {}
+            }
+        }
+        Ok(report)
+    }
+
+    /// Total attributed SLO-violation server-steps.
+    pub fn violation_total(&self) -> u64 {
+        self.violations.values().sum()
+    }
+
+    /// Renders the report as the text document the bin prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "flight-recorder trace report");
+        for (key, value) in &self.header {
+            let _ = writeln!(out, "  {key}: {value}");
+        }
+        let _ = writeln!(out, "  events: {} retained, {} dropped", self.events, self.dropped);
+
+        let _ = writeln!(out, "\nplacement outcomes");
+        let _ = writeln!(
+            out,
+            "  dispatch rounds: {} ({} used a batched plan)",
+            self.dispatch_rounds, self.batched_rounds
+        );
+        let _ = writeln!(
+            out,
+            "  jobs: {} placed, {} unplaced, {} completed, {} preempted",
+            self.placed, self.unplaced, self.completed, self.preempted
+        );
+        let _ = writeln!(out, "  admission verdict flips: {}", self.admission_flips);
+
+        let _ = writeln!(
+            out,
+            "\nviolation attribution ({} server-steps, 100% attributed)",
+            self.violation_total()
+        );
+        if self.violations.is_empty() {
+            let _ = writeln!(out, "  (no SLO violations recorded)");
+        }
+        for ((service, generation, balancer), count) in &self.violations {
+            let _ = writeln!(
+                out,
+                "  {count:>6}  service {service:<12} generation {generation:<12} balancer {balancer}"
+            );
+        }
+
+        let _ = writeln!(out, "\ntraffic plane");
+        let _ = writeln!(out, "  max routing imbalance: {:.2e}", self.max_imbalance);
+        for ((service, verdict), count) in &self.diverts {
+            let _ = writeln!(out, "  {count:>6}  {service} leaves {verdict}");
+        }
+
+        if !self.core_decisions.is_empty() {
+            let _ = writeln!(out, "\nper-server controller decisions");
+            for (kind, count) in &self.core_decisions {
+                let _ = writeln!(out, "  {count:>6}  {kind}");
+            }
+        }
+
+        let _ = writeln!(out, "\nautoscale / lifecycle timeline ({} actions)", self.timeline.len());
+        for (t, what) in &self.timeline {
+            let _ = writeln!(out, "  t={t:>10.1}s  {what}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heracles_fleet::{FleetConfig, FleetSim, PolicyKind, TelemetryConfig};
+    use heracles_hw::ServerConfig;
+
+    #[test]
+    fn field_scanners_handle_strings_numbers_and_escapes() {
+        let line = r#"{"t":12.500000,"scope":"fleet","kind":"violation","service":"a\"b","generation":1,"load":0.750000}"#;
+        assert_eq!(field_f64(line, "t"), Some(12.5));
+        assert_eq!(field_str(line, "scope").as_deref(), Some("fleet"));
+        assert_eq!(field_str(line, "service").as_deref(), Some("a\"b"));
+        assert_eq!(field_u64(line, "generation"), Some(1));
+        assert_eq!(field_f64(line, "load"), Some(0.75));
+        assert_eq!(field_raw(line, "missing"), None);
+    }
+
+    #[test]
+    fn report_attributes_every_violation_of_a_real_run() {
+        let cfg = FleetConfig { telemetry: TelemetryConfig::enabled(), ..FleetConfig::fast_test() };
+        let mut sim = FleetSim::new(cfg, ServerConfig::default_haswell(), PolicyKind::LeastLoaded);
+        for _ in 0..cfg.steps {
+            sim.step_once();
+        }
+        let telemetry = sim.take_telemetry().expect("telemetry on");
+        let violations_in_trace =
+            telemetry.recorder.iter().filter(|e| e.kind() == "violation").count() as u64;
+        let doc = telemetry.trace_jsonl(&[("policy", "least-loaded".to_string())]);
+
+        let report = TraceReport::from_jsonl(&doc).expect("trace parses");
+        assert_eq!(report.violation_total(), violations_in_trace);
+        assert!(report.placed + report.unplaced > 0, "no dispatch outcomes parsed");
+        assert!(report.header.iter().any(|(k, v)| k == "policy" && v == "least-loaded"));
+        let rendered = report.render();
+        assert!(rendered.contains("100% attributed"));
+        assert!(rendered.contains("placement outcomes"));
+    }
+
+    #[test]
+    fn unattributed_violations_fail_the_parse() {
+        let doc = "{\"schema\":\"heracles-trace/v1\",\"events\":1,\"dropped\":0}\n\
+                   {\"t\":1.000000,\"scope\":\"fleet\",\"kind\":\"violation\",\"server\":3}\n";
+        let err = TraceReport::from_jsonl(doc).unwrap_err();
+        assert!(err.contains("attribution"), "{err}");
+    }
+}

@@ -12,6 +12,7 @@ use heracles_baselines::LcOnly;
 use heracles_colo::{ColoConfig, ColoRunner};
 use heracles_core::{ColocationPolicy, Heracles, HeraclesConfig, OfflineDramModel};
 use heracles_hw::ServerConfig;
+use heracles_sim::csv::CsvRow;
 use heracles_sim::{SimTime, TimeSeries};
 use heracles_workloads::{BeWorkload, DiurnalTrace, LcWorkload, Slo};
 use serde::{Deserialize, Serialize};
@@ -128,14 +129,13 @@ impl ClusterResult {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("time_s,load,normalized_root_latency,emu,be_throughput\n");
         for s in &self.steps {
-            out.push_str(&format!(
-                "{:.6},{:.4},{:.4},{:.4},{:.4}\n",
-                s.time.as_secs_f64(),
-                s.load,
-                s.normalized_root_latency,
-                s.emu,
-                s.be_throughput
-            ));
+            CsvRow::new(&mut out)
+                .f64(s.time.as_secs_f64(), 6)
+                .f64(s.load, 4)
+                .f64(s.normalized_root_latency, 4)
+                .f64(s.emu, 4)
+                .f64(s.be_throughput, 4)
+                .end();
         }
         out
     }

@@ -1,6 +1,7 @@
 //! Per-window records and experiment summaries.
 
 use heracles_hw::{ContentionOutcome, CounterSnapshot};
+use heracles_sim::csv::CsvRow;
 use heracles_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -42,20 +43,20 @@ impl WindowRecord {
 
     /// The record as one CSV row (columns per [`WindowRecord::CSV_HEADER`]).
     pub fn csv_row(&self) -> String {
-        format!(
-            "{:.6},{:.4},{:.6},{:.4},{},{:.4},{:.4},{:.4},{},{},{}",
-            self.time.as_secs_f64(),
-            self.load,
-            self.tail_latency_s,
-            self.normalized_latency,
-            self.slo_met as u8,
-            self.lc_throughput,
-            self.be_throughput,
-            self.emu,
-            self.lc_cores,
-            self.be_cores,
-            self.be_ways
-        )
+        let mut out = String::new();
+        CsvRow::new(&mut out)
+            .f64(self.time.as_secs_f64(), 6)
+            .f64(self.load, 4)
+            .f64(self.tail_latency_s, 6)
+            .f64(self.normalized_latency, 4)
+            .bool01(self.slo_met)
+            .f64(self.lc_throughput, 4)
+            .f64(self.be_throughput, 4)
+            .f64(self.emu, 4)
+            .int(self.lc_cores as u64)
+            .int(self.be_cores as u64)
+            .int(self.be_ways as u64);
+        out
     }
 }
 

@@ -108,6 +108,19 @@ impl ColoRunner {
         self.policy.be_enabled()
     }
 
+    /// Turns the policy's decision tracing on or off (a no-op for policies
+    /// that do not trace).
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.policy.set_trace(enabled);
+    }
+
+    /// Drains the decision events the policy buffered since the last call.
+    /// The fleet collects these once per step, in server order, so the
+    /// parallel leaf stepping never writes to a shared recorder.
+    pub fn take_trace(&mut self) -> Vec<heracles_telemetry::TraceEvent> {
+        self.policy.take_trace()
+    }
+
     /// Progress (in core-equivalents) the current BE workload achieves when
     /// it runs alone on the whole machine — the denominator that turns a
     /// window's raw BE progress into the normalized `be_throughput`.

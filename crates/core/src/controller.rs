@@ -15,6 +15,7 @@
 
 use heracles_hw::Server;
 use heracles_sim::SimTime;
+use heracles_telemetry::{TraceEvent, TraceLog};
 use heracles_workloads::Slo;
 use serde::{Deserialize, Serialize};
 
@@ -41,6 +42,17 @@ pub enum BeState {
     },
 }
 
+impl BeState {
+    /// Short lower-case label used in trace events and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BeState::Enabled => "enabled",
+            BeState::Disabled => "disabled",
+            BeState::Cooldown { .. } => "cooldown",
+        }
+    }
+}
+
 /// The Heracles controller for one server.
 #[derive(Debug, Clone)]
 pub struct Heracles {
@@ -55,6 +67,30 @@ pub struct Heracles {
     last_core_mem: Option<SimTime>,
     last_power: Option<SimTime>,
     last_network: Option<SimTime>,
+    trace: Option<TraceLog>,
+}
+
+/// The BE-visible allocation state a sub-controller may change in one tick,
+/// snapshotted before and diffed after so the trace carries *actions*, not
+/// every no-op cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct AllocSnapshot {
+    be_cores: usize,
+    be_ways: usize,
+    freq_cap_ghz: Option<f64>,
+    net_ceil_gbps: Option<f64>,
+}
+
+impl AllocSnapshot {
+    fn of(server: &Server) -> Self {
+        let alloc = server.allocations();
+        AllocSnapshot {
+            be_cores: alloc.be_cores(),
+            be_ways: if alloc.cat_enabled() { alloc.be_ways() } else { 0 },
+            freq_cap_ghz: alloc.be_freq_cap_ghz(),
+            net_ceil_gbps: alloc.be_net_ceil_gbps(),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -87,6 +123,7 @@ impl Heracles {
             last_core_mem: None,
             last_power: None,
             last_network: None,
+            trace: None,
         }
     }
 
@@ -224,9 +261,23 @@ impl ColocationPolicy for Heracles {
     fn tick(&mut self, now: SimTime, server: &mut Server, measurements: &Measurements) {
         self.ensure_subs(server);
         let cfg = self.config.clone();
+        let tracing = self.trace.is_some();
 
         if Self::due(&mut self.last_poll, now, cfg.poll_period) {
+            let prev_state = self.state;
+            let prev_growth = self.growth_allowed;
             self.top_level(now, server, measurements);
+            // Algorithm 1 acted: record the transition (only state changes,
+            // not every 15 s poll that reaffirmed the status quo).
+            if tracing && (self.state != prev_state || self.growth_allowed != prev_growth) {
+                let event = TraceEvent::new(now, "core", "top_level")
+                    .str("from", prev_state.label())
+                    .str("to", self.state.label())
+                    .bool("growth_allowed", self.growth_allowed)
+                    .f64("slack", self.last_slack)
+                    .f64("load", measurements.load);
+                self.trace.as_mut().expect("tracing checked").emit(event);
+            }
         }
 
         let enabled = self.state == BeState::Enabled;
@@ -235,23 +286,72 @@ impl ColocationPolicy for Heracles {
 
         if enabled {
             if Self::due(&mut self.last_core_mem, now, cfg.core_mem_period) {
+                let before = tracing.then(|| AllocSnapshot::of(server));
                 let subs = self.subs.as_mut().expect("initialised");
                 subs.core_mem.set_can_grow(growth);
                 subs.core_mem.tick(server, measurements, slack);
+                if let Some(before) = before {
+                    let after = AllocSnapshot::of(server);
+                    if before.be_cores != after.be_cores || before.be_ways != after.be_ways {
+                        let phase = match self.subs.as_ref().expect("initialised").core_mem.phase()
+                        {
+                            GradientPhase::GrowLlc => "grow_llc",
+                            GradientPhase::GrowCores => "grow_cores",
+                        };
+                        let event = TraceEvent::new(now, "core", "core_mem")
+                            .i64("be_cores", after.be_cores as i64)
+                            .i64("cores_delta", after.be_cores as i64 - before.be_cores as i64)
+                            .i64("be_ways", after.be_ways as i64)
+                            .i64("ways_delta", after.be_ways as i64 - before.be_ways as i64)
+                            .str("phase", phase)
+                            .f64("slack", slack);
+                        self.trace.as_mut().expect("tracing checked").emit(event);
+                    }
+                }
             }
             if Self::due(&mut self.last_power, now, cfg.power_period) {
+                let before = tracing.then(|| AllocSnapshot::of(server));
                 let subs = self.subs.as_mut().expect("initialised");
                 subs.power.tick(server, &measurements.counters);
+                if let Some(before) = before {
+                    let after = AllocSnapshot::of(server);
+                    if before.freq_cap_ghz != after.freq_cap_ghz {
+                        let event = TraceEvent::new(now, "core", "power")
+                            .f64("freq_cap_ghz", after.freq_cap_ghz.unwrap_or(0.0))
+                            .bool("capped", after.freq_cap_ghz.is_some())
+                            .f64("package_power_w", measurements.counters.package_power_w);
+                        self.trace.as_mut().expect("tracing checked").emit(event);
+                    }
+                }
             }
             if Self::due(&mut self.last_network, now, cfg.network_period) {
+                let before = tracing.then(|| AllocSnapshot::of(server));
                 let subs = self.subs.as_mut().expect("initialised");
                 subs.network.tick(server, &measurements.counters);
+                if let Some(before) = before {
+                    let after = AllocSnapshot::of(server);
+                    if before.net_ceil_gbps != after.net_ceil_gbps {
+                        let event = TraceEvent::new(now, "core", "network")
+                            .f64("net_ceil_gbps", after.net_ceil_gbps.unwrap_or(0.0))
+                            .bool("shaped", after.net_ceil_gbps.is_some())
+                            .f64("nic_lc_gbps", measurements.counters.nic_lc_gbps);
+                        self.trace.as_mut().expect("tracing checked").emit(event);
+                    }
+                }
             }
         }
     }
 
     fn be_enabled(&self) -> bool {
         self.state == BeState::Enabled
+    }
+
+    fn set_trace(&mut self, enabled: bool) {
+        self.trace = enabled.then(TraceLog::new);
+    }
+
+    fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.as_mut().map(TraceLog::drain).unwrap_or_default()
     }
 }
 
@@ -401,6 +501,48 @@ mod tests {
         // HTB ceiling set according to Algorithm 4 and DVFS cap lowered.
         assert!(server.allocations().be_net_ceil_gbps().is_some());
         assert!(server.allocations().be_freq_cap_ghz().is_some());
+    }
+
+    #[test]
+    fn tracing_records_decisions_without_perturbing_control() {
+        let drive = |traced: bool| {
+            let (mut server, mut h) = make();
+            h.set_trace(traced);
+            h.init(&mut server);
+            let mut events = Vec::new();
+            // Enable, grow for a while, then violate the SLO to force a
+            // cooldown — exercising top-level, core/mem, power and network
+            // decision points.
+            let mut m = healthy(0.4);
+            m.counters.nic_lc_gbps = 6.0;
+            m.counters.package_power_w = 285.0;
+            m.counters.lc_freq_ghz = 2.0;
+            for t in 1..=40 {
+                h.tick(SimTime::from_secs(t), &mut server, &m);
+                events.extend(h.take_trace());
+            }
+            h.tick(SimTime::from_secs(61), &mut server, &violating(0.4));
+            events.extend(h.take_trace());
+            (server.allocations().clone(), h.state(), events)
+        };
+        let (alloc_on, state_on, events) = drive(true);
+        let (alloc_off, state_off, no_events) = drive(false);
+        assert_eq!(alloc_on, alloc_off, "tracing must not change allocations");
+        assert_eq!(state_on, state_off);
+        assert!(no_events.is_empty(), "untraced run must emit nothing");
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"top_level"), "kinds: {kinds:?}");
+        assert!(kinds.contains(&"core_mem"), "kinds: {kinds:?}");
+        assert!(kinds.contains(&"power"), "kinds: {kinds:?}");
+        assert!(kinds.contains(&"network"), "kinds: {kinds:?}");
+        let cooldown = events
+            .iter()
+            .find(|e| {
+                e.kind() == "top_level"
+                    && e.field("to").map(|v| v.to_bare()) == Some("cooldown".into())
+            })
+            .expect("the SLO violation must be traced as a cooldown transition");
+        assert_eq!(cooldown.scope(), "core");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use heracles_hw::Server;
 use heracles_sim::SimTime;
+use heracles_telemetry::TraceEvent;
 
 use crate::measurements::Measurements;
 
@@ -30,6 +31,19 @@ pub trait ColocationPolicy: Send {
 
     /// True if BE tasks are currently allowed to execute.
     fn be_enabled(&self) -> bool;
+
+    /// Turns decision tracing on or off.  The default ignores the request:
+    /// the baseline policies make no decisions worth tracing, and a policy
+    /// that never emits costs the harness nothing.
+    fn set_trace(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Drains the decision events buffered since the last call (empty unless
+    /// the policy traces and [`set_trace`](Self::set_trace) enabled it).
+    fn take_trace(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

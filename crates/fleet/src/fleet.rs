@@ -58,7 +58,8 @@ use heracles_cluster::TcoModel;
 use heracles_colo::{ColoConfig, ColoRunner};
 use heracles_core::{ColocationPolicy, Heracles, HeraclesConfig, OfflineDramModel};
 use heracles_hw::ServerConfig;
-use heracles_sim::{parallel_map_mut, SimRng, SimTime};
+use heracles_sim::{parallel_map_mut, SimDuration, SimRng, SimTime};
+use heracles_telemetry::{Telemetry, TelemetryConfig, TraceEvent};
 use heracles_workloads::{
     BeWorkload, LcKind, LcWorkload, ServiceCatalog, ServiceMix, NUM_SERVICES,
 };
@@ -148,6 +149,11 @@ pub struct FleetConfig {
     pub colo: ColoConfig,
     /// The job arrival process.
     pub jobs: JobStreamConfig,
+    /// The telemetry plane (disabled by default).  Enabling it records
+    /// structured decision traces, metrics and phase timings without
+    /// perturbing the run: telemetry-on and telemetry-off runs of the same
+    /// seed produce bit-identical [`FleetResult`]s.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for FleetConfig {
@@ -169,6 +175,7 @@ impl Default for FleetConfig {
             tco: TcoModel::paper_case_study(),
             colo: ColoConfig { requests_per_window: 1_200, ..ColoConfig::default() },
             jobs: JobStreamConfig { arrivals_per_step: 5.0, ..JobStreamConfig::default() },
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -287,6 +294,7 @@ impl FleetConfig {
                 self.jobs.demand_alpha
             ));
         }
+        self.telemetry.validate()?;
         Ok(())
     }
 
@@ -336,6 +344,20 @@ pub struct FleetSim {
     /// — kept outside [`FleetStep`] so timing noise can never break the
     /// identical-seeds-identical-results determinism contract.
     profile: ControlPlaneProfile,
+    /// The telemetry plane (`None` when `config.telemetry` is disabled):
+    /// the flight recorder every traced component drains into, the metrics
+    /// registry, and the per-phase wall-clock breakdown.  Like `profile`,
+    /// it lives outside the bit-compared result types.
+    telemetry: Option<Telemetry>,
+    /// Per-server admission verdicts after the previous step (telemetry
+    /// only): the baseline the next step diffs so only verdict flips reach
+    /// the recorder.  Empty when telemetry is off.
+    admission_baseline: Vec<bool>,
+    /// Per-server clock offset (telemetry only): a leaf commissioned
+    /// mid-run starts its local clock at zero, so its trace events are
+    /// rebased by its commissioning time to land on the fleet clock.
+    /// Empty when telemetry is off.
+    runner_epochs: Vec<SimDuration>,
 }
 
 impl FleetSim {
@@ -487,7 +509,8 @@ impl FleetSim {
                     .collect()
             })
             .collect();
-        let runners = (0..config.servers)
+        let telemetry = Telemetry::new(config.telemetry);
+        let mut runners: Vec<ColoRunner> = (0..config.servers)
             .map(|i| {
                 let (g, svc) = (generations[i].index(), services[i]);
                 let (lc, gen_config) = &profiles[g][svc.index()];
@@ -504,6 +527,11 @@ impl FleetSim {
                 )
             })
             .collect();
+        if telemetry.is_some() {
+            for runner in &mut runners {
+                runner.set_trace(true);
+            }
+        }
         let capacities: Vec<ServerCapacity> = generations
             .iter()
             .zip(&services)
@@ -526,16 +554,24 @@ impl FleetSim {
         for cap in &capacities {
             provisioned[cap.service.index()] += cap.peak_qps;
         }
-        let plane = TrafficPlane::new(
+        let mut plane = TrafficPlane::new(
             catalog,
             config.balancer.build(),
             provisioned,
             config.time_compression,
         );
+        if telemetry.is_some() {
+            plane.set_trace(true);
+        }
+        let store = PlacementStore::heterogeneous_with_sharding(&capacities, config.sharding);
+        let admission_baseline =
+            if telemetry.is_some() { store.admission_verdicts() } else { Vec::new() };
+        let runner_epochs =
+            if telemetry.is_some() { vec![SimDuration::ZERO; runners.len()] } else { Vec::new() };
         FleetSim {
             plane,
             runners,
-            store: PlacementStore::heterogeneous_with_sharding(&capacities, config.sharding),
+            store,
             queue: JobQueue::new(config.jobs, config.seed),
             policy,
             rng: SimRng::new(config.seed).fork(0x9C4ED),
@@ -547,6 +583,9 @@ impl FleetSim {
             step_idx: 0,
             pending_migrations: 0,
             profile: ControlPlaneProfile::default(),
+            telemetry,
+            admission_baseline,
+            runner_epochs,
             config,
         }
     }
@@ -600,6 +639,50 @@ impl FleetSim {
     /// [`FleetStep`] so they can never perturb the deterministic results.
     pub fn control_plane_profile(&self) -> &ControlPlaneProfile {
         &self.profile
+    }
+
+    /// Charges autoscale signal-assembly seconds into this fleet's control
+    /// plane profile (and its telemetry phase breakdown, when enabled).
+    /// The elastic controller calls this instead of keeping a private
+    /// accumulator, so every control-plane part is attributed exactly once
+    /// in one place.
+    pub fn charge_signals_s(&mut self, seconds: f64) {
+        self.profile.charge_signals(seconds);
+        if let Some(t) = self.telemetry.as_mut() {
+            t.phases.charge("signals", seconds);
+        }
+    }
+
+    /// The telemetry plane, when the configuration enabled it.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Mutable access to the telemetry plane (external controllers record
+    /// their own metrics through it).
+    pub fn telemetry_mut(&mut self) -> Option<&mut Telemetry> {
+        self.telemetry.as_mut()
+    }
+
+    /// Detaches the telemetry plane (for writing its artifacts after a run
+    /// consumed the simulator's result separately).
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.telemetry.take()
+    }
+
+    /// True when the telemetry plane is collecting.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Records `event` into the flight recorder, if telemetry is enabled
+    /// (a no-op otherwise).  External controllers — the autoscaler — use
+    /// this to thread their decision events into the same time-ordered
+    /// stream as the fleet's own.
+    pub fn emit_trace(&mut self, event: TraceEvent) {
+        if let Some(t) = self.telemetry.as_mut() {
+            t.recorder.record(event);
+        }
     }
 
     /// Index of the next step to run (also: how many steps have run).
@@ -780,6 +863,20 @@ impl FleetSim {
         );
         let store_id = self.store.add_server(capacity);
         debug_assert_eq!(store_id, id, "store and runner ids diverged");
+        if self.telemetry.is_some() {
+            self.runners[id].set_trace(true);
+            self.admission_baseline.push(true);
+            // The fresh runner's clock starts at zero; rebase its events
+            // by the commissioning time so they land on the fleet clock.
+            self.runner_epochs.push(self.now().saturating_since(SimTime::ZERO));
+            let now = self.now();
+            let event = TraceEvent::new(now, "store", "server_added")
+                .u64("server", id as u64)
+                .u64("generation", gi as u64)
+                .str("service", service.name())
+                .u64("cores", self.store.server(id).cores as u64);
+            self.emit_trace(event);
+        }
         id
     }
 
@@ -787,11 +884,22 @@ impl FleetSim {
     /// BE work, residents to be migrated away.
     pub fn begin_drain(&mut self, id: ServerId) {
         self.store.begin_drain(id);
+        if self.telemetry.is_some() {
+            let event = TraceEvent::new(self.now(), "store", "drain_started")
+                .u64("server", id as u64)
+                .u64("residents", self.store.server(id).resident.len() as u64);
+            self.emit_trace(event);
+        }
     }
 
     /// Returns a draining server to active service (a cancelled scale-in).
     pub fn reactivate_server(&mut self, id: ServerId) {
         self.store.reactivate(id);
+        if self.telemetry.is_some() {
+            let event =
+                TraceEvent::new(self.now(), "store", "reactivated").u64("server", id as u64);
+            self.emit_trace(event);
+        }
     }
 
     /// Retires a drained server (autoscaler scale-in, phase two): it stops
@@ -818,6 +926,10 @@ impl FleetSim {
             );
         }
         self.store.retire(id);
+        if self.telemetry.is_some() {
+            let event = TraceEvent::new(self.now(), "store", "retired").u64("server", id as u64);
+            self.emit_trace(event);
+        }
     }
 
     /// Live-migrates a resident job from `from` to `to`, preserving its
@@ -850,6 +962,17 @@ impl FleetSim {
         });
         self.sync_attachment(from);
         self.sync_attachment(to);
+        if let Some(t) = self.telemetry.as_mut() {
+            t.metrics.inc("fleet.jobs_migrated");
+        }
+        if self.telemetry.is_some() {
+            let event = TraceEvent::new(self.now(), "fleet", "migrate")
+                .u64("job", job as u64)
+                .u64("from", from as u64)
+                .u64("to", to as u64)
+                .f64("cost_core_s", cost_core_s);
+            self.emit_trace(event);
+        }
     }
 
     /// Preempts a resident job back to the front of the queue — the drain
@@ -865,6 +988,15 @@ impl FleetSim {
             kind: FleetEventKind::Preempted,
         });
         self.sync_attachment(from);
+        if let Some(t) = self.telemetry.as_mut() {
+            t.metrics.inc("fleet.jobs_preempted");
+        }
+        if self.telemetry.is_some() {
+            let event = TraceEvent::new(self.now(), "fleet", "requeue")
+                .u64("job", job as u64)
+                .u64("from", from as u64);
+            self.emit_trace(event);
+        }
     }
 
     /// Points the runner's BE workload at its head resident job (or detaches
@@ -907,6 +1039,17 @@ impl FleetSim {
         // retired leaf used to serve must land on the survivors, never
         // evaporate — so the imbalance is asserted every step, not only in
         // the property tests.
+        // Telemetry is observation only: events for the step are buffered
+        // here and committed to the flight recorder once, stably sorted by
+        // simulated time (leaf controller events carry mid-step window
+        // times; fleet-level events carry the step's end time), so the
+        // recorded stream is non-decreasing in `t` — the trace schema's
+        // contract.  None of this branches on wall-clock or perturbs the
+        // seeded state, which is what keeps telemetry-on and telemetry-off
+        // runs bit-identical.
+        let tracing = self.telemetry.is_some();
+        let mut step_events: Vec<TraceEvent> = Vec::new();
+
         let routing_started = std::time::Instant::now();
         let routing = self.plane.route(now, &self.store);
         assert!(
@@ -919,7 +1062,12 @@ impl FleetSim {
         for (&id, &load) in in_service.iter().zip(&loads) {
             self.store.set_load(id, load);
         }
-        self.profile.routing_s += routing_started.elapsed().as_secs_f64();
+        let routing_elapsed = routing_started.elapsed().as_secs_f64();
+        self.profile.charge_routing(routing_elapsed);
+        if let Some(t) = self.telemetry.as_mut() {
+            t.phases.charge("routing", routing_elapsed);
+            step_events.extend(self.plane.take_trace());
+        }
 
         // 2. Arrivals.
         self.queue.arrive(now);
@@ -928,6 +1076,7 @@ impl FleetSim {
         // policy scores the fleet once per step instead of once per job.
         let dispatch_started = std::time::Instant::now();
         let pending = self.queue.take_pending();
+        let round_jobs = pending.len();
         if self.config.batch_dispatch && !pending.is_empty() {
             self.policy.begin_round(&self.store);
         }
@@ -946,14 +1095,54 @@ impl FleetSim {
                         server,
                         kind: FleetEventKind::Placed,
                     });
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.metrics.inc("fleet.jobs_placed");
+                        let entry = self.store.server(server);
+                        step_events.push(
+                            TraceEvent::new(now, "fleet", "place")
+                                .u64("job", job_id as u64)
+                                .u64("server", server as u64)
+                                .str("service", entry.service.name())
+                                .u64("generation", entry.generation as u64)
+                                .f64("load", entry.lc_load)
+                                .f64("slack", entry.slack)
+                                .u64("residents", entry.resident.len() as u64),
+                        );
+                    }
                 }
-                None => unplaced.push(job_id),
+                None => {
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.metrics.inc("fleet.jobs_unplaced");
+                        step_events.push(
+                            TraceEvent::new(now, "fleet", "unplaced").u64("job", job_id as u64),
+                        );
+                    }
+                    unplaced.push(job_id);
+                }
             }
         }
+        if tracing && round_jobs > 0 {
+            let mut event = TraceEvent::new(now, "fleet", "dispatch_round")
+                .u64("jobs", round_jobs as u64)
+                .u64("placed", (round_jobs - unplaced.len()) as u64)
+                .u64("unplaced", unplaced.len() as u64)
+                .bool("batched", self.config.batch_dispatch);
+            if let Some(candidates) = self.policy.round_candidates() {
+                event = event.u64("plan_candidates", candidates as u64);
+            }
+            step_events.push(event);
+        }
         self.queue.restore_pending(unplaced);
-        self.profile.dispatch_s += dispatch_started.elapsed().as_secs_f64();
+        // Attachment sync commits the round's placements onto the runners,
+        // so it is part of the dispatch phase — timing it outside used to
+        // leak it from the control-plane attribution entirely.
         for &id in &in_service {
             self.sync_attachment(id);
+        }
+        let dispatch_elapsed = dispatch_started.elapsed().as_secs_f64();
+        self.profile.charge_dispatch(dispatch_elapsed);
+        if let Some(t) = self.telemetry.as_mut() {
+            t.phases.charge("dispatch", dispatch_elapsed);
         }
 
         // 4. Advance every in-service server, in parallel.  Retired runners
@@ -973,6 +1162,7 @@ impl FleetSim {
             .map(|((_, runner), load)| (load, runner))
             .collect();
         debug_assert_eq!(paired.len(), in_service.len());
+        let servers_started = std::time::Instant::now();
         let observations: Vec<StepObservation> = parallel_map_mut(&mut paired, |entry| {
             let (load, runner) = (entry.0, &mut *entry.1);
             let mut worst = 0.0f64;
@@ -991,6 +1181,23 @@ impl FleetSim {
                 be_enabled: runner.be_enabled(),
             }
         });
+        if tracing {
+            // Drain each leaf controller's decision events, in ascending
+            // server-id order (the parallel section buffered them inside
+            // each policy, so drain order — not worker scheduling — fixes
+            // the recorded order), annotating each with its server id.
+            for (&id, entry) in in_service.iter().zip(paired.iter_mut()) {
+                let epoch = self.runner_epochs.get(id).copied().unwrap_or(SimDuration::ZERO);
+                for event in entry.1.take_trace() {
+                    step_events.push(event.shifted(epoch).u64("server", id as u64));
+                }
+            }
+        }
+        let servers_elapsed = servers_started.elapsed().as_secs_f64();
+        if let Some(t) = self.telemetry.as_mut() {
+            t.phases.charge("servers", servers_elapsed);
+        }
+        let bookkeeping_started = std::time::Instant::now();
 
         // 5. Credit progress, complete, preempt; 6. refresh the store.
         let mut step_progress = 0.0;
@@ -1032,6 +1239,14 @@ impl FleetSim {
                         server: id,
                         kind: FleetEventKind::Completed,
                     });
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.metrics.inc("fleet.jobs_completed");
+                        step_events.push(
+                            TraceEvent::new(now, "fleet", "complete")
+                                .u64("job", job_id as u64)
+                                .u64("server", id as u64),
+                        );
+                    }
                 }
             }
             self.store.observe(
@@ -1056,6 +1271,18 @@ impl FleetSim {
                         server: id,
                         kind: FleetEventKind::Preempted,
                     });
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.metrics.inc("fleet.jobs_preempted");
+                        step_events.push(
+                            TraceEvent::new(now, "fleet", "preempt")
+                                .u64("job", job_id as u64)
+                                .u64("server", id as u64)
+                                .u64(
+                                    "disabled_streak",
+                                    self.store.server(id).disabled_streak as u64,
+                                ),
+                        );
+                    }
                 }
             }
             self.sync_attachment(id);
@@ -1086,6 +1313,23 @@ impl FleetSim {
             service_cores[si] += entry.cores as f64;
             if obs.worst_normalized_latency > 1.0 {
                 violating_by_service[si] += 1;
+                if tracing {
+                    // The attribution record the trace report aggregates:
+                    // every violating server-step names its service, its
+                    // hardware generation and what the balancer did to it
+                    // this step — the (service, generation, decision)
+                    // cause cell.
+                    step_events.push(
+                        TraceEvent::new(now, "fleet", "violation")
+                            .u64("server", id as u64)
+                            .str("service", entry.service.name())
+                            .u64("generation", entry.generation as u64)
+                            .str("balancer", self.plane.decision(id))
+                            .f64("normalized_latency", obs.worst_normalized_latency)
+                            .f64("load", load)
+                            .u64("residents", entry.resident.len() as u64),
+                    );
+                }
             }
         }
         let mut service_load = [0.0f64; NUM_SERVICES];
@@ -1133,7 +1377,57 @@ impl FleetSim {
         });
         self.step_idx += 1;
         self.profile.steps += 1;
-        self.steps.last().expect("just pushed")
+        if tracing {
+            // Admission verdicts settle once the observe loop above has
+            // absorbed the step: record only the flips against the previous
+            // step's baseline (a purchased server extends the baseline as
+            // admitting, matching its cold-start verdict).
+            let verdicts = self.store.admission_verdicts();
+            for (id, &verdict) in verdicts.iter().enumerate() {
+                if self.admission_baseline.get(id).copied().unwrap_or(true) != verdict {
+                    step_events.push(self.store.server(id).admission_trace(now));
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.metrics.inc("fleet.admission_flips");
+                    }
+                }
+            }
+            self.admission_baseline = verdicts;
+        }
+        let recorded = self.steps.last().expect("just pushed");
+        if let Some(t) = self.telemetry.as_mut() {
+            step_events.push(
+                TraceEvent::new(now, "fleet", "step")
+                    .u64("step", step_idx as u64)
+                    .u64("in_service", recorded.in_service_servers as u64)
+                    .u64("violating", recorded.violating_servers as u64)
+                    .f64("mean_load", recorded.mean_load)
+                    .f64("fleet_emu", recorded.fleet_emu)
+                    .f64("worst_normalized_latency", recorded.worst_normalized_latency)
+                    .u64("queued", recorded.queued_jobs as u64)
+                    .u64("running", recorded.running_jobs as u64)
+                    .u64("completed", recorded.completed_jobs as u64)
+                    .u64("migrations", recorded.migrations as u64)
+                    .f64("tco_dollars", recorded.tco_dollars)
+                    .f64("be_progress_core_s", recorded.be_progress_core_s),
+            );
+            t.metrics.add("fleet.violation_server_steps", recorded.violating_servers as u64);
+            t.metrics.set_gauge("fleet.queue_depth", recorded.queued_jobs as f64);
+            t.metrics.set_gauge("fleet.running_jobs", recorded.running_jobs as f64);
+            t.metrics.set_gauge("fleet.in_service_servers", recorded.in_service_servers as f64);
+            t.metrics.observe("fleet.step_tco_dollars", recorded.tco_dollars);
+            for obs in &observations {
+                t.metrics.observe("fleet.normalized_latency", obs.worst_normalized_latency);
+            }
+            t.phases.charge("bookkeeping", bookkeeping_started.elapsed().as_secs_f64());
+            t.phases.bump_steps();
+            // One stable sort restores global time order: leaf events carry
+            // mid-step window times, fleet events the step's end time, and
+            // ties keep their emission order — deterministic whatever the
+            // worker threads did.
+            step_events.sort_by_key(|e| e.time());
+            t.recorder.extend(step_events);
+        }
+        recorded
     }
 
     /// Consumes the simulator into its final result.
@@ -1526,5 +1820,44 @@ mod tests {
         assert_eq!(result.server_cores.len(), 5);
         assert!(result.events.iter().any(|e| e.kind == FleetEventKind::Migrated));
         assert_eq!(result.migrations(), 1);
+    }
+
+    #[test]
+    fn plain_fleet_runs_charge_no_signal_time() {
+        // Signal assembly belongs to the autoscaler; a standalone FleetSim
+        // must never charge it, and its parts must still sum to the total.
+        let mut sim = FleetSim::new(tiny(), ServerConfig::default_haswell(), PolicyKind::FirstFit);
+        for _ in 0..tiny().steps {
+            sim.step_once();
+        }
+        let profile = sim.control_plane_profile();
+        assert_eq!(profile.signals_s, 0.0);
+        assert_eq!(profile.steps, tiny().steps);
+        assert!(profile.routing_s > 0.0 && profile.dispatch_s > 0.0);
+        let total = profile.control_plane_s();
+        assert!((total - profile.recorded_total_s()).abs() <= 1e-9 * total.max(1e-12));
+    }
+
+    #[test]
+    fn traced_runs_emit_decision_events_and_metrics() {
+        let cfg = FleetConfig { telemetry: TelemetryConfig::enabled(), ..tiny() };
+        let mut sim = FleetSim::new(cfg, ServerConfig::default_haswell(), PolicyKind::LeastLoaded);
+        for _ in 0..cfg.steps {
+            sim.step_once();
+        }
+        let telemetry = sim.take_telemetry().expect("telemetry was enabled");
+        let events: Vec<&TraceEvent> = telemetry.recorder.iter().collect();
+        assert!(!events.is_empty(), "a traced run recorded nothing");
+        // Time never decreases along the trace.
+        for pair in events.windows(2) {
+            assert!(pair[1].time() >= pair[0].time(), "trace time went backwards");
+        }
+        let kinds: std::collections::BTreeSet<&str> = events.iter().map(|e| e.kind()).collect();
+        for required in ["route", "conservation", "dispatch_round", "place", "step"] {
+            assert!(kinds.contains(required), "no {required:?} event in {kinds:?}");
+        }
+        assert!(telemetry.metrics.counter("fleet.jobs_placed") > 0);
+        let jsonl = telemetry.trace_jsonl(&[("policy", "least-loaded".to_string())]);
+        heracles_telemetry::validate_trace_jsonl(&jsonl).expect("trace fails its own schema");
     }
 }

@@ -68,6 +68,7 @@ pub mod traffic;
 
 pub use fleet::{single_server_baseline_violations, FleetConfig, FleetSim};
 pub use generation::{Generation, GenerationMix};
+pub use heracles_telemetry::{Telemetry, TelemetryConfig};
 pub use job::{BeJob, JobId, JobMix, JobQueue, JobStreamConfig};
 pub use metrics::{
     core_weighted_mean, server_step_tco_dollars, ControlPlaneProfile, FleetEvent, FleetEventKind,

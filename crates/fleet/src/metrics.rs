@@ -2,6 +2,7 @@
 //! event log, with the aggregates the policy sweeps compare.
 
 use heracles_cluster::TcoModel;
+use heracles_sim::csv::CsvRow;
 use heracles_sim::SimTime;
 use heracles_workloads::{LcKind, NUM_SERVICES};
 use serde::{Deserialize, Serialize};
@@ -76,16 +77,49 @@ pub struct ControlPlaneProfile {
     /// (including committing the per-leaf loads to the store).
     pub routing_s: f64,
     /// Seconds spent planning and committing BE placements (the policy's
-    /// round plan plus the per-job placement loop).
+    /// round plan, the per-job placement loop, and syncing each runner's
+    /// BE attachment to the committed placements).
     pub dispatch_s: f64,
     /// Seconds spent assembling autoscale signals.  Zero for a plain fleet
-    /// run; the elastic controller fills it in.
+    /// run; the elastic controller charges it through the fleet's
+    /// [`FleetSim::charge_signals_s`](crate::FleetSim::charge_signals_s),
+    /// so one profile owns every part exactly once.
     pub signals_s: f64,
     /// Steps profiled so far.
     pub steps: usize,
+    /// Every second charged through the `charge_*` methods, accumulated
+    /// independently of the per-part fields.  Writing a part field directly
+    /// (the overwrite-merge bug this guards against) desyncs it from the
+    /// part sum, which the exactly-once unit test catches.
+    recorded_total_s: f64,
 }
 
 impl ControlPlaneProfile {
+    /// Charges routing seconds (attributed exactly once per step).
+    pub fn charge_routing(&mut self, seconds: f64) {
+        self.routing_s += seconds;
+        self.recorded_total_s += seconds;
+    }
+
+    /// Charges dispatch seconds (attributed exactly once per step).
+    pub fn charge_dispatch(&mut self, seconds: f64) {
+        self.dispatch_s += seconds;
+        self.recorded_total_s += seconds;
+    }
+
+    /// Charges autoscale signal-assembly seconds.
+    pub fn charge_signals(&mut self, seconds: f64) {
+        self.signals_s += seconds;
+        self.recorded_total_s += seconds;
+    }
+
+    /// Seconds charged through the `charge_*` methods.  Equal (up to float
+    /// summation order) to [`control_plane_s`](Self::control_plane_s) as
+    /// long as every part was charged exactly once.
+    pub fn recorded_total_s(&self) -> f64 {
+        self.recorded_total_s
+    }
+
     /// Total control-plane seconds (routing + dispatch + signals).
     pub fn control_plane_s(&self) -> f64 {
         self.routing_s + self.dispatch_s + self.signals_s
@@ -463,36 +497,32 @@ impl FleetResult {
         }
         out.push('\n');
         for s in &self.steps {
-            out.push_str(&format!(
-                "{:.6},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{},{},{},{:.6},{},{},{},{:.3}",
-                s.time.as_secs_f64(),
-                s.mean_load,
-                s.fleet_emu,
-                s.worst_normalized_latency,
-                s.violating_server_fraction,
-                s.violating_servers,
-                s.in_service_servers,
-                s.in_service_cores,
-                s.in_service_by_generation[0],
-                s.in_service_by_generation[1],
-                s.in_service_by_generation[2],
-                s.migrations,
-                s.tco_dollars,
-                s.queued_jobs,
-                s.running_jobs,
-                s.completed_jobs,
-                s.be_progress_core_s
-            ));
+            CsvRow::new(&mut out)
+                .f64(s.time.as_secs_f64(), 6)
+                .f64(s.mean_load, 4)
+                .f64(s.fleet_emu, 4)
+                .f64(s.worst_normalized_latency, 4)
+                .f64(s.violating_server_fraction, 4)
+                .int(s.violating_servers as u64)
+                .int(s.in_service_servers as u64)
+                .int(s.in_service_cores as u64)
+                .int(s.in_service_by_generation[0] as u64)
+                .int(s.in_service_by_generation[1] as u64)
+                .int(s.in_service_by_generation[2] as u64)
+                .int(s.migrations as u64)
+                .f64(s.tco_dollars, 6)
+                .int(s.queued_jobs as u64)
+                .int(s.running_jobs as u64)
+                .int(s.completed_jobs as u64)
+                .f64(s.be_progress_core_s, 3);
             for kind in LcKind::all() {
                 let i = kind.index();
-                out.push_str(&format!(
-                    ",{},{:.1},{:.1},{:.4},{}",
-                    s.in_service_by_service[i],
-                    s.offered_qps[i],
-                    s.routed_qps[i],
-                    s.service_load[i],
-                    s.violating_by_service[i]
-                ));
+                CsvRow::resume(&mut out)
+                    .int(s.in_service_by_service[i] as u64)
+                    .f64(s.offered_qps[i], 1)
+                    .f64(s.routed_qps[i], 1)
+                    .f64(s.service_load[i], 4)
+                    .int(s.violating_by_service[i] as u64);
             }
             out.push('\n');
         }
@@ -506,8 +536,6 @@ impl FleetResult {
     /// information as [`queueing_delay`](Self::queueing_delay).
     pub fn jobs_to_csv(&self) -> String {
         let end = self.steps.last().map(|s| s.time).unwrap_or(SimTime::ZERO);
-        let fmt_opt =
-            |t: Option<SimTime>| t.map(|t| format!("{:.3}", t.as_secs_f64())).unwrap_or_default();
         let mut out = String::from(
             "job,kind,demand_core_s,arrival_s,first_start_s,completion_s,queue_wait_s,\
              preemptions,migrations,migration_overhead_core_s,censored\n",
@@ -517,20 +545,19 @@ impl FleetResult {
             let wait = job
                 .queueing_delay_s()
                 .unwrap_or_else(|| end.saturating_since(job.arrival).as_secs_f64());
-            out.push_str(&format!(
-                "{},{},{:.3},{:.3},{},{},{:.3},{},{},{:.3},{}\n",
-                job.id,
-                job.workload.name(),
-                job.demand_core_s,
-                job.arrival.as_secs_f64(),
-                fmt_opt(job.first_start),
-                fmt_opt(job.completion),
-                wait,
-                job.preemptions,
-                job.migrations,
-                job.migration_overhead_core_s,
-                usize::from(censored)
-            ));
+            CsvRow::new(&mut out)
+                .int(job.id as u64)
+                .str(job.workload.name())
+                .f64(job.demand_core_s, 3)
+                .f64(job.arrival.as_secs_f64(), 3)
+                .opt_f64(job.first_start.map(|t| t.as_secs_f64()), 3)
+                .opt_f64(job.completion.map(|t| t.as_secs_f64()), 3)
+                .f64(wait, 3)
+                .int(job.preemptions as u64)
+                .int(job.migrations as u64)
+                .f64(job.migration_overhead_core_s, 3)
+                .bool01(censored)
+                .end();
         }
         out
     }
@@ -750,5 +777,33 @@ mod tests {
         assert!(lines[1].ends_with(",0"), "started job marked censored: {}", lines[1]);
         assert!(lines[2].ends_with(",1"), "stranded job not marked censored: {}", lines[2]);
         assert!(lines[2].contains("60.000"), "accrued wait missing: {}", lines[2]);
+    }
+
+    /// The charge methods are the only write path that keeps the recorded
+    /// total in sync with the per-part fields: each second of control-plane
+    /// work must land in exactly one part, exactly once.
+    #[test]
+    fn control_plane_profile_parts_sum_to_the_recorded_total() {
+        let mut profile = ControlPlaneProfile::default();
+        assert_eq!(profile.recorded_total_s(), 0.0);
+        assert_eq!(profile.control_plane_s(), 0.0);
+
+        profile.charge_routing(0.25);
+        profile.charge_dispatch(1.5);
+        profile.charge_signals(0.125);
+        profile.charge_routing(0.75);
+        profile.steps += 2;
+
+        assert_eq!(profile.routing_s, 1.0);
+        assert_eq!(profile.dispatch_s, 1.5);
+        assert_eq!(profile.signals_s, 0.125);
+        let total = profile.control_plane_s();
+        let recorded = profile.recorded_total_s();
+        assert!(
+            (total - recorded).abs() <= 1e-9 * total.max(1.0),
+            "parts ({total}) drifted from the recorded total ({recorded}): \
+             some control-plane time was double-charged or dropped"
+        );
+        assert!((profile.per_step_ms() - total * 1e3 / 2.0).abs() < 1e-9);
     }
 }

@@ -68,6 +68,15 @@ pub trait PlacementPolicy: Send {
 
     /// Chooses a server for `job`, or `None` to leave it queued.
     fn place(&mut self, job: &BeJob, store: &PlacementStore, rng: &mut SimRng) -> Option<ServerId>;
+
+    /// Candidate entries remaining in the policy's active round plan, or
+    /// `None` when the policy has no plan (full-scan mode, or no round
+    /// begun).  Pure observability for the fleet's dispatch-round trace
+    /// events; policies that build plans lazily (per job profile) report
+    /// the entries built so far.
+    fn round_candidates(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Fleet size above which round-plan construction fans out across the
@@ -356,6 +365,10 @@ impl PlacementPolicy for RandomPlacement {
         self.plan = Some(SlotPlan::build(store, &random_candidate));
     }
 
+    fn round_candidates(&self) -> Option<usize> {
+        self.plan.as_ref().map(|p| p.candidates)
+    }
+
     fn place(
         &mut self,
         _job: &BeJob,
@@ -398,6 +411,10 @@ impl PlacementPolicy for FirstFit {
 
     fn begin_round(&mut self, store: &PlacementStore) {
         self.plan = Some(SlotPlan::build(store, &ServerEntry::admits_be_static));
+    }
+
+    fn round_candidates(&self) -> Option<usize> {
+        self.plan.as_ref().map(|p| p.candidates)
     }
 
     fn place(
@@ -484,6 +501,10 @@ impl PlacementPolicy for LeastLoaded {
 
     fn begin_round(&mut self, store: &PlacementStore) {
         self.plan = Some(scored_candidates(store, &least_loaded_score));
+    }
+
+    fn round_candidates(&self) -> Option<usize> {
+        self.plan.as_ref().map(|h| h.len())
     }
 
     fn place(
@@ -774,6 +795,10 @@ impl PlacementPolicy for InterferenceAware {
         // Heaps are profile-keyed and built lazily on each profile's first
         // job, so there is nothing to precompute until jobs arrive.
         self.round = Some(HashMap::new());
+    }
+
+    fn round_candidates(&self) -> Option<usize> {
+        self.round.as_ref().map(|r| r.values().map(|h| h.len()).sum())
     }
 
     fn place(

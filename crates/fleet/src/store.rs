@@ -10,6 +10,7 @@
 
 use heracles_hw::ServerConfig;
 use heracles_sim::SimTime;
+use heracles_telemetry::TraceEvent;
 use heracles_workloads::{BeKind, LcKind, LcWorkload, NUM_SERVICES};
 use serde::{Deserialize, Serialize};
 
@@ -284,6 +285,31 @@ impl ServerEntry {
     /// of the current trend, clamped to `[0, 1]`.
     pub fn projected_load(&self, horizon: f64) -> f64 {
         (self.lc_load + self.load_trend * horizon).clamp(0.0, 1.0)
+    }
+
+    /// A structured snapshot of this server's admission state, for the
+    /// fleet's flight recorder: the verdict plus every input that feeds it
+    /// (controller permission, slack, load, slots, lifecycle, streak), so a
+    /// trace reader can see *why* the verdict flipped, not just that it did.
+    pub fn admission_trace(&self, now: SimTime) -> TraceEvent {
+        TraceEvent::new(now, "store", "admission")
+            .u64("server", self.id as u64)
+            .str("service", self.service.name())
+            .u64("generation", self.generation as u64)
+            .bool("admits", self.admits_be())
+            .bool("be_admitted", self.be_admitted)
+            .str(
+                "state",
+                match self.state {
+                    ServerState::Active => "active",
+                    ServerState::Draining => "draining",
+                    ServerState::Retired => "retired",
+                },
+            )
+            .f64("slack", self.slack)
+            .f64("load", self.lc_load)
+            .u64("free_slots", self.free_slots() as u64)
+            .u64("disabled_streak", self.disabled_streak as u64)
     }
 }
 
@@ -658,6 +684,13 @@ impl PlacementStore {
     /// Total BE jobs currently resident across the fleet.
     pub fn running_jobs(&self) -> usize {
         self.running_jobs_total
+    }
+
+    /// Every server's current admission verdict ([`ServerEntry::admits_be`]),
+    /// indexed by id — the baseline the fleet's telemetry plane diffs after
+    /// each step so only verdict *flips* reach the flight recorder.
+    pub fn admission_verdicts(&self) -> Vec<bool> {
+        self.servers.iter().map(ServerEntry::admits_be).collect()
     }
 
     /// Commits a placement.

@@ -21,6 +21,7 @@
 //! which is why the fleet refuses to retire a service's last leaf.
 
 use heracles_sim::SimTime;
+use heracles_telemetry::{TraceEvent, TraceLog};
 use heracles_workloads::{LcKind, ServiceCatalog, NUM_SERVICES};
 use serde::{Deserialize, Serialize};
 
@@ -311,6 +312,13 @@ pub struct TrafficPlane {
     /// Simulated seconds → diurnal wall seconds (mirrors
     /// `FleetConfig::time_compression`).
     time_compression: f64,
+    /// Routing-decision events buffered for the fleet's flight recorder
+    /// (`None` unless tracing was enabled — the untraced hot path pays one
+    /// `Option` check per step).
+    trace: Option<TraceLog>,
+    /// The balancer's verdict per server id from the most recent traced
+    /// route (see [`decision`](Self::decision)).  Empty when not tracing.
+    decisions: Vec<&'static str>,
 }
 
 impl TrafficPlane {
@@ -326,7 +334,39 @@ impl TrafficPlane {
             time_compression.is_finite() && time_compression > 0.0,
             "time compression must be positive, got {time_compression}"
         );
-        TrafficPlane { catalog, balancer, provisioned_peak_qps, time_compression }
+        TrafficPlane {
+            catalog,
+            balancer,
+            provisioned_peak_qps,
+            time_compression,
+            trace: None,
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Turns routing-decision tracing on or off.  Tracing is read-only
+    /// observation: the routes (and their seeded determinism) are identical
+    /// either way.
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.trace = enabled.then(TraceLog::new);
+        self.decisions.clear();
+    }
+
+    /// Drains the routing events buffered since the last call (empty unless
+    /// tracing is enabled).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.as_mut().map(TraceLog::drain).unwrap_or_default()
+    }
+
+    /// The balancer's verdict for a server in the most recent traced route:
+    /// `"weighted"` for a plain capacity-proportional share, `"shed"` for a
+    /// leaf the balancer diverted traffic away from, `"absorbed"` for a
+    /// leaf that took a diverted share, `"unrouted"` for a leaf that got no
+    /// traffic (retired, or its service offered nothing).  Returns
+    /// `"weighted"` when tracing is off — the violation attribution this
+    /// feeds only runs under telemetry.
+    pub fn decision(&self, id: ServerId) -> &'static str {
+        self.decisions.get(id).copied().unwrap_or("weighted")
     }
 
     /// The service catalog the plane routes for.
@@ -378,6 +418,10 @@ impl TrafficPlane {
             offered_qps: [0.0; NUM_SERVICES],
             routed_qps: [0.0; NUM_SERVICES],
         };
+        if self.trace.is_some() {
+            self.decisions.clear();
+            self.decisions.resize(store.servers().len(), "unrouted");
+        }
         for service in self.catalog.services().iter().map(|s| s.kind()).collect::<Vec<_>>() {
             let offered = self.offered_qps(service, now);
             step.offered_qps[service.index()] = offered;
@@ -407,6 +451,57 @@ impl TrafficPlane {
                 step.loads[leaf.id] = qps / leaf.peak_qps;
                 step.routed_qps[service.index()] += qps;
             }
+            if let Some(trace) = self.trace.as_mut() {
+                // Classify each leaf's share against the pure
+                // capacity-weighted split: any balancer's diverts show up
+                // as deviations from it, so the verdicts work for future
+                // balancers without a trait change.
+                let base = {
+                    let weights: Vec<f64> = leaves.iter().map(|l| l.peak_qps).collect();
+                    route_by_weight(offered, &weights)
+                };
+                let (mut shed, mut absorbed) = (0u64, 0u64);
+                for ((leaf, qps), b) in leaves.iter().zip(&routed).zip(&base) {
+                    let tolerance = 1e-9 * (1.0 + b.abs());
+                    let verdict = if *qps < b - tolerance {
+                        shed += 1;
+                        "shed"
+                    } else if *qps > b + tolerance {
+                        absorbed += 1;
+                        "absorbed"
+                    } else {
+                        "weighted"
+                    };
+                    self.decisions[leaf.id] = verdict;
+                    if verdict != "weighted" {
+                        trace.emit(
+                            TraceEvent::new(now, "traffic", "divert")
+                                .u64("server", leaf.id as u64)
+                                .str("service", service.name())
+                                .str("verdict", verdict)
+                                .f64("base_qps", *b)
+                                .f64("routed_qps", *qps)
+                                .f64("slack", leaf.slack),
+                        );
+                    }
+                }
+                trace.emit(
+                    TraceEvent::new(now, "traffic", "route")
+                        .str("service", service.name())
+                        .str("balancer", self.balancer.name())
+                        .f64("offered_qps", offered)
+                        .f64("routed_qps", step.routed_qps[service.index()])
+                        .u64("leaves", leaves.len() as u64)
+                        .u64("shed", shed)
+                        .u64("absorbed", absorbed),
+                );
+            }
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            trace.emit(
+                TraceEvent::new(now, "traffic", "conservation")
+                    .f64("max_imbalance", step.max_imbalance()),
+            );
         }
         step
     }

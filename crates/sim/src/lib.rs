@@ -12,6 +12,7 @@
 //! * [`queue`] — a discrete-event multi-server FCFS queue used to turn a
 //!   service-time model into a tail-latency distribution,
 //! * [`series`] — time-series recording for the figures,
+//! * [`csv`] — the CSV formatting/escaping helpers every exporter shares,
 //! * [`event`] — a simple priority event queue for the cluster simulation,
 //! * [`parallel`] — scoped-thread fan-out used by the figure binaries and
 //!   the fleet simulator to run independent cells/servers concurrently.
@@ -37,6 +38,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod csv;
 pub mod event;
 pub mod parallel;
 pub mod queue;

@@ -107,7 +107,7 @@ impl TimeSeries {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("time_s,value\n");
         for p in &self.points {
-            out.push_str(&format!("{:.3},{:.6}\n", p.time.as_secs_f64(), p.value));
+            crate::csv::CsvRow::new(&mut out).f64(p.time.as_secs_f64(), 3).f64(p.value, 6).end();
         }
         out
     }

@@ -1,0 +1,143 @@
+//! Per-phase wall-time accounting — the generalization of the fleet's
+//! `ControlPlaneProfile` to arbitrarily named phases.
+//!
+//! Wall-clock readings are diagnostics, never results: the workspace's
+//! determinism contract keeps them out of every bit-compared type, and this
+//! module keeps them out of trace files too (they only appear in the
+//! `"phases"` section of the metrics document, which is exempt from the
+//! byte-identity guarantee).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Accumulated wall seconds per named phase.
+///
+/// Phases keep their first-charge order, so a step loop that always charges
+/// `routing → dispatch → servers → bookkeeping` exports them in pipeline
+/// order rather than alphabetically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    phases: Vec<(&'static str, f64)>,
+    steps: u64,
+}
+
+impl PhaseBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        PhaseBreakdown::default()
+    }
+
+    /// Adds `seconds` to the named phase.
+    pub fn charge(&mut self, phase: &'static str, seconds: f64) {
+        if let Some(entry) = self.phases.iter_mut().find(|(name, _)| *name == phase) {
+            entry.1 += seconds;
+        } else {
+            self.phases.push((phase, seconds));
+        }
+    }
+
+    /// Times `f` and charges its wall duration to the named phase.
+    pub fn time<R>(&mut self, phase: &'static str, f: impl FnOnce() -> R) -> R {
+        let started = Instant::now();
+        let result = f();
+        self.charge(phase, started.elapsed().as_secs_f64());
+        result
+    }
+
+    /// Marks one simulation step completed (the denominator of
+    /// [`per_step_ms`](Self::per_step_ms)).
+    pub fn bump_steps(&mut self) {
+        self.steps += 1;
+    }
+
+    /// Steps recorded so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Accumulated seconds in the named phase (0 if never charged).
+    pub fn seconds(&self, phase: &str) -> f64 {
+        self.phases.iter().find(|(name, _)| *name == phase).map(|(_, s)| *s).unwrap_or(0.0)
+    }
+
+    /// All phases in first-charge order.
+    pub fn phases(&self) -> &[(&'static str, f64)] {
+        &self.phases
+    }
+
+    /// Total seconds across all phases.
+    pub fn total_s(&self) -> f64 {
+        self.phases.iter().map(|(_, s)| s).sum()
+    }
+
+    /// Mean milliseconds per step across all phases.
+    pub fn per_step_ms(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.total_s() * 1e3 / self.steps as f64
+        }
+    }
+
+    /// Renders the `"phases"` section of the metrics document.
+    pub(crate) fn to_json_section(&self) -> String {
+        let mut out = String::from("  \"phases\": {");
+        for (i, (name, seconds)) in self.phases.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    \"{name}_s\": {seconds:.9}");
+        }
+        if self.phases.is_empty() {
+            let _ = writeln!(out, "\"steps\": {}}},", self.steps);
+        } else {
+            let _ = write!(out, ",\n    \"steps\": {}\n  }},\n", self.steps);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_in_first_charge_order() {
+        let mut p = PhaseBreakdown::new();
+        p.charge("routing", 0.5);
+        p.charge("dispatch", 0.25);
+        p.charge("routing", 0.5);
+        assert_eq!(p.seconds("routing"), 1.0);
+        assert_eq!(p.seconds("dispatch"), 0.25);
+        assert_eq!(p.seconds("absent"), 0.0);
+        assert_eq!(p.phases()[0].0, "routing");
+        assert!((p.total_s() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_step_ms_divides_by_steps() {
+        let mut p = PhaseBreakdown::new();
+        assert_eq!(p.per_step_ms(), 0.0);
+        p.charge("x", 0.002);
+        p.bump_steps();
+        p.bump_steps();
+        assert!((p.per_step_ms() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_charges_the_closure_duration() {
+        let mut p = PhaseBreakdown::new();
+        let v = p.time("work", || 42);
+        assert_eq!(v, 42);
+        assert!(p.seconds("work") >= 0.0);
+        assert_eq!(p.phases().len(), 1);
+    }
+
+    #[test]
+    fn json_section_lists_phases_and_steps() {
+        let mut p = PhaseBreakdown::new();
+        p.charge("routing", 0.5);
+        p.bump_steps();
+        let s = p.to_json_section();
+        assert!(s.contains("\"routing_s\": 0.500000000"));
+        assert!(s.contains("\"steps\": 1"));
+    }
+}

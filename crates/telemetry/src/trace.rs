@@ -1,0 +1,296 @@
+//! Structured trace events and the per-component log that buffers them.
+
+use heracles_sim::csv::CsvRow;
+use heracles_sim::{SimDuration, SimTime};
+use std::fmt::Write as _;
+
+/// One typed field value on a [`TraceEvent`].
+///
+/// Floats are rendered with a fixed six decimals everywhere so the same run
+/// always serializes to the same bytes; non-finite floats (which no emitter
+/// should produce) render as JSON `null` rather than corrupting the
+/// document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceValue {
+    /// An unsigned integer (ids, counts).
+    U64(u64),
+    /// A signed integer (deltas).
+    I64(i64),
+    /// A float, serialized with six decimals.
+    F64(f64),
+    /// A string (names, labels), JSON-escaped on output.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl TraceValue {
+    /// Renders the value as a JSON literal.
+    pub fn to_json(&self) -> String {
+        match self {
+            TraceValue::U64(v) => format!("{v}"),
+            TraceValue::I64(v) => format!("{v}"),
+            TraceValue::F64(v) if v.is_finite() => format!("{v:.6}"),
+            TraceValue::F64(_) => "null".into(),
+            TraceValue::Str(s) => format!("\"{}\"", json_escape(s)),
+            TraceValue::Bool(b) => format!("{b}"),
+        }
+    }
+
+    /// Renders the value bare (no quotes), for the CSV sink's `k=v` cells.
+    pub fn to_bare(&self) -> String {
+        match self {
+            TraceValue::Str(s) => s.clone(),
+            other => other.to_json(),
+        }
+    }
+}
+
+impl From<&str> for TraceValue {
+    fn from(s: &str) -> Self {
+        TraceValue::Str(s.to_string())
+    }
+}
+
+/// Escapes a string for inclusion inside a JSON string literal: quote,
+/// backslash and control characters only (the emitters produce ASCII).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One decision record: where and when (in *simulated* time) a subsystem
+/// chose something, plus the typed fields that explain the choice.
+///
+/// Events deliberately cannot carry wall-clock readings: the only timestamp
+/// is [`SimTime`], so a trace is a pure function of the seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    time: SimTime,
+    scope: &'static str,
+    kind: &'static str,
+    fields: Vec<(&'static str, TraceValue)>,
+}
+
+impl TraceEvent {
+    /// Starts an event at `time` from subsystem `scope` with decision `kind`.
+    pub fn new(time: SimTime, scope: &'static str, kind: &'static str) -> Self {
+        TraceEvent { time, scope, kind, fields: Vec::new() }
+    }
+
+    /// Appends an unsigned-integer field.
+    pub fn u64(mut self, key: &'static str, value: u64) -> Self {
+        self.fields.push((key, TraceValue::U64(value)));
+        self
+    }
+
+    /// Appends a signed-integer field.
+    pub fn i64(mut self, key: &'static str, value: i64) -> Self {
+        self.fields.push((key, TraceValue::I64(value)));
+        self
+    }
+
+    /// Appends a float field.
+    pub fn f64(mut self, key: &'static str, value: f64) -> Self {
+        self.fields.push((key, TraceValue::F64(value)));
+        self
+    }
+
+    /// Appends a string field.
+    pub fn str(mut self, key: &'static str, value: &str) -> Self {
+        self.fields.push((key, TraceValue::Str(value.to_string())));
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(mut self, key: &'static str, value: bool) -> Self {
+        self.fields.push((key, TraceValue::Bool(value)));
+        self
+    }
+
+    /// Shifts the event's timestamp forward by `offset`: rebases a
+    /// subsystem's local clock (a leaf controller commissioned mid-run
+    /// starts at its own zero) onto the global simulation clock.
+    pub fn shifted(mut self, offset: SimDuration) -> Self {
+        self.time += offset;
+        self
+    }
+
+    /// The simulated time of the decision.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// The emitting subsystem (`"core"`, `"traffic"`, `"placement"`, ...).
+    pub fn scope(&self) -> &'static str {
+        self.scope
+    }
+
+    /// The decision kind within the scope.
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    /// The typed fields, in emission order.
+    pub fn fields(&self) -> &[(&'static str, TraceValue)] {
+        &self.fields
+    }
+
+    /// The value of the named field, if present.
+    pub fn field(&self, key: &str) -> Option<&TraceValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Renders the event as one JSON object (no trailing newline): the fixed
+    /// `t`/`scope`/`kind` prefix followed by the fields in emission order.
+    pub fn jsonl(&self) -> String {
+        let mut out = String::with_capacity(64 + 16 * self.fields.len());
+        let _ = write!(
+            out,
+            "{{\"t\":{:.6},\"scope\":\"{}\",\"kind\":\"{}\"",
+            self.time.as_secs_f64(),
+            self.scope,
+            self.kind
+        );
+        for (key, value) in &self.fields {
+            let _ = write!(out, ",\"{}\":{}", json_escape(key), value.to_json());
+        }
+        out.push('}');
+        out
+    }
+
+    /// Appends the event as one CSV row (`time_s,scope,kind,fields`) where
+    /// `fields` is a `k=v;k=v` cell, escaped through the shared CSV rules.
+    pub fn push_csv_row(&self, out: &mut String) {
+        let mut cell = String::new();
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                cell.push(';');
+            }
+            let _ = write!(cell, "{key}={}", value.to_bare());
+        }
+        CsvRow::new(out)
+            .f64(self.time.as_secs_f64(), 6)
+            .str(self.scope)
+            .str(self.kind)
+            .str(&cell)
+            .end();
+    }
+}
+
+/// The buffer a traced component appends its decisions to.
+///
+/// Components store an `Option<TraceLog>` and only construct events when it
+/// is `Some`, so an untraced run never allocates.  The owner of the
+/// [`FlightRecorder`](crate::FlightRecorder) drains component logs in a
+/// deterministic order once per step.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    /// Appends one event.
+    pub fn emit(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Removes and returns all buffered events in emission order.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event() -> TraceEvent {
+        TraceEvent::new(SimTime::from_secs(15), "core", "be_state")
+            .str("from", "disabled")
+            .str("to", "enabled")
+            .f64("slack", 0.4)
+            .u64("server", 3)
+            .bool("growth", true)
+    }
+
+    #[test]
+    fn jsonl_has_fixed_prefix_and_emission_order() {
+        assert_eq!(
+            event().jsonl(),
+            "{\"t\":15.000000,\"scope\":\"core\",\"kind\":\"be_state\",\
+             \"from\":\"disabled\",\"to\":\"enabled\",\"slack\":0.400000,\
+             \"server\":3,\"growth\":true}"
+        );
+    }
+
+    #[test]
+    fn strings_are_json_escaped() {
+        let ev = TraceEvent::new(SimTime::ZERO, "test", "esc").str("s", "a\"b\\c\nd");
+        assert!(ev.jsonl().contains("\"s\":\"a\\\"b\\\\c\\nd\""));
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        let ev = TraceEvent::new(SimTime::ZERO, "test", "nan").f64("v", f64::NAN);
+        assert!(ev.jsonl().contains("\"v\":null"));
+    }
+
+    #[test]
+    fn field_lookup_and_accessors_work() {
+        let ev = event();
+        assert_eq!(ev.scope(), "core");
+        assert_eq!(ev.kind(), "be_state");
+        assert_eq!(ev.field("server"), Some(&TraceValue::U64(3)));
+        assert_eq!(ev.field("missing"), None);
+    }
+
+    #[test]
+    fn csv_row_escapes_the_field_cell() {
+        let mut out = String::new();
+        TraceEvent::new(SimTime::from_secs(1), "a", "b").str("k", "x,y").push_csv_row(&mut out);
+        assert_eq!(out, "1.000000,a,b,\"k=x,y\"\n");
+    }
+
+    #[test]
+    fn log_buffers_and_drains_in_order() {
+        let mut log = TraceLog::new();
+        assert!(log.is_empty());
+        log.emit(event());
+        log.emit(TraceEvent::new(SimTime::ZERO, "x", "y"));
+        assert_eq!(log.len(), 2);
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].kind(), "be_state");
+        assert!(log.is_empty());
+    }
+}

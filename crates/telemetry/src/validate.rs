@@ -1,0 +1,119 @@
+//! Hand-rolled schema validators for the telemetry artifacts.
+//!
+//! The workspace vendors no JSON parser, and both documents are produced by
+//! equally hand-rolled writers in this crate, so substring checks are exact
+//! rather than heuristic — the same trade `BENCH_fleet.json` makes with
+//! `validate_bench_json`.  CI runs these over the artifacts `fleet_scale
+//! --trace/--metrics` emits, so a malformed document fails the build instead
+//! of silently drifting.
+
+/// Schema tag on the first line of every trace JSONL document.
+pub const TRACE_SCHEMA: &str = "heracles-trace/v1";
+
+/// Schema tag in every metrics JSON document.
+pub const METRICS_SCHEMA: &str = "heracles-metrics/v1";
+
+/// Validates a trace JSONL document: a header line carrying the schema tag
+/// and retention stats, then one JSON object per line with a numeric `"t"`
+/// and string `"scope"`/`"kind"` fields, in non-decreasing time order.
+pub fn validate_trace_jsonl(doc: &str) -> Result<(), String> {
+    let mut lines = doc.lines();
+    let header = lines.next().ok_or("empty document")?;
+    if !header.contains(&format!("\"schema\":\"{TRACE_SCHEMA}\"")) {
+        return Err(format!("header missing schema tag {TRACE_SCHEMA:?}"));
+    }
+    let declared = numeric_field(header, "\"events\":")
+        .ok_or("header missing numeric \"events\" field")? as usize;
+    numeric_field(header, "\"dropped\":").ok_or("header missing numeric \"dropped\" field")?;
+    let mut events = 0usize;
+    let mut last_t = f64::NEG_INFINITY;
+    for (i, line) in lines.enumerate() {
+        let n = i + 2; // 1-based, after the header
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return Err(format!("line {n} is not a JSON object"));
+        }
+        let t = numeric_field(line, "\"t\":")
+            .ok_or_else(|| format!("line {n} missing numeric \"t\""))?;
+        if t < last_t {
+            return Err(format!("line {n} goes backwards in sim time ({t} < {last_t})"));
+        }
+        last_t = t;
+        for key in ["\"scope\":\"", "\"kind\":\""] {
+            if !line.contains(key) {
+                return Err(format!("line {n} missing {key}...\" field"));
+            }
+        }
+        events += 1;
+    }
+    if events != declared {
+        return Err(format!("header declares {declared} events, found {events}"));
+    }
+    Ok(())
+}
+
+/// Validates a metrics JSON document: the schema tag, the four sections
+/// (counters, gauges, histograms, phases) and numeric retention stats.
+pub fn validate_metrics_json(doc: &str) -> Result<(), String> {
+    if !doc.contains(&format!("\"schema\": \"{METRICS_SCHEMA}\"")) {
+        return Err(format!("missing schema tag {METRICS_SCHEMA:?}"));
+    }
+    for section in ["\"counters\": {", "\"gauges\": {", "\"histograms\": {", "\"phases\": {"] {
+        if !doc.contains(section) {
+            return Err(format!("missing section {section}...}}"));
+        }
+    }
+    for key in ["\"trace_events\":", "\"trace_dropped\":", "\"steps\":"] {
+        numeric_field(doc, key).ok_or_else(|| format!("missing numeric {key} field"))?;
+    }
+    Ok(())
+}
+
+/// The numeric value following the first occurrence of `needle`, if any.
+fn numeric_field(doc: &str, needle: &str) -> Option<f64> {
+    let pos = doc.find(needle)?;
+    let rest = &doc[pos + needle.len()..];
+    let value: String = rest.trim_start().chars().take_while(|c| !",}\n".contains(*c)).collect();
+    value.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_doc() -> String {
+        format!(
+            "{{\"schema\":\"{TRACE_SCHEMA}\",\"events\":2,\"dropped\":0,\"seed\":\"7\"}}\n\
+             {{\"t\":1.000000,\"scope\":\"core\",\"kind\":\"be_state\"}}\n\
+             {{\"t\":2.000000,\"scope\":\"fleet\",\"kind\":\"step\",\"n\":2}}\n"
+        )
+    }
+
+    #[test]
+    fn well_formed_trace_validates() {
+        validate_trace_jsonl(&trace_doc()).unwrap();
+    }
+
+    #[test]
+    fn trace_validator_rejects_malformed_documents() {
+        assert!(validate_trace_jsonl("").is_err());
+        assert!(validate_trace_jsonl(&trace_doc().replace("heracles-trace/v1", "v0")).is_err());
+        assert!(validate_trace_jsonl(&trace_doc().replace("\"events\":2", "\"events\":9")).is_err());
+        assert!(validate_trace_jsonl(&trace_doc().replace("\"t\":2.000000", "\"t\":oops")).is_err());
+        assert!(validate_trace_jsonl(&trace_doc().replace("\"t\":2.000000", "\"t\":0.5")).is_err());
+        assert!(validate_trace_jsonl(&trace_doc().replace("\"scope\":\"fleet\"", "\"nope\":3"))
+            .is_err());
+    }
+
+    #[test]
+    fn metrics_validator_requires_all_sections() {
+        let doc = format!(
+            "{{\n  \"schema\": \"{METRICS_SCHEMA}\",\n  \"counters\": {{}},\n  \
+             \"gauges\": {{}},\n  \"histograms\": {{}},\n  \"phases\": {{\"steps\": 3}},\n  \
+             \"trace_events\": 1,\n  \"trace_dropped\": 0\n}}\n"
+        );
+        validate_metrics_json(&doc).unwrap();
+        assert!(validate_metrics_json(&doc.replace("heracles-metrics/v1", "v0")).is_err());
+        assert!(validate_metrics_json(&doc.replace("\"phases\"", "\"p\"")).is_err());
+        assert!(validate_metrics_json(&doc.replace("\"trace_events\": 1", "\"x\": 1")).is_err());
+    }
+}

@@ -6,6 +6,7 @@
 //! package.  The crate map:
 //!
 //! * [`sim`] — deterministic simulation kernel (time, RNG, queues, stats),
+//! * [`telemetry`] — decision tracing, metrics registry, flight recorder,
 //! * [`hw`] — server hardware model (cores, LLC, DRAM, power, NIC),
 //! * [`isolation`] — the four isolation actuators plus monitors,
 //! * [`workloads`] — LC service and BE task models,
@@ -32,4 +33,5 @@ pub use heracles_fleet as fleet;
 pub use heracles_hw as hw;
 pub use heracles_isolation as isolation;
 pub use heracles_sim as sim;
+pub use heracles_telemetry as telemetry;
 pub use heracles_workloads as workloads;
