@@ -437,6 +437,14 @@ impl ElasticFleet {
         *self.sim.control_plane_profile()
     }
 
+    /// Cumulative wall-clock cost of the server plane so far (the parallel
+    /// per-leaf stepping phase), with the event core's woken/quiescent and
+    /// full/fast window counters.  Pure observability, like
+    /// [`control_plane_profile`](Self::control_plane_profile).
+    pub fn server_plane_profile(&self) -> heracles_fleet::ServerPlaneProfile {
+        *self.sim.server_plane_profile()
+    }
+
     /// Runs one closed-loop step: signals → decide → apply → drain →
     /// advance the fleet one scheduler step.
     pub fn step_once(&mut self) {

@@ -1,8 +1,11 @@
 //! Fleet-size benchmark: per-step control-plane cost of the sharded store +
 //! batched dispatch scheduler vs the legacy flat-store per-job scanner,
-//! swept over 100 / 1 000 / 10 000-leaf fleets.  Results land in
-//! `BENCH_fleet.json` at the workspace root so the numbers are tracked in
-//! version control alongside the code that produced them.
+//! and per-step server-plane cost of the event-driven core vs the stepped
+//! oracle on a steady fleet, swept over 100 / 1 000 / 10 000-leaf fleets.
+//! Results land in `BENCH_fleet.json` at the workspace root so the numbers
+//! are tracked in version control alongside the code that produced them.
+//! Full-mode sweeps (and `--check` on the committed artifact) must hold
+//! the server-plane speedup gate at the largest point.
 //!
 //! Modes:
 //!
@@ -22,7 +25,8 @@
 
 use criterion::Criterion;
 use heracles_bench::fleet_bench::{
-    bench_fleet, bench_report_json, measure_fleet_size, validate_bench_json, FleetSizePoint,
+    bench_fleet, bench_report_json, check_server_plane_gate, measure_fleet_size,
+    validate_bench_json, FleetSizePoint,
 };
 use heracles_fleet::ShardingMode;
 
@@ -44,6 +48,15 @@ fn print_point(p: &FleetSizePoint) {
         p.legacy_control_plane_ms,
         p.control_plane_speedup,
     );
+    println!(
+        "{:>6} server plane (steady): event {:.3} ms vs stepped {:.3} ms per step — \
+         speedup {:.1}x, {:.1} leaves woken/step",
+        "",
+        p.server_plane_ms,
+        p.stepped_server_plane_ms,
+        p.server_plane_speedup,
+        p.woken_leaves_per_step,
+    );
 }
 
 const ARTIFACT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
@@ -57,7 +70,9 @@ fn main() {
     if has("--check") {
         let doc = std::fs::read_to_string(ARTIFACT).expect("BENCH_fleet.json must exist");
         validate_bench_json(&doc).expect("committed BENCH_fleet.json must match the schema");
-        println!("{ARTIFACT}: schema ok");
+        check_server_plane_gate(&doc)
+            .expect("committed BENCH_fleet.json must hold the server-plane speedup gate");
+        println!("{ARTIFACT}: schema ok, server-plane gate ok");
         return;
     }
 
@@ -87,4 +102,7 @@ fn main() {
     validate_bench_json(&doc).expect("bench report must validate");
     std::fs::write(ARTIFACT, &doc).expect("BENCH_fleet.json must be writable");
     println!("wrote {ARTIFACT} ({mode} mode)");
+    // The artifact is written first so a failed gate still leaves the
+    // numbers on disk for diagnosis.
+    check_server_plane_gate(&doc).expect("full-mode sweep must hold the server-plane gate");
 }

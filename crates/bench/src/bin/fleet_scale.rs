@@ -39,18 +39,28 @@
 //! wall time by more than `pct` percent — the zero-cost-when-disabled and
 //! cheap-when-enabled regression gate CI runs.
 //!
+//! With `--sim-core <stepped|event>` the run is pinned to one server-plane
+//! core: the stepped oracle simulates every leaf's every window in full,
+//! the event-driven core fast-forwards provably steady leaves.
+//! `--sim-core both` instead runs the same single-policy fleet on both
+//! cores, prints their server-plane profiles and exits nonzero if any bit
+//! of the results differs — the CI smoke for cross-core equivalence.
+//! `--demand-hold N` holds each demand sample for N steps so fleets can
+//! actually go steady between re-routes.
+//!
 //! Run with: `cargo run --release -p heracles_bench --bin fleet_scale --
 //! [--fast] [--servers N] [--steps N] [--seed N] [--slots N]
 //! [--mix homogeneous|mixed|O:N] [--services SPEC] [--balancer KIND]
 //! [--autoscale POLICY] [--csv] [--trace PATH] [--metrics PATH]
-//! [--policy KIND] [--telemetry-gate PCT]`
+//! [--policy KIND] [--telemetry-gate PCT] [--sim-core stepped|event|both]
+//! [--demand-hold N]`
 
 use heracles_autoscale::{AutoscaleConfig, AutoscaleKind, ElasticFleet};
 use heracles_bench::cli::Args;
 use heracles_cluster::TcoModel;
 use heracles_fleet::{
-    single_server_baseline_violations, FleetConfig, FleetSim, GenerationMix, PolicyKind, Telemetry,
-    TelemetryConfig,
+    single_server_baseline_violations, FleetConfig, FleetSim, GenerationMix, PolicyKind, SimCore,
+    Telemetry, TelemetryConfig,
 };
 use heracles_hw::ServerConfig;
 use heracles_telemetry::{validate_metrics_json, validate_trace_jsonl};
@@ -325,6 +335,60 @@ fn traced_run(
     }
 }
 
+/// The `--sim-core both` mode: runs the identical single-policy fleet on
+/// the stepped oracle and the event-driven core, prints each core's
+/// server-plane numbers, and exits nonzero if a single bit of the results
+/// diverged — the CLI-grade version of the cross-core property tests, for
+/// CI smoke on arbitrary flag combinations.
+fn sim_core_diff(config: FleetConfig, server: &ServerConfig, policy: PolicyKind) {
+    let run = |core: SimCore| {
+        let cfg = FleetConfig { sim_core: core, ..config };
+        let mut sim = FleetSim::new(cfg, server.clone(), policy);
+        for _ in 0..cfg.steps {
+            sim.step_once();
+        }
+        let profile = *sim.server_plane_profile();
+        (sim.into_result(), profile)
+    };
+    let (stepped, stepped_profile) = run(SimCore::Stepped);
+    let (event, event_profile) = run(SimCore::EventDriven);
+    for (core, p) in [("stepped", &stepped_profile), ("event", &event_profile)] {
+        println!(
+            "{core:>8}: server plane {:.3} ms/step, {} full + {} fast windows, \
+             {:.1} leaves woken/step",
+            p.per_step_ms(),
+            p.full_windows,
+            p.fast_windows,
+            p.woken_per_step()
+        );
+    }
+    let mut diffs = Vec::new();
+    if stepped.steps != event.steps {
+        diffs.push("per-step metrics");
+    }
+    if stepped.jobs != event.jobs {
+        diffs.push("job ledger");
+    }
+    if stepped.events != event.events {
+        diffs.push("event log");
+    }
+    if stepped.server_cores != event.server_cores {
+        diffs.push("server core counts");
+    }
+    if stepped_profile.full_windows != event_profile.full_windows + event_profile.fast_windows {
+        diffs.push("total windows simulated");
+    }
+    if diffs.is_empty() {
+        println!(
+            "sim-core diff: identical results across {} steps x {} servers",
+            config.steps, config.servers
+        );
+    } else {
+        eprintln!("sim-core diff FAILED: cores diverged on {}", diffs.join(", "));
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = Args::from_env();
     let base = if args.flag("--fast") { FleetConfig::fast_test() } else { FleetConfig::default() };
@@ -338,6 +402,7 @@ fn main() {
     } else {
         base
     };
+    let sim_core_arg = args.value("--sim-core", String::new());
     let config = FleetConfig {
         servers: args.value("--servers", base.servers),
         steps: args.value("--steps", base.steps),
@@ -345,6 +410,15 @@ fn main() {
         be_slots_per_server: args.value("--slots", base.be_slots_per_server),
         services: args.value("--services", base.services),
         balancer: args.value("--balancer", base.balancer),
+        demand_hold_steps: args.value("--demand-hold", base.demand_hold_steps),
+        sim_core: match sim_core_arg.as_str() {
+            // `both` runs the diff mode below; everything else pins the core.
+            "" | "both" => base.sim_core,
+            other => other.parse::<SimCore>().unwrap_or_else(|e| {
+                eprintln!("invalid --sim-core value: {e} (or \"both\")");
+                std::process::exit(2);
+            }),
+        },
         ..base
     };
     if let Err(e) = config.validate() {
@@ -353,6 +427,12 @@ fn main() {
     }
     let server = ServerConfig::default_haswell();
     let tco = TcoModel::paper_case_study();
+
+    if sim_core_arg == "both" {
+        let config = FleetConfig { mix: args.value("--mix", config.mix), ..config };
+        sim_core_diff(config, &server, args.value("--policy", PolicyKind::LeastLoaded));
+        return;
+    }
 
     let autoscale = args.value("--autoscale", String::new());
     let trace_path = args.value("--trace", String::new());

@@ -1,14 +1,19 @@
 //! The tracked fleet-size benchmark behind `BENCH_fleet.json`: per-step
 //! control-plane cost of the sharded store + batched dispatch scheduler
-//! against the legacy flat-store per-job scanner, swept over fleet sizes.
+//! against the legacy flat-store per-job scanner, and per-step
+//! *server-plane* cost of the event-driven core against the stepped
+//! oracle, swept over fleet sizes.
 //!
-//! Both arms run the *same* elastic scenario — compressed-diurnal
-//! mixed-service demand over a mixed-generation fleet with a Poisson job
-//! stream scaled to fleet size, driven by the reactive autoscaler — and the
-//! measurement asserts their [`FleetResult`]s are identical step for step,
-//! so every published speedup is also an equivalence check.  The split
-//! (routing / dispatch / signals) comes from [`ControlPlaneProfile`], which
-//! the fleet accumulates outside the deterministic result types.
+//! The control-plane arms run the *same* elastic scenario —
+//! compressed-diurnal mixed-service demand over a mixed-generation fleet
+//! with a Poisson job stream scaled to fleet size, driven by the reactive
+//! autoscaler.  The server-plane arms run a *steady* scenario (one held
+//! demand sample, no job stream) where the event-driven core can actually
+//! quiesce leaves, timed only after the controllers settle.  Every pair
+//! asserts its [`FleetResult`]s are identical step for step, so every
+//! published speedup is also an equivalence check.  The control-plane
+//! split (routing / dispatch / signals) comes from [`ControlPlaneProfile`];
+//! the server-plane numbers from `ServerPlaneProfile`.
 //!
 //! The report is hand-formatted JSON (the workspace deliberately vendors no
 //! JSON serializer) with a matching [`validate_bench_json`] used by the CI
@@ -20,14 +25,19 @@ use std::time::Instant;
 use heracles_autoscale::{AutoscaleConfig, AutoscaleKind, ElasticFleet};
 use heracles_colo::ColoConfig;
 use heracles_fleet::{
-    BalancerKind, ControlPlaneProfile, FleetConfig, FleetResult, GenerationMix, PolicyKind,
-    ShardingMode,
+    BalancerKind, ControlPlaneProfile, FleetConfig, FleetResult, FleetSim, GenerationMix,
+    JobStreamConfig, PolicyKind, ShardingMode, SimCore,
 };
 use heracles_hw::ServerConfig;
 use heracles_workloads::ServiceMix;
 
 /// Schema tag stamped into (and required from) every bench report.
-pub const BENCH_SCHEMA: &str = "heracles-fleet-bench/v1";
+pub const BENCH_SCHEMA: &str = "heracles-fleet-bench/v2";
+
+/// The headline gate CI holds the committed artifact to: at the largest
+/// full-mode sweep point, the event-driven server plane must step a steady
+/// fleet at least this many times faster than the stepped oracle.
+pub const SERVER_PLANE_SPEEDUP_GATE: f64 = 5.0;
 
 /// One measured sweep point: per-step wall-clock milliseconds for the
 /// sharded/batched arm, its control-plane split, and the legacy arm's
@@ -54,6 +64,17 @@ pub struct FleetSizePoint {
     pub legacy_control_plane_ms: f64,
     /// `legacy_control_plane_ms / control_plane_ms`.
     pub control_plane_speedup: f64,
+    /// Server-plane (parallel leaf stepping) wall time of the event-driven
+    /// core on the steady scenario, ms per measured step.
+    pub server_plane_ms: f64,
+    /// The stepped oracle's server-plane wall time on the identical steady
+    /// scenario, ms per measured step.
+    pub stepped_server_plane_ms: f64,
+    /// `stepped_server_plane_ms / server_plane_ms`.
+    pub server_plane_speedup: f64,
+    /// Mean leaves woken (ran at least one full window) per measured step
+    /// on the event-driven core.
+    pub woken_leaves_per_step: f64,
 }
 
 /// Builds one benchmark arm: the compressed-diurnal elastic scenario at the
@@ -111,13 +132,85 @@ fn run_arm(
     (profile, wall_s, fleet.finish().fleet)
 }
 
+/// Warmup steps before the timed server-plane segment: the per-leaf
+/// controllers keep nudging allocations for ~35 steps while they converge
+/// on the held demand, and every nudge is a legitimate wake.  The timed
+/// segment starts only after the fleet has provably gone quiescent.
+const SERVER_PLANE_WARMUP: usize = 40;
+/// Timed steps of the server-plane measurement.
+const SERVER_PLANE_MEASURE: usize = 8;
+
+/// Builds one server-plane benchmark arm: a static fleet under one held
+/// demand sample (no BE job stream), so after the controllers settle every
+/// leaf is provably steady and the event-driven core can quiesce it.  The
+/// capacity-weighted balancer keeps per-leaf loads bit-constant across
+/// steps, which is what makes the scenario a pure measurement of the two
+/// cores' stepping cost rather than of re-certification churn.
+fn server_plane_fleet(servers: usize, core: SimCore) -> FleetSim {
+    let steps = SERVER_PLANE_WARMUP + SERVER_PLANE_MEASURE;
+    let config = FleetConfig {
+        servers,
+        steps,
+        windows_per_step: 2,
+        seed: 7,
+        services: ServiceMix::mixed_frontend(),
+        balancer: BalancerKind::CapacityWeighted,
+        mix: GenerationMix::mixed_datacenter(),
+        sim_core: core,
+        demand_hold_steps: steps,
+        jobs: JobStreamConfig { arrivals_per_step: 0.0, ..JobStreamConfig::default() },
+        colo: ColoConfig { requests_per_window: 40, ..ColoConfig::fast_test() },
+        ..FleetConfig::default()
+    };
+    FleetSim::new(config, ServerConfig::default_haswell(), PolicyKind::LeastLoaded)
+}
+
+/// Server-plane cost of one core on the steady scenario: `(ms per measured
+/// step, woken leaves per measured step, result)`.  Only the post-warmup
+/// segment is timed.
+fn run_server_plane_arm(servers: usize, core: SimCore) -> (f64, f64, FleetResult) {
+    let mut sim = server_plane_fleet(servers, core);
+    for _ in 0..SERVER_PLANE_WARMUP {
+        sim.step_once();
+    }
+    let warm = *sim.server_plane_profile();
+    let started = Instant::now();
+    for _ in 0..SERVER_PLANE_MEASURE {
+        sim.step_once();
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    let profile = *sim.server_plane_profile();
+    let woken =
+        (profile.woken_leaf_steps - warm.woken_leaf_steps) as f64 / SERVER_PLANE_MEASURE as f64;
+    (wall_s * 1e3 / SERVER_PLANE_MEASURE as f64, woken, sim.into_result())
+}
+
+/// Measures the steady-fleet server-plane pair at one size: the
+/// event-driven core against the stepped oracle on the identical scenario,
+/// asserting bit-identical results.  Returns `(event_ms, stepped_ms,
+/// woken_leaves_per_step)`.
+pub fn measure_server_plane(servers: usize) -> (f64, f64, f64) {
+    let (event_ms, woken, event_result) = run_server_plane_arm(servers, SimCore::EventDriven);
+    let (stepped_ms, _, stepped_result) = run_server_plane_arm(servers, SimCore::Stepped);
+    assert_eq!(
+        event_result.steps, stepped_result.steps,
+        "event-driven core diverged from the stepped oracle (per-step metrics)"
+    );
+    assert_eq!(
+        event_result.jobs, stepped_result.jobs,
+        "event-driven core diverged from the stepped oracle (job ledger)"
+    );
+    (event_ms, stepped_ms, woken)
+}
+
 /// Measures one sweep point: runs the sharded/batched arm and the legacy
 /// arm on the identical scenario, asserts they produced the same schedule,
-/// and returns both per-step costs.
+/// then runs the steady server-plane pair (event-driven vs stepped) at the
+/// same size, and returns all per-step costs.
 ///
 /// # Panics
 ///
-/// Panics if the two arms diverge — a regression in the equivalence the
+/// Panics if any arm pair diverges — a regression in the equivalences the
 /// property tests pin would surface here too, on fleets far larger than
 /// proptest can afford.
 pub fn measure_fleet_size(servers: usize, steps: usize) -> FleetSizePoint {
@@ -132,6 +225,8 @@ pub fn measure_fleet_size(servers: usize, steps: usize) -> FleetSizePoint {
         result.jobs, legacy_result.jobs,
         "sharded/batched arm diverged from the legacy scheduler (job ledger)"
     );
+    let (server_plane_ms, stepped_server_plane_ms, woken_leaves_per_step) =
+        measure_server_plane(servers);
     let per_step_ms = |seconds: f64| seconds * 1e3 / steps as f64;
     FleetSizePoint {
         servers,
@@ -144,6 +239,10 @@ pub fn measure_fleet_size(servers: usize, steps: usize) -> FleetSizePoint {
         legacy_step_ms: per_step_ms(legacy_wall_s),
         legacy_control_plane_ms: legacy_profile.per_step_ms(),
         control_plane_speedup: legacy_profile.per_step_ms() / profile.per_step_ms().max(1e-12),
+        server_plane_ms,
+        stepped_server_plane_ms,
+        server_plane_speedup: stepped_server_plane_ms / server_plane_ms.max(1e-12),
+        woken_leaves_per_step,
     }
 }
 
@@ -170,7 +269,17 @@ pub fn bench_report_json(mode: &str, points: &[FleetSizePoint]) -> String {
             "      \"legacy_control_plane_ms\": {:.6},\n",
             p.legacy_control_plane_ms
         ));
-        out.push_str(&format!("      \"control_plane_speedup\": {:.3}\n", p.control_plane_speedup));
+        out.push_str(&format!(
+            "      \"control_plane_speedup\": {:.3},\n",
+            p.control_plane_speedup
+        ));
+        out.push_str(&format!("      \"server_plane_ms\": {:.6},\n", p.server_plane_ms));
+        out.push_str(&format!(
+            "      \"stepped_server_plane_ms\": {:.6},\n",
+            p.stepped_server_plane_ms
+        ));
+        out.push_str(&format!("      \"server_plane_speedup\": {:.3},\n", p.server_plane_speedup));
+        out.push_str(&format!("      \"woken_leaves_per_step\": {:.3}\n", p.woken_leaves_per_step));
         out.push_str(if i + 1 == points.len() { "    }\n" } else { "    },\n" });
     }
     out.push_str("  ]\n}\n");
@@ -178,7 +287,7 @@ pub fn bench_report_json(mode: &str, points: &[FleetSizePoint]) -> String {
 }
 
 /// Keys every result entry must carry, each with a numeric value.
-const RESULT_KEYS: [&str; 10] = [
+const RESULT_KEYS: [&str; 14] = [
     "servers",
     "steps",
     "step_ms",
@@ -189,6 +298,10 @@ const RESULT_KEYS: [&str; 10] = [
     "legacy_step_ms",
     "legacy_control_plane_ms",
     "control_plane_speedup",
+    "server_plane_ms",
+    "stepped_server_plane_ms",
+    "server_plane_speedup",
+    "woken_leaves_per_step",
 ];
 
 /// Validates a `BENCH_fleet.json` document against the `v1` schema: the
@@ -228,6 +341,51 @@ pub fn validate_bench_json(doc: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Scans a bench document for one numeric key's values, in entry order.
+fn scan_values(doc: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut values = Vec::new();
+    let mut rest = doc;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let value: String =
+            rest.trim_start().chars().take_while(|c| !",}\n".contains(*c)).collect();
+        if let Ok(v) = value.trim().parse::<f64>() {
+            values.push(v);
+        }
+    }
+    values
+}
+
+/// The CI performance gate on a *full-mode* bench document: the largest
+/// sweep point must report an event-driven server-plane speedup of at
+/// least [`SERVER_PLANE_SPEEDUP_GATE`].  Fast/smoke documents pass
+/// unconditionally — undersized sweeps on CI-grade machines measure noise,
+/// and the gate exists to keep the *committed* full-mode artifact honest.
+pub fn check_server_plane_gate(doc: &str) -> Result<(), String> {
+    if !doc.contains("\"mode\": \"full\"") {
+        return Ok(());
+    }
+    let servers = scan_values(doc, "servers");
+    let speedups = scan_values(doc, "server_plane_speedup");
+    if servers.len() != speedups.len() || servers.is_empty() {
+        return Err("malformed document: servers/server_plane_speedup mismatch".into());
+    }
+    let (largest, speedup) = servers
+        .iter()
+        .zip(&speedups)
+        .max_by(|a, b| a.0.total_cmp(b.0))
+        .map(|(s, v)| (*s, *v))
+        .expect("nonempty");
+    if speedup < SERVER_PLANE_SPEEDUP_GATE {
+        return Err(format!(
+            "server-plane speedup gate failed: {speedup:.3}x at {largest} servers, \
+             need >= {SERVER_PLANE_SPEEDUP_GATE}x"
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +402,10 @@ mod tests {
             legacy_step_ms: 3.0,
             legacy_control_plane_ms: 2.1,
             control_plane_speedup: 3.5,
+            server_plane_ms: 0.4,
+            stepped_server_plane_ms: 2.8,
+            server_plane_speedup: 7.0,
+            woken_leaves_per_step: 1.5,
         }
     }
 
@@ -258,10 +420,33 @@ mod tests {
     fn validator_rejects_malformed_documents() {
         assert!(validate_bench_json("{}").is_err());
         let doc = bench_report_json("full", &[fake_point(100)]);
-        assert!(validate_bench_json(&doc.replace("heracles-fleet-bench/v1", "v0")).is_err());
+        assert!(validate_bench_json(&doc.replace("heracles-fleet-bench/v2", "v0")).is_err());
         assert!(validate_bench_json(&doc.replace("\"dispatch_ms\":", "\"elided\":")).is_err());
         assert!(validate_bench_json(&doc.replace("\"step_ms\": 1.500000", "\"step_ms\": oops"))
             .is_err());
+        assert!(
+            validate_bench_json(&doc.replace("\"server_plane_speedup\":", "\"gone\":")).is_err(),
+            "a v1-shaped document without the server-plane keys must be rejected"
+        );
+    }
+
+    #[test]
+    fn server_plane_gate_holds_full_mode_to_the_headline() {
+        let mut slow = fake_point(10_000);
+        slow.server_plane_speedup = 3.0;
+        let fast100 = fake_point(100);
+        // Full mode: the *largest* entry decides, regardless of order.
+        let doc = bench_report_json("full", &[fast100, slow]);
+        assert!(check_server_plane_gate(&doc).is_err(), "3x at 10k must fail the 5x gate");
+        let mut quick = fake_point(10_000);
+        quick.server_plane_speedup = 6.2;
+        let doc = bench_report_json("full", &[fast100, quick]);
+        check_server_plane_gate(&doc).expect("6.2x at 10k passes");
+        // Fast/smoke documents are exempt.
+        let mut smoke = fake_point(32);
+        smoke.server_plane_speedup = 0.9;
+        let doc = bench_report_json("smoke", &[smoke]);
+        check_server_plane_gate(&doc).expect("smoke sweeps are not gated");
     }
 
     #[test]
@@ -273,6 +458,12 @@ mod tests {
         assert!(point.step_ms > 0.0);
         assert!(point.control_plane_ms > 0.0);
         assert!(point.legacy_control_plane_ms > 0.0);
+        assert!(point.server_plane_ms > 0.0);
+        assert!(point.stepped_server_plane_ms > 0.0);
+        assert!(
+            point.woken_leaves_per_step < 24.0,
+            "the settled steady fleet never quiesced a single leaf: {point:?}"
+        );
         let doc = bench_report_json("smoke", &[point]);
         validate_bench_json(&doc).expect("smoke report must validate");
     }

@@ -13,6 +13,11 @@
 //!   its `(service, generation, balancer-decision)` cause; the parse fails
 //!   loudly if any violation line is missing one of the three, so an
 //!   attributed report always covers 100% of violations,
+//! * **wake attribution** — on event-driven-core traces, every woken
+//!   leaf-step keyed by its wake-reason combination; the parse fails if a
+//!   wake event carries no reason, or (on lossless traces) if a step
+//!   reports more woken leaves than it has wake events — a leaf that
+//!   stepped with no recorded reason is an attribution hole, not noise,
 //! * **autoscale timeline** — buy/drain/migrate/requeue/retire actions in
 //!   simulated-time order.
 
@@ -103,6 +108,17 @@ pub struct TraceReport {
     pub core_decisions: BTreeMap<String, u64>,
     /// Admission verdict flips recorded by the store.
     pub admission_flips: u64,
+    /// Woken leaf-steps by wake-reason combination (event-driven core
+    /// traces only) — sums to every `wake` line in the trace.
+    pub wakes: BTreeMap<String, u64>,
+    /// Woken leaf-steps reported by `step` events carrying the
+    /// event-driven core's woken/quiescent split.
+    pub woken_leaf_steps: u64,
+    /// Quiescent leaf-steps reported by the same `step` events.
+    pub quiescent_leaf_steps: u64,
+    /// Steps whose `step` event carried the woken/quiescent split (zero on
+    /// stepped-core traces, which record no wake machinery at all).
+    pub event_core_steps: u64,
     /// Autoscale / fleet lifecycle actions in simulated-time order, as
     /// `(time_s, description)` rows.
     pub timeline: Vec<(f64, String)>,
@@ -129,11 +145,44 @@ impl TraceReport {
             }
         }
 
+        // Wake events since the last `step` line, for the per-step
+        // attribution cross-check.
+        let mut pending_wakes: u64 = 0;
         for (idx, line) in lines.enumerate() {
             let t = field_f64(line, "t").unwrap_or(0.0);
             let scope = field_str(line, "scope").unwrap_or_default();
             let kind = field_str(line, "kind").unwrap_or_default();
             match (scope.as_str(), kind.as_str()) {
+                ("fleet", "wake") => {
+                    let reasons = field_str(line, "reasons").unwrap_or_default();
+                    if reasons.is_empty() {
+                        return Err(format!(
+                            "wake event {} has no recorded reason: {line}",
+                            idx + 2
+                        ));
+                    }
+                    *report.wakes.entry(reasons).or_insert(0) += 1;
+                    pending_wakes += 1;
+                }
+                ("fleet", "step") => {
+                    if let Some(woken) = field_u64(line, "woken") {
+                        report.event_core_steps += 1;
+                        report.woken_leaf_steps += woken;
+                        report.quiescent_leaf_steps += field_u64(line, "quiescent").unwrap_or(0);
+                        // Each woken leaf emits exactly one wake line, so on
+                        // a lossless trace the counts must line up; a step
+                        // that woke more leaves than it attributed stepped a
+                        // leaf with no recorded reason.
+                        if report.dropped == 0 && pending_wakes != woken {
+                            return Err(format!(
+                                "step event {} woke {woken} leaves but recorded {pending_wakes} \
+                                 wake reasons: {line}",
+                                idx + 2
+                            ));
+                        }
+                    }
+                    pending_wakes = 0;
+                }
                 ("fleet", "dispatch_round") => {
                     report.dispatch_rounds += 1;
                     if field_raw(line, "batched").map(|b| b == "true").unwrap_or(false) {
@@ -278,6 +327,20 @@ impl TraceReport {
             }
         }
 
+        if self.event_core_steps > 0 {
+            let total = self.woken_leaf_steps + self.quiescent_leaf_steps;
+            let pct =
+                if total > 0 { 100.0 * self.woken_leaf_steps as f64 / total as f64 } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "\nwake attribution ({} woken / {} quiescent leaf-steps, {:.1}% woken)",
+                self.woken_leaf_steps, self.quiescent_leaf_steps, pct
+            );
+            for (reasons, count) in &self.wakes {
+                let _ = writeln!(out, "  {count:>6}  {reasons}");
+            }
+        }
+
         let _ = writeln!(out, "\nautoscale / lifecycle timeline ({} actions)", self.timeline.len());
         for (t, what) in &self.timeline {
             let _ = writeln!(out, "  t={t:>10.1}s  {what}");
@@ -289,7 +352,7 @@ impl TraceReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use heracles_fleet::{FleetConfig, FleetSim, PolicyKind, TelemetryConfig};
+    use heracles_fleet::{FleetConfig, FleetSim, PolicyKind, SimCore, TelemetryConfig};
     use heracles_hw::ServerConfig;
 
     #[test]
@@ -330,5 +393,63 @@ mod tests {
                    {\"t\":1.000000,\"scope\":\"fleet\",\"kind\":\"violation\",\"server\":3}\n";
         let err = TraceReport::from_jsonl(doc).unwrap_err();
         assert!(err.contains("attribution"), "{err}");
+    }
+
+    #[test]
+    fn report_attributes_every_wake_of_an_event_core_run() {
+        let cfg = FleetConfig {
+            telemetry: TelemetryConfig::enabled(),
+            sim_core: SimCore::EventDriven,
+            ..FleetConfig::fast_test()
+        };
+        let mut sim = FleetSim::new(cfg, ServerConfig::default_haswell(), PolicyKind::LeastLoaded);
+        for _ in 0..cfg.steps {
+            sim.step_once();
+        }
+        let telemetry = sim.take_telemetry().expect("telemetry on");
+        let woken = telemetry.metrics.counter("fleet.woken_leaf_steps");
+        let quiescent = telemetry.metrics.counter("fleet.quiescent_leaf_steps");
+        let doc = telemetry.trace_jsonl(&[("policy", "least-loaded".to_string())]);
+
+        let report = TraceReport::from_jsonl(&doc).expect("trace parses");
+        assert_eq!(report.event_core_steps, cfg.steps as u64);
+        assert_eq!(report.woken_leaf_steps, woken);
+        assert_eq!(report.quiescent_leaf_steps, quiescent);
+        assert_eq!(report.wakes.values().sum::<u64>(), woken);
+        assert!(!report.wakes.is_empty(), "an active fleet must wake some leaves");
+        let rendered = report.render();
+        assert!(rendered.contains("wake attribution"), "{rendered}");
+    }
+
+    #[test]
+    fn stepped_core_traces_skip_the_wake_section() {
+        let cfg = FleetConfig { telemetry: TelemetryConfig::enabled(), ..FleetConfig::fast_test() };
+        let mut sim = FleetSim::new(cfg, ServerConfig::default_haswell(), PolicyKind::LeastLoaded);
+        for _ in 0..cfg.steps {
+            sim.step_once();
+        }
+        let telemetry = sim.take_telemetry().expect("telemetry on");
+        let doc = telemetry.trace_jsonl(&[]);
+        let report = TraceReport::from_jsonl(&doc).expect("stepped trace parses");
+        assert_eq!(report.event_core_steps, 0);
+        assert!(!report.render().contains("wake attribution"));
+    }
+
+    #[test]
+    fn reasonless_wakes_fail_the_parse() {
+        let doc = "{\"schema\":\"heracles-trace/v1\",\"events\":2,\"dropped\":0}\n\
+                   {\"t\":1.000000,\"scope\":\"fleet\",\"kind\":\"wake\",\"server\":3}\n\
+                   {\"t\":1.000000,\"scope\":\"fleet\",\"kind\":\"step\",\"woken\":1,\"quiescent\":7}\n";
+        let err = TraceReport::from_jsonl(doc).unwrap_err();
+        assert!(err.contains("no recorded reason"), "{err}");
+    }
+
+    #[test]
+    fn steps_with_unattributed_woken_leaves_fail_the_parse() {
+        let doc = "{\"schema\":\"heracles-trace/v1\",\"events\":2,\"dropped\":0}\n\
+                   {\"t\":1.000000,\"scope\":\"fleet\",\"kind\":\"wake\",\"server\":3,\"reasons\":\"load_delta\"}\n\
+                   {\"t\":1.000000,\"scope\":\"fleet\",\"kind\":\"step\",\"woken\":2,\"quiescent\":6}\n";
+        let err = TraceReport::from_jsonl(doc).unwrap_err();
+        assert!(err.contains("wake reasons"), "{err}");
     }
 }

@@ -36,4 +36,4 @@ pub mod runner;
 pub use characterize::{characterize_cell, max_load_under_slo, CharacterizationCell};
 pub use config::ColoConfig;
 pub use record::{records_to_csv, ColoSummary, WindowRecord};
-pub use runner::ColoRunner;
+pub use runner::{ColoRunner, LeafAdvance};

@@ -8,8 +8,62 @@ use heracles_isolation::CfsShares;
 use heracles_sim::{LatencyRecorder, SimRng, SimTime};
 use heracles_workloads::{BeWorkload, LcWorkload};
 
+use heracles_workloads::BeKind;
+
 use crate::config::ColoConfig;
 use crate::record::{ColoSummary, WindowRecord};
+
+/// Everything a measurement window's outcome depends on, besides the seed
+/// and the window's phase within the SLO merge deque.
+///
+/// Each window derives its RNG purely from `(seed, phase)` instead of
+/// consuming a sequential stream, so two windows at the same phase draw the
+/// same underlying randomness — the invariant the fast path below is built
+/// on.  Windows under changing inputs take fresh phases (full sample
+/// diversity, exactly like a sequential stream); a leaf that has been
+/// steady for a whole SLO cycle starts recycling phases with the deque's
+/// period, at which point its windows repeat bitwise.  These inputs are
+/// compared directly ([`PartialEq`], no hashing) to decide steadiness, so
+/// nothing can ever fake a quiescent window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct WindowInputs {
+    load_bits: u64,
+    lc_cores: usize,
+    be_cores: usize,
+    be_shares_lc_cores: bool,
+    cat_enabled: bool,
+    lc_ways: usize,
+    be_ways: usize,
+    be_freq_cap_bits: Option<u64>,
+    be_net_ceil_bits: Option<u64>,
+    be_kind: Option<BeKind>,
+    be_running: bool,
+}
+
+/// Stream-id base for the per-window RNG forks (xor'd with the deque
+/// phase).  An arbitrary constant keeping the window streams disjoint from
+/// any other fork of the same seed.
+const WINDOW_STREAM: u64 = 0xC010_57EA_D10C_A7ED;
+
+/// What [`ColoRunner::advance`] reports back to the fleet for a batch of
+/// windows: the per-step observation plus how many windows took which path.
+#[derive(Debug, Clone, Copy)]
+pub struct LeafAdvance {
+    /// EMU of the batch's final window.
+    pub last_emu: f64,
+    /// Normalized BE throughput of the batch's final window.
+    pub last_be_throughput: f64,
+    /// Worst normalized tail latency across the batch.
+    pub worst_normalized_latency: f64,
+    /// BE progress over the batch in core·seconds.
+    pub be_progress_core_s: f64,
+    /// Whether the policy allowed BE execution after the batch.
+    pub be_enabled: bool,
+    /// Windows that ran the full simulation path.
+    pub full_windows: u64,
+    /// Windows satisfied by the steady-state fast path.
+    pub fast_windows: u64,
+}
 
 /// Runs an LC workload (and optionally a BE workload) on one simulated server
 /// under a colocation policy, one measurement window at a time.
@@ -40,12 +94,26 @@ pub struct ColoRunner {
     policy: Box<dyn ColocationPolicy>,
     config: ColoConfig,
     cfs: CfsShares,
-    rng: SimRng,
     now: SimTime,
     history: Vec<WindowRecord>,
     /// Latency samples of the most recent windows, merged into one SLO
     /// measurement (the paper's multi-second SLO window).
     recent_latencies: VecDeque<LatencyRecorder>,
+    /// RNG phases of the same windows, kept in lockstep with
+    /// `recent_latencies`: steady windows recycle the phase from the front
+    /// (one SLO cycle ago), which is what makes their sample sets — and
+    /// therefore their records — repeat bitwise.
+    recent_phases: VecDeque<u64>,
+    /// Inputs of the most recently executed window.
+    last_inputs: Option<WindowInputs>,
+    /// How many consecutive trailing windows shared `last_inputs`.
+    steady_streak: usize,
+    /// Raw (un-normalized) BE progress of the last window, kept so the fast
+    /// path can replay `policy.tick` with a bitwise-identical measurement
+    /// rather than re-deriving it from the normalized throughput.
+    last_be_progress: f64,
+    full_windows: u64,
+    fast_windows: u64,
 }
 
 impl ColoRunner {
@@ -68,10 +136,15 @@ impl ColoRunner {
             policy,
             config,
             cfs: CfsShares::characterization_default(),
-            rng: SimRng::new(config.seed),
             now: SimTime::ZERO,
             history: Vec::new(),
             recent_latencies: VecDeque::new(),
+            recent_phases: VecDeque::new(),
+            last_inputs: None,
+            steady_streak: 0,
+            last_be_progress: 0.0,
+            full_windows: 0,
+            fast_windows: 0,
         }
     }
 
@@ -101,6 +174,11 @@ impl ColoRunner {
             be.as_ref().map_or(1.0, |b| b.alone_progress(self.server.config()));
         self.be = be;
         self.policy.init(&mut self.server);
+        // A swap invalidates steadiness even if the next window's inputs
+        // happen to look identical: the policy was re-initialised.
+        self.last_inputs = None;
+        self.steady_streak = 0;
+        self.last_be_progress = 0.0;
     }
 
     /// True if the policy currently allows BE tasks to execute.
@@ -170,7 +248,157 @@ impl ColoRunner {
     /// Advances one measurement window at the given LC load and returns its
     /// record.  The policy observes the window's measurements afterwards and
     /// may adjust allocations for the next window.
+    ///
+    /// This always runs the full simulation path — it is the oracle the
+    /// steady-state fast path inside [`advance`](Self::advance),
+    /// [`run_steady`](Self::run_steady) and [`run_trace`](Self::run_trace)
+    /// is tested against.
     pub fn step(&mut self, load: f64) -> WindowRecord {
+        self.full_window(load)
+    }
+
+    /// The number of windows whose latency samples merge into one SLO
+    /// measurement — also the period the RNG phases recycle with once a
+    /// leaf has gone steady.
+    fn phase_cap(&self) -> usize {
+        self.config.slo_window_count.max(1)
+    }
+
+    /// Captures everything the next window's outcome depends on (beyond the
+    /// seed and phase) from the current server/policy state.
+    fn current_inputs(&self, load: f64) -> WindowInputs {
+        let alloc = self.server.allocations();
+        let be_running = self.be.is_some()
+            && self.policy.be_enabled()
+            && (alloc.be_cores() > 0 || alloc.be_shares_lc_cores());
+        WindowInputs {
+            load_bits: load.to_bits(),
+            lc_cores: alloc.lc_cores(),
+            be_cores: alloc.be_cores(),
+            be_shares_lc_cores: alloc.be_shares_lc_cores(),
+            cat_enabled: alloc.cat_enabled(),
+            lc_ways: alloc.lc_ways(),
+            be_ways: alloc.be_ways(),
+            be_freq_cap_bits: alloc.be_freq_cap_ghz().map(f64::to_bits),
+            be_net_ceil_bits: alloc.be_net_ceil_gbps().map(f64::to_bits),
+            be_kind: if be_running { self.be.as_ref().map(|b| b.kind()) } else { None },
+            be_running,
+        }
+    }
+
+    /// Records that a window with `inputs` just executed.
+    fn note_window(&mut self, inputs: WindowInputs, fast: bool) {
+        if self.last_inputs == Some(inputs) {
+            self.steady_streak += 1;
+        } else {
+            self.steady_streak = 1;
+            self.last_inputs = Some(inputs);
+        }
+        if fast {
+            self.fast_windows += 1;
+        } else {
+            self.full_windows += 1;
+        }
+    }
+
+    /// True when the runner has been steady long enough that the next window
+    /// can take the fast path if its inputs stay unchanged.
+    pub fn is_steady(&self) -> bool {
+        self.steady_streak > self.phase_cap()
+    }
+
+    /// `(full, fast)` window counts since the runner was created.
+    pub fn window_counts(&self) -> (u64, u64) {
+        (self.full_windows, self.fast_windows)
+    }
+
+    /// The steady-state fast path: when the runner has executed more than a
+    /// full phase cycle of windows with inputs identical to this window's,
+    /// the full path's output is already known bitwise — the window's
+    /// latency samples would equal the recorder at the front of the SLO
+    /// deque (same inputs, same RNG phase), so the merged tail, counters and
+    /// throughputs all repeat the previous record.  The deque is rotated,
+    /// the record is replayed with the time advanced, and the policy still
+    /// ticks for real (poll timers, cooldowns and growth cycling must keep
+    /// running; if the tick changes allocations, the *next* window's input
+    /// comparison falls back to the full path).
+    ///
+    /// Returns `None` whenever any of that is not provable, in which case
+    /// the caller must run [`full_window`](Self::full_window).
+    fn fast_window(&mut self, load: f64) -> Option<WindowRecord> {
+        let cap = self.phase_cap();
+        if self.steady_streak <= cap || self.recent_latencies.len() < cap {
+            return None;
+        }
+        let load = load.clamp(0.0, 4.0);
+        let inputs = self.current_inputs(load);
+        if self.last_inputs != Some(inputs) {
+            return None;
+        }
+        self.now += self.config.window;
+        // Rotate the SLO deque: the window's fresh samples are bitwise
+        // identical to the recorder leaving the front, so rotation
+        // reproduces the full path's push-back/pop-front exactly.
+        let recycled = self.recent_latencies.pop_front().expect("deque holds a full cycle");
+        self.recent_latencies.push_back(recycled);
+        let phase = self.recent_phases.pop_front().expect("phase deque matches latency deque");
+        self.recent_phases.push_back(phase);
+        let mut record = self.history.last().expect("a steady streak implies history").clone();
+        record.time = self.now;
+        let measurements = Measurements {
+            tail_latency_s: record.tail_latency_s,
+            load,
+            be_progress: self.last_be_progress,
+            counters: record.counters,
+        };
+        self.policy.tick(self.now, &mut self.server, &measurements);
+        self.history.push(record.clone());
+        self.note_window(inputs, true);
+        Some(record)
+    }
+
+    /// One window through the shared stepping path: the fast path when
+    /// provably exact (and allowed), the full simulation otherwise.
+    fn window(&mut self, load: f64, allow_fast: bool) -> WindowRecord {
+        if allow_fast {
+            if let Some(record) = self.fast_window(load) {
+                return record;
+            }
+        }
+        self.full_window(load)
+    }
+
+    /// Advances `windows` consecutive windows at a constant load, returning
+    /// the aggregate observation the fleet consumes.  `allow_fast` selects
+    /// between the event-driven core (fast path permitted) and the stepped
+    /// oracle (every window simulated in full); both run through the same
+    /// accumulation arithmetic so their results are bitwise comparable.
+    pub fn advance(&mut self, load: f64, windows: usize, allow_fast: bool) -> LeafAdvance {
+        assert!(windows > 0, "advance needs at least one window");
+        let window_s = self.config.window.as_secs_f64();
+        let full_before = self.full_windows;
+        let fast_before = self.fast_windows;
+        let mut worst = 0.0f64;
+        let mut progress = 0.0;
+        for _ in 0..windows {
+            let record = self.window(load, allow_fast);
+            worst = worst.max(record.normalized_latency);
+            progress += record.be_throughput * self.be_alone_progress * window_s;
+        }
+        let last = self.history.last().expect("at least one window ran");
+        LeafAdvance {
+            last_emu: last.emu,
+            last_be_throughput: last.be_throughput,
+            worst_normalized_latency: worst,
+            be_progress_core_s: progress,
+            be_enabled: self.policy.be_enabled(),
+            full_windows: self.full_windows - full_before,
+            fast_windows: self.fast_windows - fast_before,
+        }
+    }
+
+    /// The full simulation path for one measurement window.
+    fn full_window(&mut self, load: f64) -> WindowRecord {
         // Loads above 1.0 are real: a fleet's front-end balancer re-routes a
         // retired leaf's traffic onto the survivors, and a pool shrunk below
         // its demand runs its leaves *past* their peak — the M/G/c queue
@@ -182,9 +410,22 @@ impl ColoRunner {
         let cfg = self.server.config().clone();
 
         let alloc = self.server.allocations().clone();
-        let be_running = self.be.is_some()
-            && self.policy.be_enabled()
-            && (alloc.be_cores() > 0 || alloc.be_shares_lc_cores());
+        let inputs = self.current_inputs(load);
+        let be_running = inputs.be_running;
+        // The window's randomness is a pure function of (seed, phase).  A
+        // window under changing inputs draws a fresh phase (its own index),
+        // so transients — where policies actually differ — see fully
+        // independent noise.  Once the runner has been steady for a whole
+        // SLO cycle, the phase recycles from `slo_window_count` windows ago:
+        // from then on the sample sets repeat with the deque's period, the
+        // merged tail freezes, and every steady window's record is provably
+        // bitwise identical — the invariant the fast path below exploits.
+        let phase = if self.last_inputs == Some(inputs) && self.steady_streak >= self.phase_cap() {
+            *self.recent_phases.front().expect("a steady streak implies a full phase cycle")
+        } else {
+            self.history.len() as u64
+        };
+        let mut rng = SimRng::new(self.config.seed).fork(WINDOW_STREAM ^ phase);
 
         // Offered demands under the current allocations.
         let lc_footprint = self.lc.footprint_mb(load, &cfg);
@@ -222,7 +463,7 @@ impl ColoRunner {
             if sched_pressure > 0.0 { Some(&mut extra) } else { None };
 
         let window = self.lc.simulate_window(
-            &mut self.rng,
+            &mut rng,
             load,
             alloc.lc_cores(),
             &outcome,
@@ -235,8 +476,10 @@ impl ColoRunner {
         // tail estimate is statistically meaningful (the paper's controller
         // polls latency over 15 s for exactly this reason).
         self.recent_latencies.push_back(window.latencies.clone());
+        self.recent_phases.push_back(phase);
         while self.recent_latencies.len() > self.config.slo_window_count.max(1) {
             self.recent_latencies.pop_front();
+            self.recent_phases.pop_front();
         }
         let mut merged = LatencyRecorder::new();
         for rec in &self.recent_latencies {
@@ -272,6 +515,7 @@ impl ColoRunner {
         counters.lc_cpu_utilization =
             (effective_busy_cores / alloc.lc_cores().max(1) as f64).clamp(0.0, 1.0);
 
+        self.last_be_progress = be_progress;
         let measurements = Measurements { tail_latency_s, load, be_progress, counters };
         self.policy.tick(self.now, &mut self.server, &measurements);
 
@@ -291,18 +535,25 @@ impl ColoRunner {
             outcome,
         };
         self.history.push(record.clone());
+        self.note_window(inputs, false);
         record
     }
 
     /// Runs `windows` consecutive windows at a constant load and returns the
     /// records (also appended to the history).
+    ///
+    /// Routes through the same stepping path as fleet leaves: steady
+    /// windows take the (bit-exact) fast path automatically.
     pub fn run_steady(&mut self, load: f64, windows: usize) -> Vec<WindowRecord> {
-        (0..windows).map(|_| self.step(load)).collect()
+        (0..windows).map(|_| self.window(load, true)).collect()
     }
 
     /// Runs one window per entry of `loads` and returns the records.
+    ///
+    /// Routes through the same stepping path as fleet leaves: steady
+    /// windows take the (bit-exact) fast path automatically.
     pub fn run_trace(&mut self, loads: &[f64]) -> Vec<WindowRecord> {
-        loads.iter().map(|&l| self.step(l)).collect()
+        loads.iter().map(|&l| self.window(l, true)).collect()
     }
 }
 
@@ -422,6 +673,74 @@ mod tests {
             resumed.last().unwrap().be_throughput > 0.0,
             "streetview made no progress after the swap"
         );
+    }
+
+    #[test]
+    fn fast_path_is_bit_identical_to_full_path() {
+        // Two identical runners: one steps every window in full (the
+        // oracle), one goes through the shared path with the fast path
+        // allowed.  A long steady stretch under Heracles exercises both the
+        // certification windows and the fast windows; the histories must be
+        // indistinguishable.
+        let build = || {
+            let cfg = ServerConfig::default_haswell();
+            let lc = LcWorkload::websearch();
+            let policy = heracles_for(&lc, &cfg);
+            ColoRunner::new(cfg, lc, Some(BeWorkload::brain()), policy, ColoConfig::fast_test())
+        };
+        let mut oracle = build();
+        let mut fast = build();
+        for i in 0..120 {
+            // A plateau with one mid-run load change, so the fast path has
+            // to certify, run, fall back, and re-certify.
+            let load = if (40..44).contains(&i) { 0.55 } else { 0.4 };
+            let a = oracle.step(load);
+            let b = fast.window(load, true);
+            assert!(a.time == b.time && a.tail_latency_s.to_bits() == b.tail_latency_s.to_bits());
+            assert_eq!(a.normalized_latency.to_bits(), b.normalized_latency.to_bits());
+            assert_eq!(a.be_throughput.to_bits(), b.be_throughput.to_bits());
+            assert_eq!(a.emu.to_bits(), b.emu.to_bits());
+            assert_eq!((a.lc_cores, a.be_cores, a.be_ways), (b.lc_cores, b.be_cores, b.be_ways));
+            assert_eq!(a.slo_met, b.slo_met);
+        }
+        let (full, fast_count) = fast.window_counts();
+        assert_eq!(full + fast_count, 120);
+        assert!(fast_count > 0, "steady run never took the fast path");
+        assert_eq!(oracle.window_counts(), (120, 0), "step() must stay the full-path oracle");
+        // And the advance() aggregation matches a hand-rolled loop bitwise.
+        let adv_oracle = oracle.advance(0.4, 5, false);
+        let adv_fast = fast.advance(0.4, 5, true);
+        assert_eq!(adv_oracle.be_progress_core_s.to_bits(), adv_fast.be_progress_core_s.to_bits());
+        assert_eq!(
+            adv_oracle.worst_normalized_latency.to_bits(),
+            adv_fast.worst_normalized_latency.to_bits()
+        );
+        assert_eq!(adv_oracle.last_emu.to_bits(), adv_fast.last_emu.to_bits());
+        assert_eq!(adv_oracle.be_enabled, adv_fast.be_enabled);
+    }
+
+    #[test]
+    fn run_steady_matches_stepping_bitwise() {
+        let build = || {
+            let cfg = ServerConfig::default_haswell();
+            let lc = LcWorkload::memkeyval();
+            let policy = heracles_for(&lc, &cfg);
+            ColoRunner::new(
+                cfg,
+                lc,
+                Some(BeWorkload::stream_llc()),
+                policy,
+                ColoConfig::fast_test(),
+            )
+        };
+        let mut stepped = build();
+        let via_steps: Vec<WindowRecord> = (0..50).map(|_| stepped.step(0.5)).collect();
+        let mut batched = build();
+        let via_run = batched.run_steady(0.5, 50);
+        for (a, b) in via_steps.iter().zip(&via_run) {
+            assert_eq!(a.emu.to_bits(), b.emu.to_bits());
+            assert_eq!(a.tail_latency_s.to_bits(), b.tail_latency_s.to_bits());
+        }
     }
 
     #[test]

@@ -66,13 +66,14 @@ pub mod policy;
 pub mod store;
 pub mod traffic;
 
-pub use fleet::{single_server_baseline_violations, FleetConfig, FleetSim};
+pub use fleet::{single_server_baseline_violations, FleetConfig, FleetSim, SimCore};
 pub use generation::{Generation, GenerationMix};
 pub use heracles_telemetry::{Telemetry, TelemetryConfig};
 pub use job::{BeJob, JobId, JobMix, JobQueue, JobStreamConfig};
 pub use metrics::{
     core_weighted_mean, server_step_tco_dollars, ControlPlaneProfile, FleetEvent, FleetEventKind,
-    FleetResult, FleetStep, QueueingDelaySummary, PLATFORM_COST_FLOOR, SECONDS_PER_YEAR,
+    FleetResult, FleetStep, QueueingDelaySummary, ServerPlaneProfile, PLATFORM_COST_FLOOR,
+    SECONDS_PER_YEAR,
 };
 pub use policy::{
     marginal_headroom_cores, FirstFit, InterferenceAware, InterferenceModel, LeastLoaded,

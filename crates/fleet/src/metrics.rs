@@ -134,6 +134,67 @@ impl ControlPlaneProfile {
     }
 }
 
+/// Cumulative wall-clock cost of the server plane over a run — the parallel
+/// leaf-stepping phase of every step — together with how much of that work
+/// the event-driven core actually performed versus skipped.
+///
+/// Like [`ControlPlaneProfile`], these timings and counters deliberately
+/// live outside [`FleetStep`] and [`FleetResult`]: those are compared
+/// bit-for-bit between the `Stepped` and `EventDriven` cores, and neither
+/// wall-clock noise nor the (intentionally core-dependent) wake counts may
+/// break that comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServerPlaneProfile {
+    /// Seconds spent in the parallel leaf-stepping phase.
+    pub servers_s: f64,
+    /// Steps profiled so far.
+    pub steps: usize,
+    /// Leaf-steps where the leaf ran at least one full simulation window
+    /// (the leaf was effectively awake this step).
+    pub woken_leaf_steps: u64,
+    /// Leaf-steps fully satisfied by the steady-state fast path.
+    pub quiescent_leaf_steps: u64,
+    /// Measurement windows that ran the full simulation path.
+    pub full_windows: u64,
+    /// Measurement windows satisfied by the steady-state fast path.
+    pub fast_windows: u64,
+}
+
+impl ServerPlaneProfile {
+    /// Charges one step's leaf-stepping seconds and per-leaf path counts.
+    pub fn charge_step(
+        &mut self,
+        seconds: f64,
+        woken_leaves: u64,
+        quiescent_leaves: u64,
+        full_windows: u64,
+        fast_windows: u64,
+    ) {
+        self.servers_s += seconds;
+        self.steps += 1;
+        self.woken_leaf_steps += woken_leaves;
+        self.quiescent_leaf_steps += quiescent_leaves;
+        self.full_windows += full_windows;
+        self.fast_windows += fast_windows;
+    }
+
+    /// Mean server-plane milliseconds per step (0.0 before any step ran).
+    pub fn per_step_ms(&self) -> f64 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        self.servers_s * 1e3 / self.steps as f64
+    }
+
+    /// Mean number of woken leaves per step (0.0 before any step ran).
+    pub fn woken_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        self.woken_leaf_steps as f64 / self.steps as f64
+    }
+}
+
 /// One step of a fleet run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FleetStep {

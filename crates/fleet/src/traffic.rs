@@ -413,6 +413,23 @@ impl TrafficPlane {
     /// in-service leaves at time `now`, returning the per-server load
     /// fractions and the offered/routed conservation ledger.
     pub fn route(&mut self, now: SimTime, store: &PlacementStore) -> RoutingStep {
+        self.route_held(now, now, store)
+    }
+
+    /// [`route`](Self::route) with the demand-curve sample time decoupled
+    /// from the trace stamp: the event-driven core quantizes `demand_now`
+    /// onto the hold grid (so routed loads repeat bitwise across a held
+    /// span), but the route still *happens* every step and its trace
+    /// events must carry the step's own monotone `trace_now` — stamping
+    /// them with the held sample time would send the trace backwards in
+    /// sim time mid-hold.
+    pub fn route_held(
+        &mut self,
+        demand_now: SimTime,
+        trace_now: SimTime,
+        store: &PlacementStore,
+    ) -> RoutingStep {
+        let now = demand_now;
         let mut step = RoutingStep {
             loads: vec![0.0; store.servers().len()],
             offered_qps: [0.0; NUM_SERVICES],
@@ -475,7 +492,7 @@ impl TrafficPlane {
                     self.decisions[leaf.id] = verdict;
                     if verdict != "weighted" {
                         trace.emit(
-                            TraceEvent::new(now, "traffic", "divert")
+                            TraceEvent::new(trace_now, "traffic", "divert")
                                 .u64("server", leaf.id as u64)
                                 .str("service", service.name())
                                 .str("verdict", verdict)
@@ -486,7 +503,7 @@ impl TrafficPlane {
                     }
                 }
                 trace.emit(
-                    TraceEvent::new(now, "traffic", "route")
+                    TraceEvent::new(trace_now, "traffic", "route")
                         .str("service", service.name())
                         .str("balancer", self.balancer.name())
                         .f64("offered_qps", offered)
@@ -499,7 +516,7 @@ impl TrafficPlane {
         }
         if let Some(trace) = self.trace.as_mut() {
             trace.emit(
-                TraceEvent::new(now, "traffic", "conservation")
+                TraceEvent::new(trace_now, "traffic", "conservation")
                     .f64("max_imbalance", step.max_imbalance()),
             );
         }

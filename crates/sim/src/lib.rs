@@ -13,7 +13,8 @@
 //!   service-time model into a tail-latency distribution,
 //! * [`series`] — time-series recording for the figures,
 //! * [`csv`] — the CSV formatting/escaping helpers every exporter shares,
-//! * [`event`] — a simple priority event queue for the cluster simulation,
+//! * [`event`] — a priority event queue plus the typed wake [`Scheduler`]
+//!   the event-driven fleet core sleeps and wakes components through,
 //! * [`parallel`] — scoped-thread fan-out used by the figure binaries and
 //!   the fleet simulator to run independent cells/servers concurrently.
 //!
@@ -47,6 +48,7 @@ pub mod series;
 pub mod stats;
 pub mod time;
 
+pub use event::{EventQueue, Scheduler, WakeReason};
 pub use parallel::{parallel_map, parallel_map_mut};
 pub use queue::MultiServerQueue;
 pub use rng::SimRng;
