@@ -189,7 +189,16 @@ pub struct ElasticFleet {
     market: GenerationMarket,
     config: AutoscaleConfig,
     events: Vec<ScaleEvent>,
+    /// Step of the most recent purchase (rebuy-thrash detection).
+    last_buy_step: Option<usize>,
+    /// Step of the most recent drain start (rebuy-thrash detection).
+    last_drain_step: Option<usize>,
 }
+
+/// A buy within this many steps of a drain (or vice versa) counts as one
+/// thrash pulse for the health plane's rebuy-thrash alert: the controller
+/// is reversing itself faster than a server's drain can possibly pay off.
+const REBUY_THRASH_WINDOW_STEPS: usize = 8;
 
 impl ElasticFleet {
     /// Creates an elastic fleet under built-in placement and autoscaling
@@ -210,7 +219,15 @@ impl ElasticFleet {
         let market =
             GenerationMarket::new(&config.fleet, &server, InterferenceModel::from_scores([]));
         let sim = FleetSim::new(config.fleet, server, placement);
-        ElasticFleet { sim, policy: autoscaler.build(), market, config, events: Vec::new() }
+        ElasticFleet {
+            sim,
+            policy: autoscaler.build(),
+            market,
+            config,
+            events: Vec::new(),
+            last_buy_step: None,
+            last_drain_step: None,
+        }
     }
 
     /// Replaces the market's interference model (e.g. with §3.2
@@ -311,6 +328,13 @@ impl ElasticFleet {
                             .f64("value_per_dollar", self.market.value_per_dollar(generation));
                         self.sim.emit_trace(event);
                     }
+                    if self
+                        .last_drain_step
+                        .is_some_and(|s| step.saturating_sub(s) <= REBUY_THRASH_WINDOW_STEPS)
+                    {
+                        self.observe_thrash();
+                    }
+                    self.last_buy_step = Some(step);
                 }
             }
             ScaleAction::ScaleIn { server } => {
@@ -332,8 +356,25 @@ impl ElasticFleet {
                             .f64("post_shed_load", self.sim.post_retire_pool_load(server, 0));
                         self.sim.emit_trace(event);
                     }
+                    if self
+                        .last_buy_step
+                        .is_some_and(|s| step.saturating_sub(s) <= REBUY_THRASH_WINDOW_STEPS)
+                    {
+                        self.observe_thrash();
+                    }
+                    self.last_drain_step = Some(step);
                 }
             }
+        }
+    }
+
+    /// Feeds one rebuy-thrash pulse to the health plane (a no-op when it
+    /// is off).  Observed *before* the fleet's `step_once`, so the pulse
+    /// lands in the same step's burn-rate window as the decision that
+    /// caused it.
+    fn observe_thrash(&mut self) {
+        if let Some(h) = self.sim.telemetry_mut().and_then(|t| t.health.as_mut()) {
+            h.observe_signal(heracles_telemetry::AlertKind::RebuyThrash, 1.0);
         }
     }
 
@@ -425,6 +466,12 @@ impl ElasticFleet {
     /// [`finish`](Self::finish).
     pub fn take_telemetry(&mut self) -> Option<heracles_telemetry::Telemetry> {
         self.sim.take_telemetry()
+    }
+
+    /// Records the health plane's end-of-run summary into the flight
+    /// recorder (see [`FleetSim::emit_health_summary`]).
+    pub fn emit_health_summary(&mut self) {
+        self.sim.emit_health_summary();
     }
 
     /// Cumulative wall-clock cost of the control plane so far: the fleet's

@@ -1,0 +1,88 @@
+//! Renders the health plane's triage report: per-service SLO attainment
+//! sparklines, the burn-rate alert timeline, the top-k unhealthiest
+//! leaves by latency-sketch p99, and the sketch-vs-exact quantile
+//! cross-check (which must land inside the sketch's documented
+//! relative-error bound for the binary to exit 0).
+//!
+//! Two modes:
+//!
+//! * **artifact mode** — `fleet_doctor --trace <trace.jsonl>
+//!   [--metrics <metrics.json>]` reads artifacts written by
+//!   `fleet_scale --trace --health`,
+//! * **live mode** — `fleet_doctor [--fast] [--servers N] [--steps N]
+//!   [--seed N] [--policy KIND] [--sim-core stepped|event]` runs a fleet
+//!   with the health plane enabled and reports on its in-memory
+//!   artifacts (the same parser either way, so the modes cannot drift).
+//!
+//! Exits 2 on usage or IO errors, 1 when an artifact fails to parse or
+//! the cross-check exceeds the sketch's error bound.
+
+use heracles_bench::cli::Args;
+use heracles_bench::fleet_doctor::DoctorReport;
+use heracles_fleet::{FleetConfig, PolicyKind};
+use heracles_hw::ServerConfig;
+
+fn main() {
+    let args = Args::from_env();
+    let trace_path = args.value("--trace", String::new());
+    let metrics_path = args.value("--metrics", String::new());
+
+    let report = if !trace_path.is_empty() {
+        let trace = match std::fs::read_to_string(&trace_path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("cannot read {trace_path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let metrics = if metrics_path.is_empty() {
+            None
+        } else {
+            match std::fs::read_to_string(&metrics_path) {
+                Ok(doc) => Some(doc),
+                Err(e) => {
+                    eprintln!("cannot read {metrics_path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        };
+        DoctorReport::from_artifacts(&trace, metrics.as_deref())
+    } else {
+        if !metrics_path.is_empty() {
+            eprintln!("--metrics only makes sense with --trace (live mode collects its own)");
+            std::process::exit(2);
+        }
+        let base =
+            if args.flag("--fast") { FleetConfig::fast_test() } else { FleetConfig::default() };
+        let config = FleetConfig {
+            servers: args.value("--servers", base.servers),
+            steps: args.value("--steps", base.steps),
+            seed: args.value("--seed", base.seed),
+            sim_core: args.value("--sim-core", base.sim_core),
+            ..base
+        };
+        if let Err(e) = config.validate() {
+            eprintln!("invalid configuration: {e}");
+            std::process::exit(2);
+        }
+        DoctorReport::live(
+            config,
+            &ServerConfig::default_haswell(),
+            args.value("--policy", PolicyKind::LeastLoaded),
+        )
+    };
+
+    match report {
+        Ok(report) => {
+            print!("{}", report.render());
+            if !report.cross_checks_ok() {
+                eprintln!("sketch-vs-exact cross-check FAILED its error bound");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("fleet_doctor: {e}");
+            std::process::exit(1);
+        }
+    }
+}

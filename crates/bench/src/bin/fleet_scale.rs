@@ -34,10 +34,15 @@
 //! least-loaded, `--policy` to change; `--autoscale <kind>` for an elastic
 //! run) with the telemetry plane enabled and writes the flight-recorder
 //! trace as schema-validated JSONL; `--metrics <path>` also writes the
-//! metrics-registry JSON.  `--telemetry-gate <pct>` re-runs the same
-//! configuration untraced and fails (exit 1) if tracing inflates per-step
-//! wall time by more than `pct` percent — the zero-cost-when-disabled and
-//! cheap-when-enabled regression gate CI runs.
+//! metrics-registry JSON.  `--health` additionally turns on the online
+//! health plane (quantile sketches + burn-rate alerts — feed the
+//! artifacts to `fleet_doctor`), `--recorder-capacity N` sizes the
+//! flight-recorder ring (a loud warning is printed whenever the ring
+//! overflowed and the trace is therefore partial).  `--telemetry-gate
+//! <pct>` re-runs the same configuration untraced and fails (exit 1) if
+//! tracing inflates per-step wall time by more than `pct` percent — the
+//! zero-cost-when-disabled and cheap-when-enabled regression gate CI
+//! runs.
 //!
 //! With `--sim-core <stepped|event>` the run is pinned to one server-plane
 //! core: the stepped oracle simulates every leaf's every window in full,
@@ -52,7 +57,8 @@
 //! [--fast] [--servers N] [--steps N] [--seed N] [--slots N]
 //! [--mix homogeneous|mixed|O:N] [--services SPEC] [--balancer KIND]
 //! [--autoscale POLICY] [--csv] [--trace PATH] [--metrics PATH]
-//! [--policy KIND] [--telemetry-gate PCT] [--sim-core stepped|event|both]
+//! [--health] [--recorder-capacity N] [--policy KIND]
+//! [--telemetry-gate PCT] [--sim-core stepped|event|both]
 //! [--demand-hold N]`
 
 use heracles_autoscale::{AutoscaleConfig, AutoscaleKind, ElasticFleet};
@@ -239,6 +245,7 @@ fn timed_run(
         for _ in 0..config.steps {
             sim.step_once();
         }
+        sim.emit_health_summary();
         sim.take_telemetry()
     } else {
         let kind: AutoscaleKind = autoscale.parse().unwrap_or_else(|e| {
@@ -250,6 +257,7 @@ fn timed_run(
         for _ in 0..scenario.fleet.steps {
             fleet.step_once();
         }
+        fleet.emit_health_summary();
         fleet.take_telemetry()
     };
     (started.elapsed().as_secs_f64(), telemetry)
@@ -259,16 +267,18 @@ fn timed_run(
 /// telemetry plane on, schema-validates the artifacts, writes them to
 /// disk, and optionally gates the tracing overhead against an untraced
 /// run of the identical configuration.
+#[allow(clippy::too_many_arguments)]
 fn traced_run(
     config: FleetConfig,
     server: &ServerConfig,
     policy: PolicyKind,
     autoscale: &str,
+    telemetry_cfg: TelemetryConfig,
     trace_path: &str,
     metrics_path: &str,
     gate_pct: f64,
 ) {
-    let traced_cfg = FleetConfig { telemetry: TelemetryConfig::enabled(), ..config };
+    let traced_cfg = FleetConfig { telemetry: telemetry_cfg, ..config };
     let (traced_wall, telemetry) = timed_run(traced_cfg, server, policy, autoscale);
     let telemetry = telemetry.expect("telemetry was enabled");
 
@@ -281,6 +291,9 @@ fn traced_run(
     ];
     if !autoscale.is_empty() {
         header.push(("autoscaler", autoscale.to_string()));
+    }
+    if telemetry_cfg.health {
+        header.push(("health", "on".to_string()));
     }
     let trace_doc = telemetry.trace_jsonl(&header);
     if let Err(e) = validate_trace_jsonl(&trace_doc) {
@@ -296,6 +309,17 @@ fn traced_run(
         telemetry.recorder.len(),
         telemetry.recorder.dropped()
     );
+    if telemetry.recorder.dropped() > 0 {
+        eprintln!(
+            "WARNING: the flight recorder dropped {} events — the trace covers only the last \
+             {} events of the run.  trace_report and fleet_doctor will mark event-derived \
+             sections [PARTIAL]; re-run with a larger --recorder-capacity (currently {}) for \
+             a lossless trace.",
+            telemetry.recorder.dropped(),
+            telemetry.recorder.len(),
+            telemetry.recorder.capacity()
+        );
+    }
     if !metrics_path.is_empty() {
         let metrics_doc = telemetry.metrics_json();
         if let Err(e) = validate_metrics_json(&metrics_doc) {
@@ -436,13 +460,29 @@ fn main() {
 
     let autoscale = args.value("--autoscale", String::new());
     let trace_path = args.value("--trace", String::new());
+    let health = args.flag("--health");
+    if health && trace_path.is_empty() {
+        eprintln!("--health requires --trace (the health plane reports through the recorder)");
+        std::process::exit(2);
+    }
     if !trace_path.is_empty() {
         let config = FleetConfig { mix: args.value("--mix", config.mix), ..config };
+        let telemetry_cfg = TelemetryConfig {
+            enabled: true,
+            health,
+            trace_capacity: args
+                .value("--recorder-capacity", TelemetryConfig::default().trace_capacity),
+        };
+        if let Err(e) = telemetry_cfg.validate() {
+            eprintln!("invalid telemetry configuration: {e}");
+            std::process::exit(2);
+        }
         traced_run(
             config,
             &server,
             args.value("--policy", PolicyKind::LeastLoaded),
             &autoscale,
+            telemetry_cfg,
             &trace_path,
             &args.value("--metrics", String::new()),
             args.value("--telemetry-gate", 0.0f64),

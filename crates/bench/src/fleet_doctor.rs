@@ -1,0 +1,568 @@
+//! The fleet triage report behind the `fleet_doctor` binary.
+//!
+//! A doctor report answers "is this fleet healthy, and if not, where does
+//! it hurt?" from the health plane's own artifacts.  It renders four
+//! sections:
+//!
+//! * **SLO attainment by service** — the per-step `health`/`attainment`
+//!   series as a sparkline per service, with mean and worst-step
+//!   attainment,
+//! * **alert timeline** — every `alert`/`firing` and `alert`/`resolved`
+//!   transition the burn-rate engine emitted, in simulated-time order,
+//! * **unhealthiest leaves** — the health plane's top-k leaves ranked by
+//!   latency-sketch p99, from the end-of-run `health`/`leaf` summary,
+//! * **sketch-vs-exact cross-check** — the per-step worst normalized
+//!   latencies (available exactly, one per `fleet`/`step` event) replayed
+//!   into a fresh [`QuantileSketch`] and compared against sorted
+//!   exact quantiles; every estimate must land within the sketch's
+//!   documented relative-error bound or the check (and the binary) fails.
+//!   When a metrics document is present the `fleet.normalized_latency`
+//!   histogram's interpolated quantiles are printed alongside as the
+//!   coarser per-leaf view.
+//!
+//! The report reads either artifacts on disk (`--trace`, `--metrics`) or a
+//! live run: [`live_report`] runs a fleet with the health plane enabled,
+//! renders its artifacts in memory and feeds them through the *same*
+//! parser, so the two modes cannot drift apart.
+//!
+//! Like `trace_report`, a lossy trace (recorder drops > 0) renders its
+//! event-derived sections explicitly as `[PARTIAL]` rather than presenting
+//! a truncated view as the whole story.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use heracles_fleet::{FleetConfig, FleetSim, PolicyKind, TelemetryConfig};
+use heracles_hw::ServerConfig;
+use heracles_telemetry::{
+    validate_trace_jsonl, Histogram, QuantileSketch, HISTOGRAM_BUCKET_BOUNDS, RELATIVE_ERROR,
+};
+
+use crate::trace_report::{field_f64, field_raw, field_str, field_u64};
+
+/// One row of the unhealthiest-leaves table (a parsed `health`/`leaf`
+/// summary event).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafHealth {
+    /// Placement-store server id.
+    pub leaf: u64,
+    /// Leaf-steps the sketches observed.
+    pub count: u64,
+    /// Median worst normalized window latency.
+    pub lat_p50: f64,
+    /// p99 worst normalized window latency — the ranking key.
+    pub lat_p99: f64,
+    /// p95 of full (not fast-forwarded) windows per step.
+    pub wakes_p95: f64,
+}
+
+/// One quantile of the sketch-vs-exact cross-check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileCheck {
+    /// Display label ("p50", "p95", "p99").
+    pub label: &'static str,
+    /// The exact nearest-rank quantile from the sorted stream.
+    pub exact: f64,
+    /// The sketch's estimate for the same rank.
+    pub sketch: f64,
+    /// The matching interpolated quantile of the per-leaf
+    /// `fleet.normalized_latency` histogram, when a metrics document was
+    /// available.
+    pub histogram: Option<f64>,
+}
+
+impl QuantileCheck {
+    /// Relative error of the sketch estimate against the exact quantile.
+    pub fn relative_error(&self) -> f64 {
+        if self.exact == 0.0 {
+            self.sketch.abs()
+        } else {
+            (self.sketch - self.exact).abs() / self.exact.abs()
+        }
+    }
+
+    /// Whether the estimate honors the sketch's documented bound.
+    pub fn ok(&self) -> bool {
+        // A hair of slack over RELATIVE_ERROR covers the float rounding in
+        // the bucket-index/representative round trip at bucket edges.
+        self.relative_error() <= RELATIVE_ERROR * 1.01 + 1e-12
+    }
+}
+
+/// Everything `fleet_doctor` parses out of one run's artifacts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DoctorReport {
+    /// Where the artifacts came from ("trace artifacts" or "live run").
+    pub source: String,
+    /// Selected run metadata from the trace header, in display order.
+    pub header: Vec<(String, String)>,
+    /// Events the flight recorder evicted — nonzero makes event-derived
+    /// sections `[PARTIAL]`.
+    pub dropped: u64,
+    /// Events retained in the trace.
+    pub events: u64,
+    /// Per-service SLO attainment series, time-ordered (one sample per
+    /// step the service had in-service leaves).
+    pub attainment: BTreeMap<String, Vec<f64>>,
+    /// Alert transitions as `(sim seconds, rendered row)`.
+    pub alerts: Vec<(f64, String)>,
+    /// `alert`/`firing` transitions seen.
+    pub alerts_fired: u64,
+    /// `alert`/`resolved` transitions seen.
+    pub alerts_resolved: u64,
+    /// Top-k unhealthiest leaves from the latest `health`/`leaf` summary.
+    pub leaves: Vec<LeafHealth>,
+    /// Worst normalized latency per `fleet`/`step` event, in step order —
+    /// the exactly-known stream the cross-check replays.
+    pub step_latencies: Vec<f64>,
+    /// The `fleet.normalized_latency` histogram from the metrics document.
+    pub histogram: Option<Histogram>,
+}
+
+impl DoctorReport {
+    /// Parses a report from a trace document and an optional metrics
+    /// document (both as written by `fleet_scale --trace/--metrics`).
+    pub fn from_artifacts(trace: &str, metrics: Option<&str>) -> Result<DoctorReport, String> {
+        validate_trace_jsonl(trace)?;
+        let mut report = DoctorReport { source: "trace artifacts".into(), ..Default::default() };
+        let mut lines = trace.lines();
+        let header = lines.next().ok_or("empty trace document")?;
+        report.dropped = field_u64(header, "dropped").ok_or("header lacks \"dropped\"")?;
+        report.events = field_u64(header, "events").ok_or("header lacks \"events\"")?;
+        for key in ["policy", "balancer", "autoscaler", "seed", "servers", "steps", "health"] {
+            if let Some(value) = field_str(header, key) {
+                report.header.push((key.to_string(), value));
+            }
+        }
+
+        // The end-of-run summary may be emitted more than once on resumed
+        // runs; keep only the latest snapshot's leaf rows.
+        let mut leaf_rows: Vec<(f64, LeafHealth)> = Vec::new();
+        for line in lines {
+            let (Some(scope), Some(kind)) = (field_raw(line, "scope"), field_raw(line, "kind"))
+            else {
+                return Err(format!("trace line lacks scope/kind: {line}"));
+            };
+            let t = field_f64(line, "t").ok_or_else(|| format!("trace line lacks t: {line}"))?;
+            match (scope, kind) {
+                ("health", "attainment") => {
+                    let service = field_str(line, "service")
+                        .ok_or_else(|| format!("attainment event lacks service: {line}"))?;
+                    let value = field_f64(line, "attainment")
+                        .ok_or_else(|| format!("attainment event lacks attainment: {line}"))?;
+                    report.attainment.entry(service).or_default().push(value);
+                }
+                ("alert", "firing") => {
+                    report.alerts_fired += 1;
+                    let alert = field_str(line, "alert").unwrap_or_default();
+                    let cause = field_str(line, "cause").unwrap_or_default();
+                    let fast = field_f64(line, "fast").unwrap_or(f64::NAN);
+                    let slow = field_f64(line, "slow").unwrap_or(f64::NAN);
+                    report.alerts.push((
+                        t,
+                        format!("FIRING   {alert} (fast {fast:.3}, slow {slow:.3}) — {cause}"),
+                    ));
+                }
+                ("alert", "resolved") => {
+                    report.alerts_resolved += 1;
+                    let alert = field_str(line, "alert").unwrap_or_default();
+                    let for_steps = field_u64(line, "for_steps").unwrap_or(0);
+                    report.alerts.push((t, format!("resolved {alert} (after {for_steps} steps)")));
+                }
+                ("health", "leaf") => {
+                    leaf_rows.push((
+                        t,
+                        LeafHealth {
+                            leaf: field_u64(line, "leaf")
+                                .ok_or_else(|| format!("leaf event lacks leaf: {line}"))?,
+                            count: field_u64(line, "count").unwrap_or(0),
+                            lat_p50: field_f64(line, "lat_p50").unwrap_or(0.0),
+                            lat_p99: field_f64(line, "lat_p99").unwrap_or(0.0),
+                            wakes_p95: field_f64(line, "wakes_p95").unwrap_or(0.0),
+                        },
+                    ));
+                }
+                ("fleet", "step") => {
+                    if let Some(worst) = field_f64(line, "worst_normalized_latency") {
+                        report.step_latencies.push(worst);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let latest = leaf_rows.iter().map(|(t, _)| *t).fold(f64::NEG_INFINITY, f64::max);
+        report.leaves =
+            leaf_rows.into_iter().filter(|(t, _)| *t == latest).map(|(_, l)| l).collect();
+
+        if let Some(doc) = metrics {
+            report.histogram = parse_histogram(doc, "fleet.normalized_latency")?;
+        }
+        Ok(report)
+    }
+
+    /// Runs `config` under `policy` with the health plane enabled, renders
+    /// the run's artifacts in memory and parses them through
+    /// [`DoctorReport::from_artifacts`] — live mode exercises the exact
+    /// artifact path, it is not a separate code path that can drift.
+    pub fn live(
+        config: FleetConfig,
+        server: &ServerConfig,
+        policy: PolicyKind,
+    ) -> Result<DoctorReport, String> {
+        let cfg = FleetConfig {
+            telemetry: TelemetryConfig { enabled: true, health: true, ..config.telemetry },
+            ..config
+        };
+        let mut sim = FleetSim::new(cfg, server.clone(), policy);
+        for _ in 0..cfg.steps {
+            sim.step_once();
+        }
+        sim.emit_health_summary();
+        let telemetry = sim.take_telemetry().expect("telemetry was enabled");
+        let header = [
+            ("policy", policy.name().to_string()),
+            ("balancer", cfg.balancer.name().to_string()),
+            ("seed", cfg.seed.to_string()),
+            ("servers", cfg.servers.to_string()),
+            ("steps", cfg.steps.to_string()),
+            ("health", "on".to_string()),
+        ];
+        let trace = telemetry.trace_jsonl(&header);
+        let metrics = telemetry.metrics_json();
+        let mut report = DoctorReport::from_artifacts(&trace, Some(&metrics))?;
+        report.source = "live run".into();
+        Ok(report)
+    }
+
+    /// True when the recorder evicted events and the event-derived
+    /// sections therefore cover only a suffix of the run.
+    pub fn is_partial(&self) -> bool {
+        self.dropped > 0
+    }
+
+    fn partial_marker(&self) -> &'static str {
+        if self.is_partial() {
+            " [PARTIAL]"
+        } else {
+            ""
+        }
+    }
+
+    /// The sketch-vs-exact cross-check rows for p50/p95/p99 of the
+    /// per-step worst-latency stream.  Empty when the trace retained no
+    /// step events.
+    pub fn cross_checks(&self) -> Vec<QuantileCheck> {
+        if self.step_latencies.is_empty() {
+            return Vec::new();
+        }
+        let mut sketch = QuantileSketch::new();
+        for &v in &self.step_latencies {
+            sketch.observe(v);
+        }
+        let mut sorted = self.step_latencies.clone();
+        sorted.sort_by(f64::total_cmp);
+        [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)]
+            .into_iter()
+            .map(|(label, q)| {
+                // The same nearest-rank definition the sketch documents.
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                QuantileCheck {
+                    label,
+                    exact: sorted[rank - 1],
+                    sketch: sketch.quantile(q),
+                    histogram: self.histogram.as_ref().map(|h| h.quantile(q)),
+                }
+            })
+            .collect()
+    }
+
+    /// Whether every cross-check row honors the sketch's error bound.
+    pub fn cross_checks_ok(&self) -> bool {
+        self.cross_checks().iter().all(QuantileCheck::ok)
+    }
+
+    /// Renders the four-section triage report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "fleet_doctor triage report ({})", self.source);
+        let meta: Vec<String> = self.header.iter().map(|(k, v)| format!("{k} {v}")).collect();
+        let _ = writeln!(out, "  {} events retained, {}", self.events, meta.join(", "));
+        if self.is_partial() {
+            let _ = writeln!(
+                out,
+                "\nWARNING: the flight recorder dropped {} events (ring capacity exceeded).\n\
+                 Event-derived sections below are marked [PARTIAL]; re-run with a larger\n\
+                 --recorder-capacity for a lossless report.",
+                self.dropped
+            );
+        }
+
+        let marker = self.partial_marker();
+        let _ = writeln!(out, "\nslo attainment by service{marker}");
+        if self.attainment.is_empty() {
+            let _ = writeln!(
+                out,
+                "  (no attainment events in the trace — was the run traced with --health?)"
+            );
+        }
+        for (service, series) in &self.attainment {
+            let mean = series.iter().sum::<f64>() / series.len() as f64;
+            let worst = series.iter().copied().fold(f64::INFINITY, f64::min);
+            let _ = writeln!(
+                out,
+                "  {service:<12} mean {:>6.2}%  worst-step {:>6.2}%  {}  ({} samples)",
+                mean * 100.0,
+                worst * 100.0,
+                sparkline(series),
+                series.len()
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "\nalert timeline ({} fired, {} resolved){marker}",
+            self.alerts_fired, self.alerts_resolved
+        );
+        if self.alerts.is_empty() {
+            let _ = writeln!(out, "  (no alert transitions — every burn rate stayed in band)");
+        }
+        for (t, row) in &self.alerts {
+            let _ = writeln!(out, "  t={t:>10.1}s  {row}");
+        }
+
+        let _ = writeln!(
+            out,
+            "\nunhealthiest leaves (top-{} by latency p99){marker}",
+            self.leaves.len()
+        );
+        if self.leaves.is_empty() {
+            let _ =
+                writeln!(out, "  (no leaf summary in the trace — was emit_health_summary called?)");
+        } else {
+            let _ = writeln!(
+                out,
+                "  {:>6} {:>10} {:>9} {:>9} {:>10}",
+                "leaf", "leaf-steps", "lat p50", "lat p99", "wakes p95"
+            );
+            for l in &self.leaves {
+                let _ = writeln!(
+                    out,
+                    "  {:>6} {:>10} {:>9.3} {:>9.3} {:>10.1}",
+                    l.leaf, l.count, l.lat_p50, l.lat_p99, l.wakes_p95
+                );
+            }
+        }
+
+        let checks = self.cross_checks();
+        let _ = writeln!(
+            out,
+            "\nsketch-vs-exact cross-check (per-step worst normalized latency, {} steps){marker}",
+            self.step_latencies.len()
+        );
+        if checks.is_empty() {
+            let _ = writeln!(out, "  (no step events retained — nothing to cross-check)");
+        } else {
+            let _ = writeln!(
+                out,
+                "  {:>4} {:>10} {:>10} {:>8} {:>8}   verdict",
+                "q", "exact", "sketch", "rel err", "bound"
+            );
+            for c in &checks {
+                let _ = writeln!(
+                    out,
+                    "  {:>4} {:>10.4} {:>10.4} {:>7.3}% {:>7.1}%   {}",
+                    c.label,
+                    c.exact,
+                    c.sketch,
+                    c.relative_error() * 100.0,
+                    RELATIVE_ERROR * 100.0,
+                    if c.ok() { "ok" } else { "FAIL" }
+                );
+            }
+            if let Some(h) = &self.histogram {
+                let qs: Vec<String> = checks
+                    .iter()
+                    .filter_map(|c| c.histogram.map(|v| format!("{} {:.3}", c.label, v)))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  per-leaf histogram fleet.normalized_latency ({} obs): {}\n  \
+                     (bucket-interpolated — error bounded by the 1-2-5 bucket width, not by {:.0}%)",
+                    h.count,
+                    qs.join(", "),
+                    RELATIVE_ERROR * 100.0
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Renders a series as an 8-level sparkline, chunk-averaged down to at
+/// most 60 glyphs, scaled to the series' own [min, max] (a flat series
+/// renders mid-scale).
+pub fn sparkline(series: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.is_empty() {
+        return String::new();
+    }
+    let chunks = series.len().min(60);
+    let lo = series.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (0..chunks)
+        .map(|i| {
+            let start = i * series.len() / chunks;
+            let end = ((i + 1) * series.len() / chunks).max(start + 1);
+            let mean = series[start..end].iter().sum::<f64>() / (end - start) as f64;
+            if hi > lo {
+                GLYPHS[(((mean - lo) / (hi - lo)) * 7.0).round() as usize]
+            } else {
+                GLYPHS[3]
+            }
+        })
+        .collect()
+}
+
+/// Extracts the named histogram from a metrics JSON document (the
+/// registry's one-line-per-histogram rendering), or `None` when the
+/// document has no such histogram.
+pub fn parse_histogram(doc: &str, id: &str) -> Result<Option<Histogram>, String> {
+    let needle = format!("\"{id}\":");
+    let Some(line) = doc.lines().find(|l| l.trim_start().starts_with(&needle)) else {
+        return Ok(None);
+    };
+    let num = |key: &str| -> Result<f64, String> {
+        let needle = format!("\"{key}\": ");
+        let start = line.find(&needle).ok_or_else(|| format!("histogram {id} lacks \"{key}\""))?
+            + needle.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest[..end].trim().parse().map_err(|e| format!("histogram {id} {key}: {e}"))
+    };
+    let count = num("count")? as u64;
+    let open =
+        line.find("\"buckets\": [").ok_or_else(|| format!("histogram {id} lacks buckets"))?
+            + "\"buckets\": [".len();
+    let close =
+        line[open..].find(']').ok_or_else(|| format!("histogram {id} buckets unterminated"))?;
+    let mut buckets = [0u64; HISTOGRAM_BUCKET_BOUNDS.len() + 1];
+    let mut n = 0;
+    for part in line[open..open + close].split(',') {
+        if n >= buckets.len() {
+            return Err(format!("histogram {id} has too many buckets"));
+        }
+        buckets[n] = part.trim().parse().map_err(|e| format!("histogram {id} bucket {n}: {e}"))?;
+        n += 1;
+    }
+    if n != buckets.len() {
+        return Err(format!("histogram {id} has {n} buckets, expected {}", buckets.len()));
+    }
+    Ok(Some(Histogram { count, sum: num("sum")?, min: num("min")?, max: num("max")?, buckets }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heracles_colo::ColoConfig;
+    use heracles_workloads::ServiceMix;
+
+    fn doctor_config() -> FleetConfig {
+        FleetConfig {
+            servers: 4,
+            steps: 16,
+            windows_per_step: 2,
+            services: ServiceMix::websearch_only(),
+            colo: ColoConfig { requests_per_window: 400, ..ColoConfig::fast_test() },
+            ..FleetConfig::fast_test()
+        }
+    }
+
+    #[test]
+    fn live_report_covers_all_four_sections() {
+        let report = DoctorReport::live(
+            doctor_config(),
+            &ServerConfig::default_haswell(),
+            PolicyKind::LeastLoaded,
+        )
+        .expect("live run parses its own artifacts");
+        assert_eq!(report.source, "live run");
+        assert!(!report.attainment.is_empty(), "no attainment series");
+        assert!(!report.leaves.is_empty(), "no leaf summary");
+        assert_eq!(report.step_latencies.len(), 16);
+        assert!(report.histogram.is_some(), "metrics histogram missing");
+        let rendered = report.render();
+        for section in [
+            "slo attainment by service",
+            "alert timeline",
+            "unhealthiest leaves",
+            "sketch-vs-exact cross-check",
+        ] {
+            assert!(rendered.contains(section), "missing section {section:?}:\n{rendered}");
+        }
+        assert!(!rendered.contains("[PARTIAL]"), "lossless run rendered partial");
+    }
+
+    #[test]
+    fn cross_check_honors_the_sketch_bound_on_a_real_run() {
+        let report = DoctorReport::live(
+            doctor_config(),
+            &ServerConfig::default_haswell(),
+            PolicyKind::LeastLoaded,
+        )
+        .unwrap();
+        let checks = report.cross_checks();
+        assert_eq!(checks.len(), 3);
+        for c in &checks {
+            assert!(
+                c.ok(),
+                "{}: sketch {} vs exact {} (rel err {:.4}%)",
+                c.label,
+                c.sketch,
+                c.exact,
+                c.relative_error() * 100.0
+            );
+        }
+        assert!(report.cross_checks_ok());
+    }
+
+    #[test]
+    fn lossy_trace_marks_sections_partial() {
+        let trace = "{\"schema\":\"heracles-trace/v1\",\"events\":1,\"dropped\":5,\"policy\":\"least-loaded\"}\n\
+                     {\"t\":1.000000,\"scope\":\"fleet\",\"kind\":\"step\",\"step\":0,\"worst_normalized_latency\":0.900000}\n";
+        let report = DoctorReport::from_artifacts(trace, None).unwrap();
+        assert!(report.is_partial());
+        let rendered = report.render();
+        assert!(rendered.contains("WARNING: the flight recorder dropped 5 events"));
+        assert!(rendered.contains("[PARTIAL]"));
+    }
+
+    #[test]
+    fn histogram_round_trips_through_the_metrics_document() {
+        let mut h = Histogram::default();
+        for i in 1..=500 {
+            h.observe(i as f64 * 0.01);
+        }
+        let mut m = heracles_telemetry::MetricsRegistry::new();
+        for i in 1..=500 {
+            m.observe("fleet.normalized_latency", i as f64 * 0.01);
+        }
+        let mut tel = heracles_telemetry::Telemetry::new(TelemetryConfig::enabled()).unwrap();
+        tel.metrics = m;
+        let doc = tel.metrics_json();
+        let parsed = parse_histogram(&doc, "fleet.normalized_latency").unwrap().unwrap();
+        assert_eq!(parsed.count, h.count);
+        assert_eq!(parsed.buckets, h.buckets);
+        assert!((parsed.quantile(0.95) - h.quantile(0.95)).abs() < 1e-9);
+        assert_eq!(parse_histogram(&doc, "no.such.histogram").unwrap(), None);
+    }
+
+    #[test]
+    fn sparkline_is_bounded_and_scaled() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[1.0, 1.0, 1.0]).chars().count(), 3);
+        let long: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let s = sparkline(&long);
+        assert_eq!(s.chars().count(), 60);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+    }
+}

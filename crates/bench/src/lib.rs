@@ -7,13 +7,16 @@
 //! the machine's cores, [`cli`] parses the binaries' `--flag value`
 //! overrides, and [`percent`] / [`print_row`] render the same percent-of-SLO
 //! format the paper uses.  [`fleet_bench`] holds the tracked fleet-size
-//! benchmark behind `BENCH_fleet.json` and its schema validator.
+//! benchmark behind `BENCH_fleet.json` and its schema validator, and
+//! [`fleet_doctor`] the health-plane triage report behind the binary of
+//! the same name.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cli;
 pub mod fleet_bench;
+pub mod fleet_doctor;
 pub mod trace_report;
 
 pub use heracles_sim::{parallel_map, parallel_map_mut};

@@ -52,9 +52,42 @@ pub fn field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     }
 }
 
-/// The string value of `key`, unescaped for the escapes the writer emits.
+/// The string value of `key`, unescaped for every escape the writer emits
+/// (`\"`, `\\`, `\n`, `\r`, `\t` and `\uXXXX` control characters), so a
+/// parsed field is byte-identical to the string the emitter passed in.
 pub fn field_str(line: &str, key: &str) -> Option<String> {
-    Some(field_raw(line, key)?.replace("\\\"", "\"").replace("\\\\", "\\"))
+    let raw = field_raw(line, key)?;
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                match u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    Some(u) => out.push(u),
+                    None => {
+                        out.push_str("\\u");
+                        out.push_str(&hex);
+                    }
+                }
+            }
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    Some(out)
 }
 
 /// The numeric value of `key` as f64.
@@ -122,6 +155,16 @@ pub struct TraceReport {
     /// Autoscale / fleet lifecycle actions in simulated-time order, as
     /// `(time_s, description)` rows.
     pub timeline: Vec<(f64, String)>,
+    /// Health-plane alert transitions in simulated-time order, as
+    /// `(time_s, description)` rows.
+    pub alerts: Vec<(f64, String)>,
+    /// `alert.firing` events by alert kind.
+    pub alerts_fired: BTreeMap<String, u64>,
+    /// `alert.resolved` events by alert kind.
+    pub alerts_resolved: BTreeMap<String, u64>,
+    /// Per-service attainment sums from `health`/`attainment` events:
+    /// `(violating leaf-steps, total leaf-steps)`.
+    pub attainment: BTreeMap<String, (u64, u64)>,
 }
 
 impl TraceReport {
@@ -139,7 +182,7 @@ impl TraceReport {
             dropped: field_u64(header_line, "dropped").unwrap_or(0),
             ..TraceReport::default()
         };
-        for key in ["policy", "balancer", "autoscaler", "seed", "servers", "steps"] {
+        for key in ["policy", "balancer", "autoscaler", "seed", "servers", "steps", "health"] {
             if let Some(value) = field_str(header_line, key) {
                 report.header.push((key.to_string(), value));
             }
@@ -266,6 +309,29 @@ impl TraceReport {
                     let server = field_u64(line, "server").unwrap_or(0);
                     report.timeline.push((t, format!("scale-in: drain server {server}")));
                 }
+                ("alert", "firing") => {
+                    let alert = field_str(line, "alert").unwrap_or_default();
+                    let fast = field_f64(line, "fast").unwrap_or(0.0);
+                    let slow = field_f64(line, "slow").unwrap_or(0.0);
+                    *report.alerts_fired.entry(alert.clone()).or_insert(0) += 1;
+                    report
+                        .alerts
+                        .push((t, format!("FIRING  {alert} (fast {fast:.3}, slow {slow:.3})")));
+                }
+                ("alert", "resolved") => {
+                    let alert = field_str(line, "alert").unwrap_or_default();
+                    let for_steps = field_u64(line, "for_steps").unwrap_or(0);
+                    *report.alerts_resolved.entry(alert.clone()).or_insert(0) += 1;
+                    report.alerts.push((t, format!("resolved {alert} (after {for_steps} steps)")));
+                }
+                ("health", "attainment") => {
+                    let service = field_str(line, "service").unwrap_or_default();
+                    let violating = field_u64(line, "violating").unwrap_or(0);
+                    let leaves = field_u64(line, "leaves").unwrap_or(0);
+                    let entry = report.attainment.entry(service).or_insert((0, 0));
+                    entry.0 += violating;
+                    entry.1 += leaves;
+                }
                 _ => {}
             }
         }
@@ -277,6 +343,22 @@ impl TraceReport {
         self.violations.values().sum()
     }
 
+    /// True when the flight recorder evicted events before the run ended:
+    /// every counting section of the report is then a lower bound over the
+    /// *retained* suffix of the run, not a total.
+    pub fn is_partial(&self) -> bool {
+        self.dropped > 0
+    }
+
+    /// ` [PARTIAL]` marker for section headings when the trace is lossy.
+    fn partial_marker(&self) -> &'static str {
+        if self.is_partial() {
+            " [PARTIAL]"
+        } else {
+            ""
+        }
+    }
+
     /// Renders the report as the text document the bin prints.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -285,8 +367,18 @@ impl TraceReport {
             let _ = writeln!(out, "  {key}: {value}");
         }
         let _ = writeln!(out, "  events: {} retained, {} dropped", self.events, self.dropped);
+        if self.is_partial() {
+            let _ = writeln!(
+                out,
+                "\n  WARNING: the flight recorder dropped {} events (ring capacity exceeded).\n  \
+                 Sections marked [PARTIAL] count only the retained suffix of the run;\n  \
+                 their totals are lower bounds.  Re-run with a larger --recorder-capacity\n  \
+                 for a lossless trace.",
+                self.dropped
+            );
+        }
 
-        let _ = writeln!(out, "\nplacement outcomes");
+        let _ = writeln!(out, "\nplacement outcomes{}", self.partial_marker());
         let _ = writeln!(
             out,
             "  dispatch rounds: {} ({} used a batched plan)",
@@ -299,11 +391,19 @@ impl TraceReport {
         );
         let _ = writeln!(out, "  admission verdict flips: {}", self.admission_flips);
 
-        let _ = writeln!(
-            out,
-            "\nviolation attribution ({} server-steps, 100% attributed)",
-            self.violation_total()
-        );
+        if self.is_partial() {
+            let _ = writeln!(
+                out,
+                "\nviolation attribution ({} server-steps retained) [PARTIAL]",
+                self.violation_total()
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "\nviolation attribution ({} server-steps, 100% attributed)",
+                self.violation_total()
+            );
+        }
         if self.violations.is_empty() {
             let _ = writeln!(out, "  (no SLO violations recorded)");
         }
@@ -333,11 +433,49 @@ impl TraceReport {
                 if total > 0 { 100.0 * self.woken_leaf_steps as f64 / total as f64 } else { 0.0 };
             let _ = writeln!(
                 out,
-                "\nwake attribution ({} woken / {} quiescent leaf-steps, {:.1}% woken)",
-                self.woken_leaf_steps, self.quiescent_leaf_steps, pct
+                "\nwake attribution ({} woken / {} quiescent leaf-steps, {:.1}% woken){}",
+                self.woken_leaf_steps,
+                self.quiescent_leaf_steps,
+                pct,
+                self.partial_marker()
             );
             for (reasons, count) in &self.wakes {
                 let _ = writeln!(out, "  {count:>6}  {reasons}");
+            }
+        }
+
+        let health_on = self.header.iter().any(|(k, v)| k == "health" && v == "on");
+        if health_on || !self.alerts.is_empty() || !self.attainment.is_empty() {
+            let fired: u64 = self.alerts_fired.values().sum();
+            let resolved: u64 = self.alerts_resolved.values().sum();
+            let _ = writeln!(
+                out,
+                "\nhealth alerts ({fired} fired, {resolved} resolved){}",
+                self.partial_marker()
+            );
+            if self.alerts.is_empty() {
+                let _ = writeln!(out, "  (no alert transitions recorded)");
+            }
+            for (t, what) in &self.alerts {
+                let _ = writeln!(out, "  t={t:>10.1}s  {what}");
+            }
+            if !self.attainment.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "\nslo attainment (leaf-step aggregate){}",
+                    self.partial_marker()
+                );
+                for (service, &(violating, leaves)) in &self.attainment {
+                    let pct = if leaves > 0 {
+                        100.0 * (1.0 - violating as f64 / leaves as f64)
+                    } else {
+                        100.0
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  {service:<12} {pct:>6.2}%  ({violating} violating of {leaves} leaf-steps)"
+                    );
+                }
             }
         }
 
@@ -442,6 +580,54 @@ mod tests {
                    {\"t\":1.000000,\"scope\":\"fleet\",\"kind\":\"step\",\"woken\":1,\"quiescent\":7}\n";
         let err = TraceReport::from_jsonl(doc).unwrap_err();
         assert!(err.contains("no recorded reason"), "{err}");
+    }
+
+    #[test]
+    fn lossy_traces_render_as_explicitly_partial() {
+        let doc = "{\"schema\":\"heracles-trace/v1\",\"events\":1,\"dropped\":42}\n\
+                   {\"t\":1.000000,\"scope\":\"fleet\",\"kind\":\"step\",\"step\":0}\n";
+        let report = TraceReport::from_jsonl(doc).expect("lossy trace still parses");
+        assert!(report.is_partial());
+        let rendered = report.render();
+        assert!(rendered.contains("WARNING: the flight recorder dropped 42 events"), "{rendered}");
+        assert!(rendered.contains("[PARTIAL]"), "{rendered}");
+        assert!(!rendered.contains("100% attributed"), "{rendered}");
+    }
+
+    #[test]
+    fn lossless_traces_do_not_claim_partiality() {
+        let doc = "{\"schema\":\"heracles-trace/v1\",\"events\":1,\"dropped\":0}\n\
+                   {\"t\":1.000000,\"scope\":\"fleet\",\"kind\":\"step\",\"step\":0}\n";
+        let report = TraceReport::from_jsonl(doc).expect("trace parses");
+        assert!(!report.is_partial());
+        let rendered = report.render();
+        assert!(!rendered.contains("[PARTIAL]"), "{rendered}");
+        assert!(rendered.contains("100% attributed"), "{rendered}");
+    }
+
+    #[test]
+    fn alert_and_attainment_events_populate_the_health_section() {
+        let doc = "{\"schema\":\"heracles-trace/v1\",\"events\":4,\"dropped\":0,\"health\":\"on\"}\n\
+                   {\"t\":1.000000,\"scope\":\"health\",\"kind\":\"attainment\",\"service\":\"websearch\",\"leaves\":4,\"violating\":1,\"attainment\":0.750000}\n\
+                   {\"t\":2.000000,\"scope\":\"alert\",\"kind\":\"firing\",\"alert\":\"slo-burn\",\"cause\":\"x\",\"fast\":0.500000,\"slow\":0.300000}\n\
+                   {\"t\":3.000000,\"scope\":\"health\",\"kind\":\"attainment\",\"service\":\"websearch\",\"leaves\":4,\"violating\":0,\"attainment\":1.000000}\n\
+                   {\"t\":4.000000,\"scope\":\"alert\",\"kind\":\"resolved\",\"alert\":\"slo-burn\",\"cause\":\"x\",\"fast\":0.000000,\"for_steps\":2}\n";
+        let report = TraceReport::from_jsonl(doc).expect("trace parses");
+        assert_eq!(report.alerts_fired.get("slo-burn"), Some(&1));
+        assert_eq!(report.alerts_resolved.get("slo-burn"), Some(&1));
+        assert_eq!(report.attainment.get("websearch"), Some(&(1, 8)));
+        let rendered = report.render();
+        assert!(rendered.contains("health alerts (1 fired, 1 resolved)"), "{rendered}");
+        assert!(rendered.contains("FIRING  slo-burn"), "{rendered}");
+        assert!(rendered.contains("slo attainment"), "{rendered}");
+        assert!(rendered.contains("87.50%"), "{rendered}");
+    }
+
+    #[test]
+    fn field_str_recovers_every_writer_escape() {
+        let line =
+            "{\"t\":1.000000,\"scope\":\"x\",\"kind\":\"y\",\"s\":\"a\\\"b\\\\c\\nd\\te\\u0001f\"}";
+        assert_eq!(field_str(line, "s").as_deref(), Some("a\"b\\c\nd\te\u{1}f"));
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub struct LeafAdvance {
     pub last_be_throughput: f64,
     /// Worst normalized tail latency across the batch.
     pub worst_normalized_latency: f64,
+    /// Mean normalized tail latency across the batch's windows, accumulated
+    /// in window order on both stepping paths so the value is bitwise
+    /// identical whichever path served each window.
+    pub mean_normalized_latency: f64,
     /// BE progress over the batch in core·seconds.
     pub be_progress_core_s: f64,
     /// Whether the policy allowed BE execution after the batch.
@@ -379,10 +383,12 @@ impl ColoRunner {
         let full_before = self.full_windows;
         let fast_before = self.fast_windows;
         let mut worst = 0.0f64;
+        let mut latency_sum = 0.0f64;
         let mut progress = 0.0;
         for _ in 0..windows {
             let record = self.window(load, allow_fast);
             worst = worst.max(record.normalized_latency);
+            latency_sum += record.normalized_latency;
             progress += record.be_throughput * self.be_alone_progress * window_s;
         }
         let last = self.history.last().expect("at least one window ran");
@@ -390,6 +396,7 @@ impl ColoRunner {
             last_emu: last.emu,
             last_be_throughput: last.be_throughput,
             worst_normalized_latency: worst,
+            mean_normalized_latency: latency_sum / windows as f64,
             be_progress_core_s: progress,
             be_enabled: self.policy.be_enabled(),
             full_windows: self.full_windows - full_before,

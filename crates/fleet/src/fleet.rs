@@ -59,7 +59,7 @@ use heracles_colo::{ColoConfig, ColoRunner};
 use heracles_core::{ColocationPolicy, Heracles, HeraclesConfig, OfflineDramModel};
 use heracles_hw::ServerConfig;
 use heracles_sim::{parallel_map_mut, Scheduler, SimDuration, SimRng, SimTime, WakeReason};
-use heracles_telemetry::{Telemetry, TelemetryConfig, TraceEvent};
+use heracles_telemetry::{AlertKind, Telemetry, TelemetryConfig, TraceEvent};
 use heracles_workloads::{
     BeWorkload, LcKind, LcWorkload, ServiceCatalog, ServiceMix, NUM_SERVICES,
 };
@@ -380,6 +380,7 @@ struct StepObservation {
     last_emu: f64,
     last_be_throughput: f64,
     worst_normalized_latency: f64,
+    mean_normalized_latency: f64,
     progress_core_s: f64,
     be_enabled: bool,
     /// Windows this leaf simulated in full this step (0 ⇒ the leaf was
@@ -799,6 +800,21 @@ impl FleetSim {
         }
     }
 
+    /// Records the health plane's end-of-run summary — per-cell sketch
+    /// percentiles and the top-k unhealthiest leaves — into the flight
+    /// recorder at the current sim time.  A no-op when the health plane is
+    /// off.  Callers writing trace artifacts invoke this once, after the
+    /// last step and before [`FleetSim::take_telemetry`].
+    pub fn emit_health_summary(&mut self) {
+        let now = self.now();
+        if let Some(t) = self.telemetry.as_mut() {
+            if let Some(h) = t.health.as_ref() {
+                let events = h.summary_events(now);
+                t.recorder.extend(events);
+            }
+        }
+    }
+
     /// Index of the next step to run (also: how many steps have run).
     pub fn current_step(&self) -> usize {
         self.step_idx
@@ -1170,6 +1186,12 @@ impl FleetSim {
         // runs bit-identical.
         let tracing = self.telemetry.is_some();
         let mut step_events: Vec<TraceEvent> = Vec::new();
+        // The health plane is taken out of the bundle for the step so its
+        // observation taps can run alongside borrows of the store, plane
+        // and queue; it is reinstalled in the final telemetry block.  Like
+        // the recorder it is a read-only shadow: nothing below branches on
+        // it, so health-on and health-off runs stay bit-identical.
+        let mut health = self.telemetry.as_mut().and_then(|t| t.health.take());
 
         let routing_started = std::time::Instant::now();
         // Demand is sampled on a hold grid: with `demand_hold_steps = n` the
@@ -1199,6 +1221,10 @@ impl FleetSim {
         if let Some(t) = self.telemetry.as_mut() {
             t.phases.charge("routing", routing_elapsed);
             step_events.extend(self.plane.take_trace());
+        }
+        if let Some(h) = health.as_mut() {
+            let (shed, _) = self.plane.divert_counts();
+            h.observe_signal(AlertKind::DivertStorm, shed as f64 / in_service.len().max(1) as f64);
         }
 
         // 2. Arrivals.
@@ -1327,6 +1353,7 @@ impl FleetSim {
                 last_emu: adv.last_emu,
                 last_be_throughput: adv.last_be_throughput,
                 worst_normalized_latency: adv.worst_normalized_latency,
+                mean_normalized_latency: adv.mean_normalized_latency,
                 progress_core_s: adv.be_progress_core_s,
                 be_enabled: adv.be_enabled,
                 full_windows: adv.full_windows,
@@ -1394,6 +1421,14 @@ impl FleetSim {
             if event_core {
                 t.metrics.add("fleet.woken_leaf_steps", woken);
                 t.metrics.add("fleet.quiescent_leaf_steps", quiescent);
+            }
+        }
+        if event_core {
+            if let Some(h) = health.as_mut() {
+                h.observe_signal(
+                    AlertKind::WakeStorm,
+                    woken as f64 / (woken + quiescent).max(1) as f64,
+                );
             }
         }
         let bookkeeping_started = std::time::Instant::now();
@@ -1510,6 +1545,16 @@ impl FleetSim {
             let si = entry.service.index();
             service_load_weighted[si] += load * entry.cores as f64;
             service_cores[si] += entry.cores as f64;
+            if let Some(h) = health.as_mut() {
+                h.observe_cell(
+                    si as u8,
+                    entry.generation as u8,
+                    obs.worst_normalized_latency,
+                    obs.mean_normalized_latency,
+                    load,
+                );
+                h.observe_leaf(id as u32, obs.worst_normalized_latency, obs.full_windows as f64);
+            }
             if obs.worst_normalized_latency > 1.0 {
                 violating_by_service[si] += 1;
                 if tracing {
@@ -1593,6 +1638,53 @@ impl FleetSim {
             self.admission_baseline = verdicts;
         }
         let recorded = self.steps.last().expect("just pushed");
+        if let Some(h) = health.as_mut() {
+            // SLO burn: the fraction of in-service leaves violating this
+            // step — the attainment complement the burn-rate windows watch.
+            h.observe_signal(AlertKind::SloBurn, violating as f64 / in_service.len().max(1) as f64);
+            // Queue censorship: pending jobs that have waited beyond the
+            // horizon (8 steps) — work the dispatcher keeps skipping.
+            let pending = self.queue.pending_len();
+            if pending > 0 {
+                let horizon = step_duration * 8;
+                let censored = self
+                    .queue
+                    .pending_ids()
+                    .filter(|&jid| now > self.queue.job(jid).arrival + horizon)
+                    .count();
+                h.observe_signal(AlertKind::QueueCensorship, censored as f64 / pending as f64);
+            }
+            // Per-service attainment: one event per populated service so a
+            // report can draw the attainment curve without re-aggregating
+            // violation events (which the recorder may have dropped).
+            for (si, &leaves) in recorded.in_service_by_service.iter().enumerate() {
+                if leaves == 0 {
+                    continue;
+                }
+                let violating_s = violating_by_service[si];
+                step_events.push(
+                    TraceEvent::new(now, "health", "attainment")
+                        .str("service", LcKind::all()[si].name())
+                        .u64("leaves", leaves as u64)
+                        .u64("violating", violating_s as u64)
+                        .f64("attainment", 1.0 - violating_s as f64 / leaves as f64),
+                );
+            }
+            let alert_events = h.step(now);
+            if let Some(t) = self.telemetry.as_mut() {
+                for event in &alert_events {
+                    match event.kind() {
+                        "firing" => t.metrics.inc("health.alerts_fired"),
+                        "resolved" => t.metrics.inc("health.alerts_resolved"),
+                        _ => {}
+                    }
+                }
+            }
+            step_events.extend(alert_events);
+        }
+        if let Some(t) = self.telemetry.as_mut() {
+            t.health = health.take();
+        }
         if let Some(t) = self.telemetry.as_mut() {
             let mut step_event = TraceEvent::new(now, "fleet", "step")
                 .u64("step", step_idx as u64)

@@ -369,6 +369,15 @@ impl TrafficPlane {
         self.decisions.get(id).copied().unwrap_or("weighted")
     }
 
+    /// `(shed, absorbed)` leaf counts from the most recent traced route —
+    /// the health plane's divert-storm signal numerators.  Both are 0 when
+    /// tracing is off (verdicts are only classified under telemetry).
+    pub fn divert_counts(&self) -> (u64, u64) {
+        let shed = self.decisions.iter().filter(|&&d| d == "shed").count() as u64;
+        let absorbed = self.decisions.iter().filter(|&&d| d == "absorbed").count() as u64;
+        (shed, absorbed)
+    }
+
     /// The service catalog the plane routes for.
     pub fn catalog(&self) -> &ServiceCatalog {
         &self.catalog

@@ -48,15 +48,21 @@
 #![forbid(unsafe_code)]
 
 mod config;
+mod health;
 mod metrics;
 mod recorder;
+mod sketch;
 mod span;
 mod trace;
 mod validate;
 
 pub use config::TelemetryConfig;
+pub use health::{
+    AlertEngine, AlertKind, BurnRatePolicy, CellSketches, HealthPlane, LeafSketches, TOP_K_LEAVES,
+};
 pub use metrics::{Histogram, MetricsRegistry, HISTOGRAM_BUCKET_BOUNDS};
 pub use recorder::{FlightRecorder, Telemetry};
+pub use sketch::{QuantileSketch, MIN_TRACKED, RELATIVE_ERROR};
 pub use span::PhaseBreakdown;
 pub use trace::{json_escape, TraceEvent, TraceLog, TraceValue};
 pub use validate::{validate_metrics_json, validate_trace_jsonl, METRICS_SCHEMA, TRACE_SCHEMA};

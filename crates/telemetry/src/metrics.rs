@@ -70,6 +70,53 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// The estimated `q`-quantile (`q` clamped to `[0, 1]`; 0 when empty).
+    ///
+    /// Locates the bucket holding rank `ceil(q * count)` (the nearest-rank
+    /// definition) and interpolates linearly inside it, so the error is
+    /// bounded by the width of the containing bucket: with the 1–2–5
+    /// bounds that is at most 60% of the exact value for in-range
+    /// observations, and exact at the extremes (the first and last ranks
+    /// answer `min` and `max`).  Overflow-bucket ranks interpolate between
+    /// the last bound and `max`; estimates are clamped to `[min, max]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.min;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            return self.max;
+        }
+        let mut cumulative = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cumulative + n >= rank {
+                // The bucket's value range, tightened by the observed
+                // extremes so sparse tails don't widen the estimate.
+                let lo = if idx == 0 {
+                    self.min.min(HISTOGRAM_BUCKET_BOUNDS[0])
+                } else {
+                    HISTOGRAM_BUCKET_BOUNDS[idx - 1]
+                };
+                let hi = if idx < HISTOGRAM_BUCKET_BOUNDS.len() {
+                    HISTOGRAM_BUCKET_BOUNDS[idx]
+                } else {
+                    self.max.max(*HISTOGRAM_BUCKET_BOUNDS.last().unwrap())
+                };
+                let within = (rank - cumulative) as f64 / n as f64;
+                return (lo + (hi - lo) * within).clamp(self.min, self.max);
+            }
+            cumulative += n;
+        }
+        self.max
+    }
 }
 
 /// Named counters, gauges and histograms.
@@ -206,6 +253,62 @@ mod tests {
         // 0.15 <= 0.2 → the 2e-1 bucket; 0.05 <= 0.05 → the 5e-2 bucket.
         assert_eq!(h.buckets[10], 1);
         assert_eq!(h.buckets[8], 1);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantiles_match_exact_values_within_the_bucket_width() {
+        // Uniform 1..=1000: exact q-quantile is ~1000q.  Every value lies
+        // in buckets whose width is at most 60% of the exact value, so the
+        // interpolated estimate must be within that bound.
+        let mut h = Histogram::default();
+        let values: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        for &v in &values {
+            h.observe(v);
+        }
+        for q in [0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let est = h.quantile(q);
+            assert!((est - exact).abs() <= 0.6 * exact, "q={q}: estimate {est} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_answer_min_and_max() {
+        let mut h = Histogram::default();
+        for v in [0.3, 0.7, 1.4, 2.2, 4.9] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), 0.3);
+        assert_eq!(h.quantile(1.0), 4.9);
+    }
+
+    #[test]
+    fn overflow_bucket_interpolates_toward_max() {
+        let mut h = Histogram::default();
+        h.observe(1.0);
+        h.observe(8e4); // beyond the last bound (5e4)
+        let p100 = h.quantile(1.0);
+        assert!(p100 > 5e4 && p100 <= 8e4, "overflow estimate {p100}");
+    }
+
+    #[test]
+    fn single_bucket_cluster_is_interpolated_inside_the_bucket() {
+        // All mass in the (0.5, 1.0] bucket: every quantile must land there.
+        let mut h = Histogram::default();
+        for i in 0..100 {
+            h.observe(0.6 + 0.3 * (i as f64 / 99.0));
+        }
+        for q in [0.1, 0.5, 0.9] {
+            let est = h.quantile(q);
+            assert!((0.5..=1.0).contains(&est), "q={q} escaped the bucket: {est}");
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 use crate::config::TelemetryConfig;
+use crate::health::HealthPlane;
 use crate::metrics::MetricsRegistry;
 use crate::span::PhaseBreakdown;
 use crate::trace::{json_escape, TraceEvent};
@@ -115,6 +116,9 @@ pub struct Telemetry {
     pub metrics: MetricsRegistry,
     /// Wall seconds per pipeline phase (diagnostics only — never traced).
     pub phases: PhaseBreakdown,
+    /// The online health plane (sketches + alert engine), present only
+    /// when [`TelemetryConfig::health`] asked for it.
+    pub health: Option<HealthPlane>,
 }
 
 impl Default for FlightRecorder {
@@ -140,6 +144,7 @@ impl Telemetry {
             recorder: FlightRecorder::new(config.trace_capacity),
             metrics: MetricsRegistry::new(),
             phases: PhaseBreakdown::new(),
+            health: config.health.then(HealthPlane::new),
         })
     }
 
@@ -198,7 +203,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid telemetry configuration")]
     fn invalid_config_is_rejected() {
-        Telemetry::new(TelemetryConfig { enabled: true, trace_capacity: 0 });
+        Telemetry::new(TelemetryConfig {
+            enabled: true,
+            trace_capacity: 0,
+            ..TelemetryConfig::default()
+        });
     }
 
     #[test]

@@ -117,6 +117,8 @@ pub mod strategy {
     }
     tuple_strategy!(A, B);
     tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
 
     macro_rules! int_strategy {
         ($($t:ty),*) => {$(
