@@ -130,6 +130,16 @@ pub struct ScaleSignals {
     /// survivors over their latency knee, and this is the number a policy
     /// prices that risk with.
     pub post_shed_load: f64,
+    /// The energy price the fleet is currently billed at, in dollars per
+    /// kWh (the configured [`EnergyPriceSchedule`] sampled at the
+    /// represented hour of day; PUE is applied at billing time, not here).
+    ///
+    /// [`EnergyPriceSchedule`]: heracles_fleet::EnergyPriceSchedule
+    pub energy_price_per_kwh: f64,
+    /// The schedule's daily mean price, in dollars per kWh — the reference
+    /// an energy-aware policy compares the current price against to decide
+    /// whether this hour is cheap or expensive.
+    pub energy_price_mean_per_kwh: f64,
 }
 
 impl ScaleSignals {
@@ -147,5 +157,17 @@ impl ScaleSignals {
     /// True if draining one more server would keep the active floor.
     pub fn can_sell(&self) -> bool {
         self.active_servers > self.min_servers
+    }
+
+    /// Current-to-daily-mean energy price ratio: above 1 this hour is
+    /// pricier than average, below 1 it is cheaper.  Returns 1 for a flat
+    /// or degenerate schedule, so price-gated branches simply never fire
+    /// when energy pricing carries no signal.
+    pub fn energy_price_ratio(&self) -> f64 {
+        if self.energy_price_mean_per_kwh > 0.0 {
+            self.energy_price_per_kwh / self.energy_price_mean_per_kwh
+        } else {
+            1.0
+        }
     }
 }

@@ -285,6 +285,13 @@ impl ElasticFleet {
                     .max(self.sim.post_retire_pool_load(id, self.config.forecast_lead_steps))
             })
             .unwrap_or(0.0);
+        // The energy price the step about to run will be billed at: the
+        // configured schedule sampled at the *represented* hour of day
+        // (wall-clock compressed onto the diurnal cycle), plus its daily
+        // mean as the cheap/expensive reference.
+        let energy = &self.sim.config().energy;
+        let represented_hour =
+            heracles_fleet::hour_of_day(now.as_secs_f64() * self.sim.config().time_compression);
         ScaleSignals {
             step: self.sim.current_step(),
             queued_jobs: self.sim.queue_depth(),
@@ -303,6 +310,8 @@ impl ElasticFleet {
             best_buy: self.market.best_buy(),
             drain_candidate,
             post_shed_load,
+            energy_price_per_kwh: energy.price.price_at(represented_hour),
+            energy_price_mean_per_kwh: energy.price.daily_mean(),
         }
     }
 
@@ -474,6 +483,12 @@ impl ElasticFleet {
         self.sim.emit_health_summary();
     }
 
+    /// Records the energy plane's end-of-run summary into the flight
+    /// recorder (see [`FleetSim::emit_energy_summary`]).
+    pub fn emit_energy_summary(&mut self) {
+        self.sim.emit_energy_summary();
+    }
+
     /// Cumulative wall-clock cost of the control plane so far: the fleet's
     /// routing and dispatch phases plus this controller's signal assembly,
     /// all charged into the *fleet's* single profile (via
@@ -513,7 +528,8 @@ impl ElasticFleet {
                     .f64("load_ahead", signals.load_ahead)
                     .str("best_buy", best_buy.name())
                     .f64("buy_value_per_dollar", self.market.value_per_dollar(best_buy))
-                    .f64("post_shed_load", signals.post_shed_load),
+                    .f64("post_shed_load", signals.post_shed_load)
+                    .f64("energy_price_per_kwh", signals.energy_price_per_kwh),
             );
             let (kind, detail) = match action {
                 ScaleAction::Hold => ("hold", None),

@@ -8,11 +8,15 @@
 //! unit of useful work.  It wraps the `heracles_fleet` scheduler in a
 //! closed loop:
 //!
-//! * [`policy`] — the [`AutoscalePolicy`] trait and three built-ins:
+//! * [`policy`] — the [`AutoscalePolicy`] trait and four built-ins:
 //!   [`StaticPolicy`] (the fixed-fleet baseline), [`ReactivePolicy`]
-//!   (censored-job/queue-depth thresholds with hysteresis and cooldown) and
+//!   (censored-job/queue-depth thresholds with hysteresis and cooldown),
 //!   [`PredictivePolicy`] (diurnal-phase-aware: pre-provisions ahead of the
-//!   load peak, sheds promptly after it),
+//!   load peak, sheds promptly after it) and [`EnergyAwarePolicy`]
+//!   (price-aware: defers BE purchases and sheds eagerly through
+//!   expensive-tariff hours, buys on a lighter backlog while energy is
+//!   cheap — shifting batch work into the cheap window without touching
+//!   the LC rebuy defense),
 //! * [`market`] — the [`GenerationMarket`]: scale-out buys the hardware
 //!   generation with the best marginal BE throughput per TCO dollar (core
 //!   count, platform-floor cost scaling and per-generation interference
@@ -61,6 +65,6 @@ pub use action::{ScaleAction, ScaleEvent, ScaleEventKind, ScaleSignals};
 pub use elastic::{AutoscaleConfig, AutoscaleResult, ElasticFleet};
 pub use market::GenerationMarket;
 pub use policy::{
-    AutoscaleKind, AutoscalePolicy, PredictiveConfig, PredictivePolicy, ReactiveConfig,
-    ReactivePolicy, StaticPolicy,
+    AutoscaleKind, AutoscalePolicy, EnergyAwareConfig, EnergyAwarePolicy, PredictiveConfig,
+    PredictivePolicy, ReactiveConfig, ReactivePolicy, StaticPolicy,
 };

@@ -13,8 +13,8 @@
 
 use heracles_cluster::TcoModel;
 use heracles_fleet::{
-    server_step_tco_dollars, FleetConfig, Generation, InterferenceModel, PlacementStore,
-    ServerCapacity, ServerEntry, ServerId,
+    server_step_tco_dollars, EnergyConfig, FleetConfig, Generation, InterferenceModel,
+    PlacementStore, ServerCapacity, ServerEntry, ServerId,
 };
 use heracles_hw::ServerConfig;
 use heracles_workloads::{BeKind, LcKind, NUM_SERVICES};
@@ -60,6 +60,18 @@ impl GenerationMarket {
             service_shares: config.services.shares(),
             expected_load: 0.55,
         }
+    }
+
+    /// Re-prices the market's energy bill from the fleet's energy plane:
+    /// the TCO model's electricity price becomes the schedule's daily mean
+    /// and its PUE the energy config's, so value-per-dollar rankings see
+    /// the same tariff the energy meter bills at.  Opt-in — a market built
+    /// without this keeps the paper's §5.3 case-study constants, so runs
+    /// without an energy plane are unchanged.
+    pub fn with_energy_config(mut self, energy: &EnergyConfig) -> Self {
+        self.tco.electricity_per_kwh = energy.price.daily_mean();
+        self.tco.pue = energy.pue;
+        self
     }
 
     /// The capacity record of one generation.
@@ -194,6 +206,30 @@ mod tests {
             assert!(m.dollars_per_second(g) > 0.0);
             assert!(m.marginal_be_cores(g) > 0.0);
             assert!(m.value_per_dollar(g).is_finite());
+        }
+    }
+
+    #[test]
+    fn pricier_energy_raises_every_generation_price() {
+        let base = market(InterferenceModel::from_scores([]));
+        let pricey = market(InterferenceModel::from_scores([])).with_energy_config(
+            &heracles_fleet::EnergyConfig {
+                price: heracles_fleet::EnergyPriceSchedule::Flat { per_kwh: 0.40 },
+                ..heracles_fleet::EnergyConfig::default()
+            },
+        );
+        for g in Generation::all() {
+            assert!(pricey.dollars_per_second(g) > base.dollars_per_second(g));
+            assert!(pricey.value_per_dollar(g) < base.value_per_dollar(g));
+        }
+        // The default energy config *is* the paper's case study: wiring it
+        // through changes nothing (up to the sampled daily mean's float
+        // rounding).
+        let neutral = market(InterferenceModel::from_scores([]))
+            .with_energy_config(&heracles_fleet::EnergyConfig::default());
+        for g in Generation::all() {
+            let (n, b) = (neutral.value_per_dollar(g), base.value_per_dollar(g));
+            assert!((n - b).abs() < 1e-9 * b, "neutral {n} != base {b}");
         }
     }
 

@@ -16,6 +16,12 @@
 //!   peak is coming — buy now, while the box still helps); a falling
 //!   projection halves the scale-in hysteresis, shedding promptly once the
 //!   peak has passed.
+//! * [`EnergyAwarePolicy`] — the reactive core plus the energy price
+//!   signal: during expensive hours it defers BE-backlog purchases (batch
+//!   work waits for cheap power) and sheds with half the idle hysteresis;
+//!   during cheap hours it buys on a lighter backlog, pulling deferred
+//!   work into the cheap window.  The LC rebuy defense is never deferred —
+//!   latency compliance is not traded for an energy dollar.
 
 use serde::{Deserialize, Serialize};
 
@@ -43,12 +49,20 @@ pub enum AutoscaleKind {
     Reactive,
     /// Reactive plus diurnal-forecast pre-provisioning.
     Predictive,
+    /// Reactive plus energy-price awareness: shifts BE work toward
+    /// cheap-energy hours.
+    EnergyAware,
 }
 
 impl AutoscaleKind {
     /// All built-in policies, in reporting order.
-    pub fn all() -> [AutoscaleKind; 3] {
-        [AutoscaleKind::Static, AutoscaleKind::Reactive, AutoscaleKind::Predictive]
+    pub fn all() -> [AutoscaleKind; 4] {
+        [
+            AutoscaleKind::Static,
+            AutoscaleKind::Reactive,
+            AutoscaleKind::Predictive,
+            AutoscaleKind::EnergyAware,
+        ]
     }
 
     /// The policy's display name.
@@ -57,6 +71,7 @@ impl AutoscaleKind {
             AutoscaleKind::Static => "static",
             AutoscaleKind::Reactive => "reactive",
             AutoscaleKind::Predictive => "predictive",
+            AutoscaleKind::EnergyAware => "energy-aware",
         }
     }
 
@@ -67,6 +82,9 @@ impl AutoscaleKind {
             AutoscaleKind::Reactive => Box::new(ReactivePolicy::new(ReactiveConfig::default())),
             AutoscaleKind::Predictive => {
                 Box::new(PredictivePolicy::new(PredictiveConfig::default()))
+            }
+            AutoscaleKind::EnergyAware => {
+                Box::new(EnergyAwarePolicy::new(EnergyAwareConfig::default()))
             }
         }
     }
@@ -80,8 +98,9 @@ impl std::str::FromStr for AutoscaleKind {
             "static" => Ok(AutoscaleKind::Static),
             "reactive" => Ok(AutoscaleKind::Reactive),
             "predictive" => Ok(AutoscaleKind::Predictive),
+            "energy-aware" => Ok(AutoscaleKind::EnergyAware),
             other => Err(format!(
-                "unknown autoscaler {other:?} (expected static, reactive or predictive)"
+                "unknown autoscaler {other:?} (expected static, reactive, predictive or energy-aware)"
             )),
         }
     }
@@ -220,10 +239,18 @@ impl ReactivePolicy {
         }
     }
 
-    /// The shared decision core: `idle_needed` lets the predictive wrapper
-    /// relax the scale-in hysteresis after the peak.  Assumes
+    /// The shared decision core: `idle_needed` lets a wrapper relax the
+    /// scale-in hysteresis, and `defer_be_buy` lets the energy-aware
+    /// wrapper suppress the BE-backlog purchase during expensive hours
+    /// (the LC rebuy defense fires regardless — stranded batch work can
+    /// wait for cheap power, an overloaded LC pool cannot).  Assumes
     /// [`note_queue`](Self::note_queue) already ran this step.
-    fn decide_with(&mut self, signals: &ScaleSignals, idle_needed: usize) -> ScaleAction {
+    fn decide_with(
+        &mut self,
+        signals: &ScaleSignals,
+        idle_needed: usize,
+        defer_be_buy: bool,
+    ) -> ScaleAction {
         if !self.cooled(signals.step) {
             return ScaleAction::Hold;
         }
@@ -235,7 +262,8 @@ impl ReactivePolicy {
             self.record_scale_out(signals.step);
             return ScaleAction::ScaleOut { generation: signals.best_buy };
         }
-        if signals.stranded_jobs >= self.config.scale_out_stranded
+        if !defer_be_buy
+            && signals.stranded_jobs >= self.config.scale_out_stranded
             && signals.oldest_wait_steps >= self.config.scale_out_wait_steps
             && signals.can_buy()
         {
@@ -267,7 +295,7 @@ impl AutoscalePolicy for ReactivePolicy {
     fn decide(&mut self, signals: &ScaleSignals) -> ScaleAction {
         self.note_queue(signals);
         let idle_needed = self.config.scale_in_idle_steps;
-        self.decide_with(signals, idle_needed)
+        self.decide_with(signals, idle_needed, false)
     }
 }
 
@@ -350,7 +378,92 @@ impl AutoscalePolicy for PredictivePolicy {
         } else {
             self.config.reactive.scale_in_idle_steps
         };
-        self.core.decide_with(signals, idle_needed)
+        self.core.decide_with(signals, idle_needed, false)
+    }
+}
+
+/// Tuning of [`EnergyAwarePolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyAwareConfig {
+    /// The reactive core's thresholds.
+    pub reactive: ReactiveConfig,
+    /// Current-to-daily-mean price ratio at or above which an hour counts
+    /// as expensive: BE-backlog purchases are deferred and the scale-in
+    /// hysteresis is halved.
+    pub expensive_ratio: f64,
+    /// Current-to-daily-mean price ratio at or below which an hour counts
+    /// as cheap: a lighter backlog (half the stranded threshold, one step
+    /// of wait) already justifies a purchase, pulling deferred BE work
+    /// into the cheap window.
+    pub cheap_ratio: f64,
+}
+
+impl Default for EnergyAwareConfig {
+    fn default() -> Self {
+        EnergyAwareConfig {
+            reactive: ReactiveConfig::default(),
+            expensive_ratio: 1.25,
+            cheap_ratio: 0.80,
+        }
+    }
+}
+
+/// Energy-price-aware autoscaling: the reactive core plus the
+/// [`ScaleSignals::energy_price_ratio`] signal, shifting BE work toward
+/// cheap-energy hours.
+///
+/// During expensive hours the policy behaves like a descent-phase
+/// predictive fleet — shed on half the idle hysteresis, refuse new
+/// BE-backlog purchases — because every watt saved then is priced at the
+/// peak tariff.  During cheap hours it buys on a lighter backlog, so work
+/// deferred through the peak completes while the tariff is low.  Two
+/// invariants bound the SLO cost: the LC rebuy defense (load past the
+/// re-buy ceiling) fires at *any* price, and sheds remain gated by the
+/// reactive core's post-shed-load ceiling — the policy only ever trades
+/// BE latency, never LC compliance, for energy dollars.  Under a flat
+/// schedule the price ratio is constantly 1 and the policy degenerates to
+/// plain reactive.
+#[derive(Debug)]
+pub struct EnergyAwarePolicy {
+    config: EnergyAwareConfig,
+    core: ReactivePolicy,
+}
+
+impl EnergyAwarePolicy {
+    /// Creates the policy with the given tuning.
+    pub fn new(config: EnergyAwareConfig) -> Self {
+        EnergyAwarePolicy { config, core: ReactivePolicy::new(config.reactive) }
+    }
+}
+
+impl AutoscalePolicy for EnergyAwarePolicy {
+    fn name(&self) -> &str {
+        "energy-aware"
+    }
+
+    fn decide(&mut self, signals: &ScaleSignals) -> ScaleAction {
+        self.core.note_queue(signals);
+        let ratio = signals.energy_price_ratio();
+        if ratio >= self.config.expensive_ratio {
+            // Expensive hour: defer BE purchases (the backlog waits for
+            // cheap power) and shed with half the hysteresis — idle
+            // capacity burning peak-tariff watts is the most expensive
+            // kind.  The rebuy defense inside the core still fires.
+            let idle_needed = (self.config.reactive.scale_in_idle_steps / 2).max(1);
+            return self.core.decide_with(signals, idle_needed, true);
+        }
+        if ratio <= self.config.cheap_ratio
+            && signals.stranded_jobs >= (self.config.reactive.scale_out_stranded / 2).max(1)
+            && signals.oldest_wait_steps >= 1
+            && signals.can_buy()
+            && self.core.cooled(signals.step)
+        {
+            // Cheap hour with a backlog forming: buy early, while the
+            // joules the new box will burn are at the off-peak price.
+            self.core.record_scale_out(signals.step);
+            return ScaleAction::ScaleOut { generation: signals.best_buy };
+        }
+        self.core.decide_with(signals, self.config.reactive.scale_in_idle_steps, false)
     }
 }
 
@@ -376,6 +489,8 @@ mod tests {
             best_buy: Generation::Newer,
             drain_candidate: Some(3),
             post_shed_load: 0.5,
+            energy_price_per_kwh: 0.10,
+            energy_price_mean_per_kwh: 0.10,
         }
     }
 
@@ -515,6 +630,50 @@ mod tests {
         let mut s2 = signals();
         s2.post_shed_load = 1.2;
         assert_eq!(reckless.decide(&s2), ScaleAction::ScaleIn { server: 3 });
+    }
+
+    #[test]
+    fn energy_aware_defers_be_buys_through_expensive_hours() {
+        // A backlog that would make plain reactive buy immediately...
+        let mut reactive = ReactivePolicy::new(ReactiveConfig::default());
+        let mut s = signals();
+        s.queued_jobs = 5;
+        s.stranded_jobs = 4;
+        s.oldest_wait_steps = 3;
+        assert_eq!(reactive.decide(&s), ScaleAction::ScaleOut { generation: Generation::Newer });
+        // ...is deferred at peak tariff: batch work waits for cheap power.
+        let mut ea = EnergyAwarePolicy::new(EnergyAwareConfig::default());
+        s.energy_price_per_kwh = 0.20;
+        assert_eq!(ea.decide(&s), ScaleAction::Hold);
+        // The LC rebuy defense is never deferred, at any price.
+        s.mean_load = 0.95;
+        assert_eq!(ea.decide(&s), ScaleAction::ScaleOut { generation: Generation::Newer });
+    }
+
+    #[test]
+    fn energy_aware_sheds_faster_and_buys_earlier_off_peak() {
+        // Expensive hour: half the idle hysteresis suffices for a shed.
+        let mut ea = EnergyAwarePolicy::new(EnergyAwareConfig::default());
+        let mut s = signals();
+        s.energy_price_per_kwh = 0.20;
+        assert_eq!(ea.decide(&s), ScaleAction::Hold);
+        s.step += 1;
+        assert_eq!(ea.decide(&s), ScaleAction::ScaleIn { server: 3 });
+
+        // Cheap hour: a backlog below the reactive trigger (2 stranded,
+        // 1 step of wait vs the default 3-and-2) already buys.
+        let mut cheap = EnergyAwarePolicy::new(EnergyAwareConfig::default());
+        let mut s2 = signals();
+        s2.energy_price_per_kwh = 0.05;
+        s2.queued_jobs = 2;
+        s2.stranded_jobs = 2;
+        s2.oldest_wait_steps = 1;
+        assert_eq!(cheap.decide(&s2), ScaleAction::ScaleOut { generation: Generation::Newer });
+        // At the mean price the same light backlog holds: the policy
+        // degenerates to plain reactive on a flat schedule.
+        let mut flat = EnergyAwarePolicy::new(EnergyAwareConfig::default());
+        s2.energy_price_per_kwh = 0.10;
+        assert_eq!(flat.decide(&s2), ScaleAction::Hold);
     }
 
     #[test]

@@ -60,7 +60,7 @@ proptest! {
         steps in 6usize..10,
         seed in 0u64..500,
         arrivals in 0.2f64..1.5,
-        kind_idx in 0usize..3,
+        kind_idx in 0usize..4,
     ) {
         let kind = AutoscaleKind::all()[kind_idx];
         let config = scenario(servers, steps, seed, arrivals);
@@ -123,7 +123,7 @@ proptest! {
     #[test]
     fn identical_seeds_give_identical_scale_sequences(
         seed in 0u64..200,
-        kind_idx in 0usize..3,
+        kind_idx in 0usize..4,
     ) {
         let kind = AutoscaleKind::all()[kind_idx];
         let config = scenario(4, 8, seed, 0.8);

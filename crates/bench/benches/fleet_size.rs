@@ -25,8 +25,8 @@
 
 use criterion::Criterion;
 use heracles_bench::fleet_bench::{
-    bench_fleet, bench_report_json, check_server_plane_gate, measure_fleet_size,
-    validate_bench_json, FleetSizePoint,
+    bench_fleet, bench_report_json, check_metering_overhead_gate, check_server_plane_gate,
+    measure_fleet_size, validate_bench_json, FleetSizePoint,
 };
 use heracles_fleet::ShardingMode;
 
@@ -57,6 +57,10 @@ fn print_point(p: &FleetSizePoint) {
         p.server_plane_speedup,
         p.woken_leaves_per_step,
     );
+    println!(
+        "{:>6} energy meter: {:.3} ms metered vs {:.3} ms unmetered per step — {:.3}x overhead",
+        "", p.metered_step_ms, p.unmetered_step_ms, p.metering_overhead,
+    );
 }
 
 const ARTIFACT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
@@ -72,7 +76,9 @@ fn main() {
         validate_bench_json(&doc).expect("committed BENCH_fleet.json must match the schema");
         check_server_plane_gate(&doc)
             .expect("committed BENCH_fleet.json must hold the server-plane speedup gate");
-        println!("{ARTIFACT}: schema ok, server-plane gate ok");
+        check_metering_overhead_gate(&doc)
+            .expect("committed BENCH_fleet.json must hold the metering overhead gate");
+        println!("{ARTIFACT}: schema ok, server-plane gate ok, metering gate ok");
         return;
     }
 
@@ -105,4 +111,5 @@ fn main() {
     // The artifact is written first so a failed gate still leaves the
     // numbers on disk for diagnosis.
     check_server_plane_gate(&doc).expect("full-mode sweep must hold the server-plane gate");
+    check_metering_overhead_gate(&doc).expect("full-mode sweep must hold the metering gate");
 }

@@ -14,8 +14,15 @@
 //!   with the health plane enabled and reports on its in-memory
 //!   artifacts (the same parser either way, so the modes cannot drift).
 //!
-//! Exits 2 on usage or IO errors, 1 when an artifact fails to parse or
-//! the cross-check exceeds the sketch's error bound.
+//! When the trace carries the energy plane's columns (`fleet_scale
+//! --energy`), the report gains an energy section: per-generation package
+//! watts sparklines, the top-k energy-hungriest leaves and the
+//! joules-vs-∫watts conservation cross-check.  Live mode always meters
+//! (the shadow is free); a broken conservation identity exits 1.
+//!
+//! Exits 2 on usage or IO errors, 1 when an artifact fails to parse, the
+//! cross-check exceeds the sketch's error bound, or energy conservation
+//! breaks.
 
 use heracles_bench::cli::Args;
 use heracles_bench::fleet_doctor::DoctorReport;
@@ -77,6 +84,10 @@ fn main() {
             print!("{}", report.render());
             if !report.cross_checks_ok() {
                 eprintln!("sketch-vs-exact cross-check FAILED its error bound");
+                std::process::exit(1);
+            }
+            if !report.energy_ok() {
+                eprintln!("energy joules-vs-∫watts conservation cross-check FAILED");
                 std::process::exit(1);
             }
         }

@@ -15,13 +15,23 @@
 //! Heracles baseline's violation rate as the bar the fleet must not
 //! regress.
 //!
-//! With `--autoscale <static|reactive|predictive|all>` the binary instead
-//! compares elastic fleets against the static baseline on the same
-//! compressed-diurnal scenario and job stream: per autoscaler it reports
-//! the time-varying fleet size, purchases/drains/migrations, completed BE
-//! core·seconds, SLO-violation server-steps, queue-wait percentiles, the
-//! amortized TCO bill and — the headline — TCO per completed core·second
-//! relative to the static fleet.
+//! With `--autoscale <static|reactive|predictive|energy-aware|all>` the
+//! binary instead compares elastic fleets against the static baseline on
+//! the same compressed-diurnal scenario and job stream: per autoscaler it
+//! reports the time-varying fleet size, purchases/drains/migrations,
+//! completed BE core·seconds, SLO-violation server-steps, queue-wait
+//! percentiles, the amortized TCO bill and — the headline — TCO per
+//! completed core·second relative to the static fleet.
+//!
+//! With `--energy` the fleet's energy plane meters per-leaf package power
+//! into joule/dollar ledgers (a read-only shadow: results are bit-identical
+//! with it off) and each row gains an energy line — fleet megajoules, the
+//! energy bill at the configured tariff, the peak instantaneous watts and
+//! joules per completed BE core·second.  `--power-cap W` additionally runs
+//! the cluster under a package watt budget (per-leaf RAPL-style caps, BE
+//! admission throttled first — a behavioral knob, not a shadow), and
+//! `--energy-price <flat|peak|carbon|$/kWh>` picks the tariff curve the
+//! joules are billed at (a bare number means a flat price at that $/kWh).
 //!
 //! With `--services websearch:0.5,memkeyval:0.3,ml_cluster:0.2` the fleet
 //! serves a mixed LC catalog: each service owns an aggregate diurnal
@@ -59,18 +69,37 @@
 //! [--autoscale POLICY] [--csv] [--trace PATH] [--metrics PATH]
 //! [--health] [--recorder-capacity N] [--policy KIND]
 //! [--telemetry-gate PCT] [--sim-core stepped|event|both]
-//! [--demand-hold N]`
+//! [--demand-hold N] [--energy] [--power-cap W] [--energy-price KIND]`
 
-use heracles_autoscale::{AutoscaleConfig, AutoscaleKind, ElasticFleet};
+use heracles_autoscale::{AutoscaleConfig, AutoscaleKind, ElasticFleet, GenerationMarket};
 use heracles_bench::cli::Args;
 use heracles_cluster::TcoModel;
 use heracles_fleet::{
-    single_server_baseline_violations, FleetConfig, FleetSim, GenerationMix, PolicyKind, SimCore,
-    Telemetry, TelemetryConfig,
+    single_server_baseline_violations, EnergyConfig, EnergyPriceSchedule, FleetConfig, FleetResult,
+    FleetSim, GenerationMix, InterferenceModel, PolicyKind, SimCore, Telemetry, TelemetryConfig,
 };
 use heracles_hw::ServerConfig;
 use heracles_telemetry::{validate_metrics_json, validate_trace_jsonl};
 use heracles_workloads::ServiceMix;
+
+/// The per-row energy line printed when the energy plane is metering:
+/// fleet joules, the tariff bill, the peak instantaneous draw (against the
+/// cap, when one is set) and the efficiency headline — joules per
+/// completed BE core·second.
+fn print_energy_line(result: &FleetResult, energy: &EnergyConfig) {
+    let cap_note = energy.power_cap_w.map(|w| format!(" (cap {w:.0} W)")).unwrap_or_default();
+    let per_core_s = result.joules_per_be_core_s();
+    let efficiency =
+        if per_core_s.is_finite() { format!(", {per_core_s:.1} J/core·s") } else { String::new() };
+    println!(
+        "  {:>18} energy: {:.2} MJ (${:.2} at PUE {:.1}), peak {:.0} W{cap_note}{efficiency}",
+        "",
+        result.total_energy_joules() / 1e6,
+        result.total_energy_dollars(),
+        energy.pue,
+        result.max_peak_power_w(),
+    );
+}
 
 fn sweep(config: FleetConfig, server: &ServerConfig, tco: &TcoModel, csv: bool) {
     let counts = config.mix.counts(config.servers);
@@ -113,6 +142,9 @@ fn sweep(config: FleetConfig, server: &ServerConfig, tco: &TcoModel, csv: bool) 
             result.preemptions(),
             result.tco_improvement(tco) * 100.0
         );
+        if config.energy.metering {
+            print_energy_line(&result, &config.energy);
+        }
         if config.services.active_services() > 1 {
             let by = result.violation_server_steps_by_service();
             println!(
@@ -194,8 +226,17 @@ fn autoscale_sweep(config: FleetConfig, server: &ServerConfig, which: &str, csv:
         // sizing*, and least-loaded's occupancy penalty spreads residents
         // across servers — which is also what makes consolidation drains
         // (migrate, retire) do real work in the valley.
-        let result =
-            ElasticFleet::new(scenario, server.clone(), PolicyKind::LeastLoaded, kind).run();
+        let mut elastic =
+            ElasticFleet::new(scenario, server.clone(), PolicyKind::LeastLoaded, kind);
+        if scenario.fleet.energy.metering {
+            // Price the market's energy bill at the same tariff the meter
+            // bills at, so "which generation?" and the joule ledgers agree.
+            elastic = elastic.with_market(
+                GenerationMarket::new(&scenario.fleet, server, InterferenceModel::from_scores([]))
+                    .with_energy_config(&scenario.fleet.energy),
+            );
+        }
+        let result = elastic.run();
         let fleet = &result.fleet;
         let per_kcs = fleet.tco_per_be_core_s() * 1_000.0;
         if kind == baseline {
@@ -219,6 +260,9 @@ fn autoscale_sweep(config: FleetConfig, server: &ServerConfig, which: &str, csv:
             per_kcs,
             delta
         );
+        if scenario.fleet.energy.metering {
+            print_energy_line(fleet, &scenario.fleet.energy);
+        }
         if csv {
             println!();
             print!("{}", fleet.to_csv());
@@ -246,6 +290,7 @@ fn timed_run(
             sim.step_once();
         }
         sim.emit_health_summary();
+        sim.emit_energy_summary();
         sim.take_telemetry()
     } else {
         let kind: AutoscaleKind = autoscale.parse().unwrap_or_else(|e| {
@@ -258,6 +303,7 @@ fn timed_run(
             fleet.step_once();
         }
         fleet.emit_health_summary();
+        fleet.emit_energy_summary();
         fleet.take_telemetry()
     };
     (started.elapsed().as_secs_f64(), telemetry)
@@ -427,7 +473,44 @@ fn main() {
         base
     };
     let sim_core_arg = args.value("--sim-core", String::new());
+    // The energy-plane knobs: `--energy` turns on the metering shadow,
+    // `--power-cap` (implies metering) runs under a cluster watt budget,
+    // `--energy-price` picks the tariff (a named curve or a flat $/kWh).
+    let energy = {
+        let mut energy = base.energy;
+        if args.flag("--energy") {
+            energy.metering = true;
+        }
+        let cap_w = args.value("--power-cap", 0.0f64);
+        if cap_w > 0.0 {
+            energy.metering = true;
+            energy.power_cap_w = Some(cap_w);
+        }
+        let price = args.value("--energy-price", String::new());
+        match price.as_str() {
+            "" | "flat" => {}
+            "peak" => energy.price = EnergyPriceSchedule::business_peak(),
+            "carbon" => {
+                energy.price =
+                    EnergyPriceSchedule::CarbonAware { base_per_kwh: 0.05, premium_per_kwh: 0.10 }
+            }
+            other => match other.parse::<f64>() {
+                Ok(per_kwh) if per_kwh > 0.0 && per_kwh.is_finite() => {
+                    energy.price = EnergyPriceSchedule::Flat { per_kwh }
+                }
+                _ => {
+                    eprintln!(
+                        "invalid --energy-price {other:?} (expected flat, peak, carbon or a \
+                         positive $/kWh number)"
+                    );
+                    std::process::exit(2);
+                }
+            },
+        }
+        energy
+    };
     let config = FleetConfig {
+        energy,
         servers: args.value("--servers", base.servers),
         steps: args.value("--steps", base.steps),
         seed: args.value("--seed", base.seed),

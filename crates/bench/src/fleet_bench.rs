@@ -15,6 +15,13 @@
 //! split (routing / dispatch / signals) comes from [`ControlPlaneProfile`];
 //! the server-plane numbers from `ServerPlaneProfile`.
 //!
+//! The v3 schema adds an energy-metering overhead pair: the identical
+//! elastic scenario with the [`heracles_fleet::EnergyMeter`] ledgers
+//! installed vs off (best-of-three each arm, results asserted
+//! bit-identical — the meter is a read-only shadow).  Full-mode artifacts
+//! must hold the metered / unmetered ratio at or under
+//! [`METERING_OVERHEAD_GATE`] at every sweep size.
+//!
 //! The report is hand-formatted JSON (the workspace deliberately vendors no
 //! JSON serializer) with a matching [`validate_bench_json`] used by the CI
 //! smoke step, so a malformed artifact fails fast instead of silently
@@ -25,19 +32,24 @@ use std::time::Instant;
 use heracles_autoscale::{AutoscaleConfig, AutoscaleKind, ElasticFleet};
 use heracles_colo::ColoConfig;
 use heracles_fleet::{
-    BalancerKind, ControlPlaneProfile, FleetConfig, FleetResult, FleetSim, GenerationMix,
-    JobStreamConfig, PolicyKind, ShardingMode, SimCore,
+    BalancerKind, ControlPlaneProfile, EnergyConfig, FleetConfig, FleetResult, FleetSim,
+    GenerationMix, JobStreamConfig, PolicyKind, ShardingMode, SimCore,
 };
 use heracles_hw::ServerConfig;
 use heracles_workloads::ServiceMix;
 
 /// Schema tag stamped into (and required from) every bench report.
-pub const BENCH_SCHEMA: &str = "heracles-fleet-bench/v2";
+pub const BENCH_SCHEMA: &str = "heracles-fleet-bench/v3";
 
 /// The headline gate CI holds the committed artifact to: at the largest
 /// full-mode sweep point, the event-driven server plane must step a steady
 /// fleet at least this many times faster than the stepped oracle.
 pub const SERVER_PLANE_SPEEDUP_GATE: f64 = 5.0;
+
+/// Ceiling on the energy-metering overhead ratio (metered step wall time
+/// over unmetered) a full-mode artifact may report at any sweep size: the
+/// meter's ledgers must cost no more than 5% of the step.
+pub const METERING_OVERHEAD_GATE: f64 = 1.05;
 
 /// One measured sweep point: per-step wall-clock milliseconds for the
 /// sharded/batched arm, its control-plane split, and the legacy arm's
@@ -75,6 +87,15 @@ pub struct FleetSizePoint {
     /// Mean leaves woken (ran at least one full window) per measured step
     /// on the event-driven core.
     pub woken_leaves_per_step: f64,
+    /// Whole-step wall time with the energy meter installed, ms per step
+    /// (best of three runs).
+    pub metered_step_ms: f64,
+    /// Whole-step wall time of the identical scenario with metering off,
+    /// ms per step (best of three runs).
+    pub unmetered_step_ms: f64,
+    /// `metered_step_ms / unmetered_step_ms` — the ratio
+    /// [`METERING_OVERHEAD_GATE`] caps in full mode.
+    pub metering_overhead: f64,
 }
 
 /// Builds one benchmark arm: the compressed-diurnal elastic scenario at the
@@ -130,6 +151,66 @@ fn run_arm(
     let wall_s = started.elapsed().as_secs_f64();
     let profile = fleet.control_plane_profile();
     (profile, wall_s, fleet.finish().fleet)
+}
+
+/// Builds the metering-overhead arm: the identical elastic scenario as
+/// [`bench_fleet`] on the sharded/batched control plane, with the energy
+/// meter's ledgers installed or not.
+fn metering_fleet(servers: usize, steps: usize, metering: bool) -> ElasticFleet {
+    let base = FleetConfig {
+        servers,
+        steps,
+        windows_per_step: 2,
+        seed: 7,
+        services: ServiceMix::mixed_frontend(),
+        balancer: BalancerKind::SlackAware,
+        mix: GenerationMix::mixed_datacenter(),
+        sharding: ShardingMode::PerPool,
+        batch_dispatch: true,
+        energy: if metering { EnergyConfig::metered() } else { EnergyConfig::default() },
+        colo: ColoConfig { requests_per_window: 40, ..ColoConfig::fast_test() },
+        ..FleetConfig::default()
+    };
+    let config = AutoscaleConfig::diurnal(base);
+    ElasticFleet::new(
+        config,
+        ServerConfig::default_haswell(),
+        PolicyKind::LeastLoaded,
+        AutoscaleKind::Reactive,
+    )
+}
+
+/// Measures the energy-metering overhead pair at one size: best-of-three
+/// whole-run wall seconds for metered and unmetered arms on the identical
+/// scenario, asserting bit-identical results (the meter is a read-only
+/// shadow — any divergence is a correctness bug, not an overhead).
+/// Returns `(metered_ms_per_step, unmetered_ms_per_step)`.
+pub fn measure_metering_overhead(servers: usize, steps: usize) -> (f64, f64) {
+    let mut walls = [f64::INFINITY; 2];
+    let mut results: [Option<FleetResult>; 2] = [None, None];
+    for _ in 0..3 {
+        for (arm, metering) in [true, false].into_iter().enumerate() {
+            let mut fleet = metering_fleet(servers, steps, metering);
+            let started = Instant::now();
+            for _ in 0..steps {
+                fleet.step_once();
+            }
+            walls[arm] = walls[arm].min(started.elapsed().as_secs_f64());
+            results[arm] = Some(fleet.finish().fleet);
+        }
+    }
+    let metered = results[0].take().expect("three rounds ran");
+    let unmetered = results[1].take().expect("three rounds ran");
+    assert_eq!(
+        metered.steps, unmetered.steps,
+        "the energy meter perturbed the simulation (per-step metrics)"
+    );
+    assert_eq!(
+        metered.jobs, unmetered.jobs,
+        "the energy meter perturbed the simulation (job ledger)"
+    );
+    let per_step_ms = |seconds: f64| seconds * 1e3 / steps as f64;
+    (per_step_ms(walls[0]), per_step_ms(walls[1]))
 }
 
 /// Warmup steps before the timed server-plane segment: the per-leaf
@@ -227,6 +308,7 @@ pub fn measure_fleet_size(servers: usize, steps: usize) -> FleetSizePoint {
     );
     let (server_plane_ms, stepped_server_plane_ms, woken_leaves_per_step) =
         measure_server_plane(servers);
+    let (metered_step_ms, unmetered_step_ms) = measure_metering_overhead(servers, steps);
     let per_step_ms = |seconds: f64| seconds * 1e3 / steps as f64;
     FleetSizePoint {
         servers,
@@ -243,6 +325,9 @@ pub fn measure_fleet_size(servers: usize, steps: usize) -> FleetSizePoint {
         stepped_server_plane_ms,
         server_plane_speedup: stepped_server_plane_ms / server_plane_ms.max(1e-12),
         woken_leaves_per_step,
+        metered_step_ms,
+        unmetered_step_ms,
+        metering_overhead: metered_step_ms / unmetered_step_ms.max(1e-12),
     }
 }
 
@@ -279,7 +364,13 @@ pub fn bench_report_json(mode: &str, points: &[FleetSizePoint]) -> String {
             p.stepped_server_plane_ms
         ));
         out.push_str(&format!("      \"server_plane_speedup\": {:.3},\n", p.server_plane_speedup));
-        out.push_str(&format!("      \"woken_leaves_per_step\": {:.3}\n", p.woken_leaves_per_step));
+        out.push_str(&format!(
+            "      \"woken_leaves_per_step\": {:.3},\n",
+            p.woken_leaves_per_step
+        ));
+        out.push_str(&format!("      \"metered_step_ms\": {:.6},\n", p.metered_step_ms));
+        out.push_str(&format!("      \"unmetered_step_ms\": {:.6},\n", p.unmetered_step_ms));
+        out.push_str(&format!("      \"metering_overhead\": {:.3}\n", p.metering_overhead));
         out.push_str(if i + 1 == points.len() { "    }\n" } else { "    },\n" });
     }
     out.push_str("  ]\n}\n");
@@ -287,7 +378,7 @@ pub fn bench_report_json(mode: &str, points: &[FleetSizePoint]) -> String {
 }
 
 /// Keys every result entry must carry, each with a numeric value.
-const RESULT_KEYS: [&str; 14] = [
+const RESULT_KEYS: [&str; 17] = [
     "servers",
     "steps",
     "step_ms",
@@ -302,6 +393,9 @@ const RESULT_KEYS: [&str; 14] = [
     "stepped_server_plane_ms",
     "server_plane_speedup",
     "woken_leaves_per_step",
+    "metered_step_ms",
+    "unmetered_step_ms",
+    "metering_overhead",
 ];
 
 /// Validates a `BENCH_fleet.json` document against the `v1` schema: the
@@ -386,6 +480,32 @@ pub fn check_server_plane_gate(doc: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The CI energy gate on a *full-mode* bench document: every sweep point
+/// must report a metering overhead ratio at or under
+/// [`METERING_OVERHEAD_GATE`] — the meter's ledgers may not cost more than
+/// 5% of the step at any fleet size.  Fast/smoke documents pass
+/// unconditionally, for the same reason as
+/// [`check_server_plane_gate`].
+pub fn check_metering_overhead_gate(doc: &str) -> Result<(), String> {
+    if !doc.contains("\"mode\": \"full\"") {
+        return Ok(());
+    }
+    let servers = scan_values(doc, "servers");
+    let overheads = scan_values(doc, "metering_overhead");
+    if servers.len() != overheads.len() || servers.is_empty() {
+        return Err("malformed document: servers/metering_overhead mismatch".into());
+    }
+    for (s, o) in servers.iter().zip(&overheads) {
+        if *o > METERING_OVERHEAD_GATE {
+            return Err(format!(
+                "metering overhead gate failed: {o:.3}x at {s} servers, \
+                 need <= {METERING_OVERHEAD_GATE}x"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +526,9 @@ mod tests {
             stepped_server_plane_ms: 2.8,
             server_plane_speedup: 7.0,
             woken_leaves_per_step: 1.5,
+            metered_step_ms: 1.52,
+            unmetered_step_ms: 1.5,
+            metering_overhead: 1.013,
         }
     }
 
@@ -420,7 +543,7 @@ mod tests {
     fn validator_rejects_malformed_documents() {
         assert!(validate_bench_json("{}").is_err());
         let doc = bench_report_json("full", &[fake_point(100)]);
-        assert!(validate_bench_json(&doc.replace("heracles-fleet-bench/v2", "v0")).is_err());
+        assert!(validate_bench_json(&doc.replace("heracles-fleet-bench/v3", "v0")).is_err());
         assert!(validate_bench_json(&doc.replace("\"dispatch_ms\":", "\"elided\":")).is_err());
         assert!(validate_bench_json(&doc.replace("\"step_ms\": 1.500000", "\"step_ms\": oops"))
             .is_err());
@@ -428,6 +551,28 @@ mod tests {
             validate_bench_json(&doc.replace("\"server_plane_speedup\":", "\"gone\":")).is_err(),
             "a v1-shaped document without the server-plane keys must be rejected"
         );
+        assert!(
+            validate_bench_json(&doc.replace("\"metering_overhead\":", "\"gone\":")).is_err(),
+            "a v2-shaped document without the energy keys must be rejected"
+        );
+    }
+
+    #[test]
+    fn metering_gate_caps_every_full_mode_entry() {
+        let mut costly = fake_point(1_000);
+        costly.metering_overhead = 1.09;
+        let doc = bench_report_json("full", &[fake_point(100), costly, fake_point(10_000)]);
+        assert!(
+            check_metering_overhead_gate(&doc).is_err(),
+            "1.09x at any size must fail the 1.05x gate"
+        );
+        let doc = bench_report_json("full", &[fake_point(100), fake_point(10_000)]);
+        check_metering_overhead_gate(&doc).expect("1.013x everywhere passes");
+        // Fast/smoke documents are exempt.
+        let mut smoke = fake_point(32);
+        smoke.metering_overhead = 2.0;
+        let doc = bench_report_json("smoke", &[smoke]);
+        check_metering_overhead_gate(&doc).expect("smoke sweeps are not gated");
     }
 
     #[test]
@@ -464,6 +609,9 @@ mod tests {
             point.woken_leaves_per_step < 24.0,
             "the settled steady fleet never quiesced a single leaf: {point:?}"
         );
+        assert!(point.metered_step_ms > 0.0);
+        assert!(point.unmetered_step_ms > 0.0);
+        assert!(point.metering_overhead > 0.0);
         let doc = bench_report_json("smoke", &[point]);
         validate_bench_json(&doc).expect("smoke report must validate");
     }

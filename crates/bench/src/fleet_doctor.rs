@@ -18,7 +18,15 @@
 //!   documented relative-error bound or the check (and the binary) fails.
 //!   When a metrics document is present the `fleet.normalized_latency`
 //!   histogram's interpolated quantiles are printed alongside as the
-//!   coarser per-leaf view.
+//!   coarser per-leaf view,
+//! * **energy plane** (when the trace carries energy columns) — a
+//!   per-generation package-watts sparkline, the top-k energy-hungriest
+//!   leaves from the meter's end-of-run summary, and the
+//!   joules-vs-∫watts conservation cross-check: each step's fleet joules
+//!   must equal its per-generation watts decomposition integrated over
+//!   the step, and (on a lossless trace) the meter's fleet ledger must
+//!   equal the step column's sum.  A broken conservation identity fails
+//!   the binary the same way a broken sketch bound does.
 //!
 //! The report reads either artifacts on disk (`--trace`, `--metrics`) or a
 //! live run: [`live_report`] runs a fleet with the health plane enabled,
@@ -117,6 +125,55 @@ pub struct DoctorReport {
     pub step_latencies: Vec<f64>,
     /// The `fleet.normalized_latency` histogram from the metrics document.
     pub histogram: Option<Histogram>,
+    /// Fleet joules per `fleet`/`step` event carrying energy columns, in
+    /// step order.
+    pub step_energy_j: Vec<f64>,
+    /// Per-generation package watts per step event (same order and length
+    /// as [`step_energy_j`](Self::step_energy_j)), indexed by generation.
+    pub gen_watts: [Vec<f64>; 3],
+    /// Sim timestamps of the energy-carrying step events (the ∫watts·dt
+    /// step width is their common difference).
+    pub step_times: Vec<f64>,
+    /// Represented seconds each energy-carrying step averaged its watts
+    /// over (`step_represented_s`), when the trace carries it: a
+    /// time-compressed run's watts integrate over represented time, not
+    /// over the raw sim timestamps.
+    pub step_dt_s: Vec<f64>,
+    /// The meter's end-of-run fleet ledger from the `energy`/`summary`
+    /// event: (joules, dollars, conservation residual in joules).
+    pub energy_summary: Option<(f64, f64, f64)>,
+    /// Top-k energy-hungriest leaves from the latest `energy`/`top_leaf`
+    /// snapshot: (server id, joules, dollars).
+    pub energy_leaves: Vec<(u64, f64, f64)>,
+}
+
+/// The joules-vs-∫watts conservation cross-check of the energy section.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyConservation {
+    /// Worst per-step relative error between the fleet joules column and
+    /// the per-generation watts decomposition integrated over the step.
+    pub worst_step_rel_err: f64,
+    /// Relative error between the meter's end-of-run fleet joules and the
+    /// sum of the step column — `None` on a partial trace (evicted steps
+    /// make the sum a suffix) or when no meter summary was emitted.
+    pub meter_rel_err: Option<f64>,
+    /// The meter's own fleet-vs-pools-vs-leaves residual, in joules,
+    /// relative to the fleet total.
+    pub ledger_residual_rel: Option<f64>,
+}
+
+impl EnergyConservation {
+    /// The identities are exact up to float summation order and the trace's
+    /// six-decimal field rounding; anything past this bound is a real
+    /// conservation break.
+    pub const BOUND: f64 = 1e-6;
+
+    /// Whether every available identity holds within [`BOUND`](Self::BOUND).
+    pub fn ok(&self) -> bool {
+        self.worst_step_rel_err <= Self::BOUND
+            && self.meter_rel_err.is_none_or(|e| e <= Self::BOUND)
+            && self.ledger_residual_rel.is_none_or(|e| e <= Self::BOUND)
+    }
 }
 
 impl DoctorReport {
@@ -135,9 +192,10 @@ impl DoctorReport {
             }
         }
 
-        // The end-of-run summary may be emitted more than once on resumed
+        // The end-of-run summaries may be emitted more than once on resumed
         // runs; keep only the latest snapshot's leaf rows.
         let mut leaf_rows: Vec<(f64, LeafHealth)> = Vec::new();
+        let mut energy_leaf_rows: Vec<(f64, (u64, f64, f64))> = Vec::new();
         for line in lines {
             let (Some(scope), Some(kind)) = (field_raw(line, "scope"), field_raw(line, "kind"))
             else {
@@ -186,6 +244,43 @@ impl DoctorReport {
                     if let Some(worst) = field_f64(line, "worst_normalized_latency") {
                         report.step_latencies.push(worst);
                     }
+                    // Energy columns arrive together or not at all (older
+                    // traces predate them); only a complete set keeps the
+                    // per-step series aligned.
+                    if let (Some(joules), Some(sb), Some(hw), Some(sk)) = (
+                        field_f64(line, "energy_joules"),
+                        field_f64(line, "watts_sandy_bridge"),
+                        field_f64(line, "watts_haswell"),
+                        field_f64(line, "watts_skylake"),
+                    ) {
+                        report.step_energy_j.push(joules);
+                        report.gen_watts[0].push(sb);
+                        report.gen_watts[1].push(hw);
+                        report.gen_watts[2].push(sk);
+                        report.step_times.push(t);
+                        if let Some(dt) = field_f64(line, "step_represented_s") {
+                            report.step_dt_s.push(dt);
+                        }
+                    }
+                }
+                ("energy", "summary") => {
+                    report.energy_summary = Some((
+                        field_f64(line, "fleet_joules")
+                            .ok_or_else(|| format!("energy summary lacks fleet_joules: {line}"))?,
+                        field_f64(line, "fleet_dollars").unwrap_or(0.0),
+                        field_f64(line, "conservation_error_j").unwrap_or(0.0),
+                    ));
+                }
+                ("energy", "top_leaf") => {
+                    energy_leaf_rows.push((
+                        t,
+                        (
+                            field_u64(line, "server")
+                                .ok_or_else(|| format!("top_leaf event lacks server: {line}"))?,
+                            field_f64(line, "joules").unwrap_or(0.0),
+                            field_f64(line, "dollars").unwrap_or(0.0),
+                        ),
+                    ));
                 }
                 _ => {}
             }
@@ -193,6 +288,13 @@ impl DoctorReport {
         let latest = leaf_rows.iter().map(|(t, _)| *t).fold(f64::NEG_INFINITY, f64::max);
         report.leaves =
             leaf_rows.into_iter().filter(|(t, _)| *t == latest).map(|(_, l)| l).collect();
+        let latest_energy =
+            energy_leaf_rows.iter().map(|(t, _)| *t).fold(f64::NEG_INFINITY, f64::max);
+        report.energy_leaves = energy_leaf_rows
+            .into_iter()
+            .filter(|(t, _)| *t == latest_energy)
+            .map(|(_, l)| l)
+            .collect();
 
         if let Some(doc) = metrics {
             report.histogram = parse_histogram(doc, "fleet.normalized_latency")?;
@@ -211,6 +313,9 @@ impl DoctorReport {
     ) -> Result<DoctorReport, String> {
         let cfg = FleetConfig {
             telemetry: TelemetryConfig { enabled: true, health: true, ..config.telemetry },
+            // Metering is a read-only shadow, so the live doctor always
+            // turns it on: the energy section costs nothing but ledgers.
+            energy: heracles_fleet::EnergyConfig { metering: true, ..config.energy },
             ..config
         };
         let mut sim = FleetSim::new(cfg, server.clone(), policy);
@@ -218,6 +323,7 @@ impl DoctorReport {
             sim.step_once();
         }
         sim.emit_health_summary();
+        sim.emit_energy_summary();
         let telemetry = sim.take_telemetry().expect("telemetry was enabled");
         let header = [
             ("policy", policy.name().to_string()),
@@ -279,6 +385,60 @@ impl DoctorReport {
     /// Whether every cross-check row honors the sketch's error bound.
     pub fn cross_checks_ok(&self) -> bool {
         self.cross_checks().iter().all(QuantileCheck::ok)
+    }
+
+    /// The energy-conservation cross-check, or `None` when the trace
+    /// carries no energy columns.
+    pub fn energy_conservation(&self) -> Option<EnergyConservation> {
+        if self.step_energy_j.is_empty() {
+            return None;
+        }
+        // Steps are uniform, so the step width is the common difference of
+        // the step-event timestamps (a single retained step event sits at
+        // the end of the run's first retained step).  Traces that carry
+        // `step_represented_s` override this per step: a time-compressed
+        // run's watts average over represented seconds, which the raw sim
+        // timestamps undercount by the compression factor.
+        let fallback_dt = if self.step_times.len() >= 2 {
+            self.step_times[1] - self.step_times[0]
+        } else {
+            self.step_times[0]
+        };
+        let dt_at = |i: usize| {
+            if self.step_dt_s.len() == self.step_energy_j.len() {
+                self.step_dt_s[i]
+            } else {
+                fallback_dt
+            }
+        };
+        let rel = |a: f64, b: f64| {
+            if b.abs() > 0.0 {
+                (a - b).abs() / b.abs()
+            } else {
+                a.abs()
+            }
+        };
+        let worst_step_rel_err = (0..self.step_energy_j.len())
+            .map(|i| {
+                let integrated = self.gen_watts.iter().map(|w| w[i]).sum::<f64>() * dt_at(i);
+                rel(integrated, self.step_energy_j[i])
+            })
+            .fold(0.0, f64::max);
+        let meter_rel_err = match self.energy_summary {
+            Some((joules, _, _)) if !self.is_partial() => {
+                Some(rel(self.step_energy_j.iter().sum::<f64>(), joules))
+            }
+            _ => None,
+        };
+        let ledger_residual_rel =
+            self.energy_summary.map(|(joules, _, residual)| rel(joules + residual, joules));
+        Some(EnergyConservation { worst_step_rel_err, meter_rel_err, ledger_residual_rel })
+    }
+
+    /// Whether the energy section's conservation identities hold (trivially
+    /// true when the trace has no energy columns).
+    pub fn energy_ok(&self) -> bool {
+        self.energy_conservation().is_none_or(|c| c.ok())
     }
 
     /// Renders the four-section triage report.
@@ -391,6 +551,56 @@ impl DoctorReport {
                     h.count,
                     qs.join(", "),
                     RELATIVE_ERROR * 100.0
+                );
+            }
+        }
+
+        let _ = writeln!(out, "\nenergy plane{marker}");
+        match self.energy_conservation() {
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  (no energy columns in the trace — run fleet_scale with --energy)"
+                );
+            }
+            Some(conservation) => {
+                if let Some((joules, dollars, residual)) = self.energy_summary {
+                    let _ = writeln!(
+                        out,
+                        "  fleet energy: {:.2} MJ (${dollars:.2}), meter residual {residual:.3} J",
+                        joules / 1e6
+                    );
+                }
+                let _ = writeln!(out, "  package watts by generation:");
+                for (name, series) in
+                    ["sandy-bridge", "haswell", "skylake"].iter().zip(&self.gen_watts)
+                {
+                    let mean = series.iter().sum::<f64>() / series.len() as f64;
+                    let _ =
+                        writeln!(out, "    {name:<12} mean {mean:>8.0} W  {}", sparkline(series));
+                }
+                if !self.energy_leaves.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "  energy-hungriest leaves (top-{}):",
+                        self.energy_leaves.len()
+                    );
+                    let _ = writeln!(out, "    {:>6} {:>14} {:>10}", "leaf", "joules", "dollars");
+                    for (leaf, joules, dollars) in &self.energy_leaves {
+                        let _ = writeln!(out, "    {leaf:>6} {joules:>14.1} {dollars:>10.6}");
+                    }
+                }
+                let meter_note = match conservation.meter_rel_err {
+                    Some(e) => format!(", meter-vs-steps {e:.2e}"),
+                    None => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  joules-vs-∫watts cross-check: worst step rel err {:.2e}{meter_note} \
+                     (bound {:.0e})   {}",
+                    conservation.worst_step_rel_err,
+                    EnergyConservation::BOUND,
+                    if conservation.ok() { "ok" } else { "FAIL" }
                 );
             }
         }

@@ -36,6 +36,7 @@ struct WindowInputs {
     be_ways: usize,
     be_freq_cap_bits: Option<u64>,
     be_net_ceil_bits: Option<u64>,
+    package_cap_bits: Option<u64>,
     be_kind: Option<BeKind>,
     be_running: bool,
 }
@@ -61,6 +62,13 @@ pub struct LeafAdvance {
     pub mean_normalized_latency: f64,
     /// BE progress over the batch in core·seconds.
     pub be_progress_core_s: f64,
+    /// Package energy over the batch in joules of simulated time (window
+    /// watts × window seconds, summed in window order on both stepping
+    /// paths so the value is bitwise identical whichever path served each
+    /// window).
+    pub energy_j: f64,
+    /// Highest package power any window of the batch reported, in watts.
+    pub max_power_w: f64,
     /// Whether the policy allowed BE execution after the batch.
     pub be_enabled: bool,
     /// Windows that ran the full simulation path.
@@ -190,6 +198,19 @@ impl ColoRunner {
         self.policy.be_enabled()
     }
 
+    /// The RAPL-style package power cap currently imposed on this leaf.
+    pub fn package_cap_w(&self) -> Option<f64> {
+        self.server.allocations().package_cap_w()
+    }
+
+    /// Sets (or clears) the RAPL-style package power cap.  The cap is part
+    /// of [`WindowInputs`], so changing it invalidates steadiness and the
+    /// next window re-simulates in full under the new budget — capping is a
+    /// behavioral knob, never a silent replay.
+    pub fn set_package_cap_w(&mut self, cap: Option<f64>) {
+        self.server.allocations_mut().set_package_cap_w(cap);
+    }
+
     /// Turns the policy's decision tracing on or off (a no-op for policies
     /// that do not trace).
     pub fn set_trace(&mut self, enabled: bool) {
@@ -285,6 +306,7 @@ impl ColoRunner {
             be_ways: alloc.be_ways(),
             be_freq_cap_bits: alloc.be_freq_cap_ghz().map(f64::to_bits),
             be_net_ceil_bits: alloc.be_net_ceil_gbps().map(f64::to_bits),
+            package_cap_bits: alloc.package_cap_w().map(f64::to_bits),
             be_kind: if be_running { self.be.as_ref().map(|b| b.kind()) } else { None },
             be_running,
         }
@@ -385,11 +407,15 @@ impl ColoRunner {
         let mut worst = 0.0f64;
         let mut latency_sum = 0.0f64;
         let mut progress = 0.0;
+        let mut energy_j = 0.0;
+        let mut max_power_w = 0.0f64;
         for _ in 0..windows {
             let record = self.window(load, allow_fast);
             worst = worst.max(record.normalized_latency);
             latency_sum += record.normalized_latency;
             progress += record.be_throughput * self.be_alone_progress * window_s;
+            energy_j += record.counters.package_power_w * window_s;
+            max_power_w = max_power_w.max(record.counters.package_power_w);
         }
         let last = self.history.last().expect("at least one window ran");
         LeafAdvance {
@@ -398,6 +424,8 @@ impl ColoRunner {
             worst_normalized_latency: worst,
             mean_normalized_latency: latency_sum / windows as f64,
             be_progress_core_s: progress,
+            energy_j,
+            max_power_w,
             be_enabled: self.policy.be_enabled(),
             full_windows: self.full_windows - full_before,
             fast_windows: self.fast_windows - fast_before,
@@ -723,6 +751,8 @@ mod tests {
             adv_fast.worst_normalized_latency.to_bits()
         );
         assert_eq!(adv_oracle.last_emu.to_bits(), adv_fast.last_emu.to_bits());
+        assert_eq!(adv_oracle.energy_j.to_bits(), adv_fast.energy_j.to_bits());
+        assert_eq!(adv_oracle.max_power_w.to_bits(), adv_fast.max_power_w.to_bits());
         assert_eq!(adv_oracle.be_enabled, adv_fast.be_enabled);
     }
 

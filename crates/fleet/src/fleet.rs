@@ -57,6 +57,9 @@
 use heracles_cluster::TcoModel;
 use heracles_colo::{ColoConfig, ColoRunner};
 use heracles_core::{ColocationPolicy, Heracles, HeraclesConfig, OfflineDramModel};
+use heracles_energy::{
+    hour_of_day, joules_to_dollars, EnergyConfig, EnergyMeter, PowerCapCoordinator,
+};
 use heracles_hw::ServerConfig;
 use heracles_sim::{parallel_map_mut, Scheduler, SimDuration, SimRng, SimTime, WakeReason};
 use heracles_telemetry::{AlertKind, Telemetry, TelemetryConfig, TraceEvent};
@@ -212,6 +215,16 @@ pub struct FleetConfig {
     /// demand model identically under both sim cores.
     #[serde(default = "default_demand_hold_steps")]
     pub demand_hold_steps: usize,
+    /// The energy plane (metering off, no power cap by default).  Metering
+    /// is a pure read-only shadow like telemetry: energy-on and energy-off
+    /// runs of the same seed produce bit-identical [`FleetResult`]s — the
+    /// per-step energy columns are always populated either way, because
+    /// they are a pure function of the simulation records.  A cluster
+    /// power cap, by contrast, is an explicit behavioral knob: the
+    /// [`PowerCapCoordinator`] splits the watt budget into per-leaf RAPL
+    /// caps and (under a tight budget) stops BE admission fleet-wide.
+    #[serde(default)]
+    pub energy: EnergyConfig,
 }
 
 impl Default for FleetConfig {
@@ -236,6 +249,7 @@ impl Default for FleetConfig {
             telemetry: TelemetryConfig::default(),
             sim_core: SimCore::Stepped,
             demand_hold_steps: default_demand_hold_steps(),
+            energy: EnergyConfig::default(),
         }
     }
 }
@@ -365,6 +379,19 @@ impl FleetConfig {
         if self.demand_hold_steps == 0 {
             return Err("demand_hold_steps must be at least 1 (got 0)".into());
         }
+        if !self.energy.pue.is_finite() || self.energy.pue < 1.0 {
+            return Err(format!(
+                "energy.pue must be finite and at least 1.0 (got {})",
+                self.energy.pue
+            ));
+        }
+        if let Some(cap) = self.energy.power_cap_w {
+            if !cap.is_finite() || cap <= 0.0 {
+                return Err(format!(
+                    "energy.power_cap_w must be finite and positive when set (got {cap})"
+                ));
+            }
+        }
         self.telemetry.validate()?;
         Ok(())
     }
@@ -388,6 +415,13 @@ struct StepObservation {
     full_windows: u64,
     /// Windows satisfied by the fast path this step.
     fast_windows: u64,
+    /// Package energy this leaf drew over the step's windows, in joules of
+    /// *simulated* time (per-window watts × window seconds; the recorder
+    /// scales by time compression when charging represented energy).
+    energy_j: f64,
+    /// The leaf's maximum per-window package power this step, in watts —
+    /// the per-leaf term of the fleet's conservative peak-draw bound.
+    max_power_w: f64,
 }
 
 /// The fleet simulator: servers, the traffic plane, scheduler state and
@@ -448,6 +482,16 @@ pub struct FleetSim {
     /// rebased by its commissioning time to land on the fleet clock.
     /// Empty when telemetry is off.
     runner_epochs: Vec<SimDuration>,
+    /// The energy meter's ledgers (`None` unless `config.energy.metering`).
+    /// A pure read-only shadow: it is charged from the same per-leaf
+    /// observations the always-on step columns sum, so installing it
+    /// changes no simulated outcome.
+    meter: Option<EnergyMeter>,
+    /// The cluster power-cap coordinator (`None` unless
+    /// `config.energy.power_cap_w` is set).  Unlike the meter this is a
+    /// behavioral knob: it imposes per-leaf RAPL caps and a fleet
+    /// BE-admission throttle every step.
+    cap_coordinator: Option<PowerCapCoordinator>,
 }
 
 impl FleetSim {
@@ -679,6 +723,8 @@ impl FleetSim {
             telemetry,
             admission_baseline,
             runner_epochs,
+            meter: config.energy.metering.then(EnergyMeter::new),
+            cap_coordinator: config.energy.power_cap_w.map(PowerCapCoordinator::new),
             config,
         }
     }
@@ -812,6 +858,55 @@ impl FleetSim {
                 let events = h.summary_events(now);
                 t.recorder.extend(events);
             }
+        }
+    }
+
+    /// The energy meter's ledgers, when `config.energy.metering` is on.
+    pub fn meter(&self) -> Option<&EnergyMeter> {
+        self.meter.as_ref()
+    }
+
+    /// Detaches the energy meter (for writing energy artifacts after a run
+    /// consumed the simulator's result separately).
+    pub fn take_meter(&mut self) -> Option<EnergyMeter> {
+        self.meter.take()
+    }
+
+    /// Records the energy plane's end-of-run summary into the flight
+    /// recorder at the current sim time: the fleet ledger with its
+    /// conservation residual, one event per (service × generation) pool
+    /// ledger, and the top-5 energy-hungriest leaves.  A no-op when
+    /// metering or telemetry is off.  Callers writing trace artifacts
+    /// invoke this once, after the last step and before
+    /// [`FleetSim::take_telemetry`].
+    pub fn emit_energy_summary(&mut self) {
+        let now = self.now();
+        let Some(meter) = self.meter.as_ref() else { return };
+        let Some(t) = self.telemetry.as_mut() else { return };
+        let fleet = meter.fleet();
+        t.recorder.record(
+            TraceEvent::new(now, "energy", "summary")
+                .f64("fleet_joules", fleet.joules)
+                .f64("fleet_dollars", fleet.dollars)
+                .u64("observations", meter.observations())
+                .f64("conservation_error_j", meter.conservation_error()),
+        );
+        for ((service, generation), ledger) in meter.pools() {
+            t.recorder.record(
+                TraceEvent::new(now, "energy", "pool")
+                    .str("service", service)
+                    .str("generation", generation)
+                    .f64("joules", ledger.joules)
+                    .f64("dollars", ledger.dollars),
+            );
+        }
+        for (leaf, ledger) in meter.top_leaves(5) {
+            t.recorder.record(
+                TraceEvent::new(now, "energy", "top_leaf")
+                    .u64("server", leaf)
+                    .f64("joules", ledger.joules)
+                    .f64("dollars", ledger.dollars),
+            );
         }
     }
 
@@ -1060,6 +1155,9 @@ impl FleetSim {
             );
         }
         self.store.retire(id);
+        if let Some(c) = self.cap_coordinator.as_mut() {
+            c.forget(id as u64);
+        }
         if self.telemetry.is_some() {
             let event = TraceEvent::new(self.now(), "store", "retired").u64("server", id as u64);
             self.emit_trace(event);
@@ -1192,6 +1290,56 @@ impl FleetSim {
         // the recorder it is a read-only shadow: nothing below branches on
         // it, so health-on and health-off runs stay bit-identical.
         let mut health = self.telemetry.as_mut().and_then(|t| t.health.take());
+
+        // 0. Cluster power capping (only when a budget is configured):
+        // split the watt budget into per-leaf RAPL caps proportional to
+        // TDP, and throttle BE admission fleet-wide when the budget is
+        // tight — Algorithm 3's ordering lifted to the fleet: BE work is
+        // shaved first (admission, then each leaf's DVFS walk-down), LC
+        // guaranteed frequency is touched last, and only as far as each
+        // leaf's own cap requires.  The cap participates in each leaf's
+        // window-input signature, so a changed cap forces full simulation
+        // windows — capping is a behavioral knob, never silently replayed.
+        if let Some(mut coordinator) = self.cap_coordinator.take() {
+            let roster: Vec<(u64, f64)> = in_service
+                .iter()
+                .map(|&id| (id as u64, self.runners[id].server().power().tdp_w()))
+                .collect();
+            let plan = coordinator.plan(&roster);
+            if self.store.power_throttled() != plan.throttle_be {
+                self.store.set_power_throttled(plan.throttle_be);
+                if tracing {
+                    step_events.push(
+                        TraceEvent::new(now, "energy", "be_throttle")
+                            .bool("throttled", plan.throttle_be)
+                            .f64("budget_w", plan.budget_w)
+                            .f64("total_tdp_w", plan.total_tdp_w),
+                    );
+                }
+            }
+            // Assignments are in roster order (= ascending in-service id),
+            // or empty when the budget clears the whole roster's TDP.
+            for (i, &id) in in_service.iter().enumerate() {
+                let cap = plan.assignments.get(i).map(|a| {
+                    debug_assert_eq!(a.leaf, id as u64, "cap plan order diverged");
+                    a.cap_w
+                });
+                self.runners[id].set_package_cap_w(cap);
+                if coordinator.note_applied(id as u64, cap) {
+                    self.wake(id, WakeReason::Lifecycle);
+                    if tracing {
+                        step_events.push(
+                            TraceEvent::new(now, "energy", "cap")
+                                .u64("server", id as u64)
+                                .bool("capped", cap.is_some())
+                                .f64("cap_w", cap.unwrap_or(0.0))
+                                .f64("budget_w", plan.budget_w),
+                        );
+                    }
+                }
+            }
+            self.cap_coordinator = Some(coordinator);
+        }
 
         let routing_started = std::time::Instant::now();
         // Demand is sampled on a hold grid: with `demand_hold_steps = n` the
@@ -1358,6 +1506,8 @@ impl FleetSim {
                 be_enabled: adv.be_enabled,
                 full_windows: adv.full_windows,
                 fast_windows: adv.fast_windows,
+                energy_j: adv.energy_j,
+                max_power_w: adv.max_power_w,
             }
         });
         if tracing {
@@ -1540,11 +1690,37 @@ impl FleetSim {
         let mut service_load_weighted = [0.0f64; NUM_SERVICES];
         let mut service_cores = [0.0f64; NUM_SERVICES];
         let mut violating_by_service = [0usize; NUM_SERVICES];
+        // Energy is recorded unconditionally — like the TCO column it is a
+        // pure function of the simulation records, so the metering knob
+        // cannot perturb the result.  Each leaf's simulated joule integral
+        // is scaled to the wall time the step *represents*, and the step's
+        // $/kWh comes from the time-of-day tariff at the represented hour.
+        let energy_price = self
+            .config
+            .energy
+            .price
+            .price_at(hour_of_day(now.as_secs_f64() * self.config.time_compression));
+        let mut energy_joules = 0.0f64;
+        let mut gen_energy_j = [0.0f64; 3];
         for ((&id, obs), &load) in in_service.iter().zip(&observations).zip(&loads) {
             let entry = self.store.server(id);
             let si = entry.service.index();
             service_load_weighted[si] += load * entry.cores as f64;
             service_cores[si] += entry.cores as f64;
+            let leaf_joules = obs.energy_j * self.config.time_compression;
+            energy_joules += leaf_joules;
+            gen_energy_j[entry.generation] += leaf_joules;
+            if let Some(m) = self.meter.as_mut() {
+                let leaf_dollars =
+                    joules_to_dollars(leaf_joules, energy_price, self.config.energy.pue);
+                m.observe_leaf(
+                    id as u64,
+                    entry.service.name(),
+                    Generation::all()[entry.generation].name(),
+                    leaf_joules,
+                    leaf_dollars,
+                );
+            }
             if let Some(h) = health.as_mut() {
                 h.observe_cell(
                     si as u8,
@@ -1594,6 +1770,11 @@ impl FleetSim {
                 )
             })
             .sum();
+        let energy_dollars = joules_to_dollars(energy_joules, energy_price, self.config.energy.pue);
+        // A conservative instantaneous bound: every leaf at its own worst
+        // window simultaneously.  A power-capped run proves budget
+        // compliance by keeping even this bound at or under the budget.
+        let peak_power_w: f64 = observations.iter().map(|o| o.max_power_w).sum();
         self.steps.push(FleetStep {
             time: now,
             mean_load: core_weighted_mean(&loads, &cores),
@@ -1614,6 +1795,9 @@ impl FleetSim {
             violating_by_service,
             migrations: std::mem::take(&mut self.pending_migrations),
             tco_dollars,
+            energy_joules,
+            energy_dollars,
+            peak_power_w,
             queued_jobs: self.queue.pending_len(),
             running_jobs: self.store.running_jobs(),
             completed_jobs: self.completed_total,
@@ -1698,7 +1882,18 @@ impl FleetSim {
                 .u64("completed", recorded.completed_jobs as u64)
                 .u64("migrations", recorded.migrations as u64)
                 .f64("tco_dollars", recorded.tco_dollars)
-                .f64("be_progress_core_s", recorded.be_progress_core_s);
+                .f64("be_progress_core_s", recorded.be_progress_core_s)
+                .f64("energy_joules", recorded.energy_joules)
+                .f64("energy_dollars", recorded.energy_dollars)
+                .f64("peak_power_w", recorded.peak_power_w)
+                .f64("watts_sandy_bridge", gen_energy_j[0] / step_s)
+                .f64("watts_haswell", gen_energy_j[1] / step_s)
+                .f64("watts_skylake", gen_energy_j[2] / step_s)
+                // The represented step duration the watts are averaged
+                // over: trace timestamps tick raw simulation seconds, so a
+                // time-compressed run needs this to integrate watts back
+                // into joules (the doctor's conservation cross-check).
+                .f64("step_represented_s", step_s);
             if event_core {
                 step_event = step_event.u64("woken", woken).u64("quiescent", quiescent);
             }
@@ -1708,6 +1903,13 @@ impl FleetSim {
             t.metrics.set_gauge("fleet.running_jobs", recorded.running_jobs as f64);
             t.metrics.set_gauge("fleet.in_service_servers", recorded.in_service_servers as f64);
             t.metrics.observe("fleet.step_tco_dollars", recorded.tco_dollars);
+            t.metrics.set_gauge_with_unit("fleet.peak_power_w", recorded.peak_power_w, "W");
+            t.metrics.set_gauge_with_unit(
+                "fleet.mean_power_w",
+                recorded.energy_joules / step_s,
+                "W",
+            );
+            t.metrics.observe("fleet.step_energy_joules", recorded.energy_joules);
             for obs in &observations {
                 t.metrics.observe("fleet.normalized_latency", obs.worst_normalized_latency);
             }

@@ -68,6 +68,10 @@ pub mod traffic;
 
 pub use fleet::{single_server_baseline_violations, FleetConfig, FleetSim, SimCore};
 pub use generation::{Generation, GenerationMix};
+pub use heracles_energy::{
+    hour_of_day, joules_to_dollars, CapPlan, EnergyConfig, EnergyLedger, EnergyMeter,
+    EnergyPriceSchedule, PowerCapCoordinator,
+};
 pub use heracles_telemetry::{Telemetry, TelemetryConfig};
 pub use job::{BeJob, JobId, JobMix, JobQueue, JobStreamConfig};
 pub use metrics::{

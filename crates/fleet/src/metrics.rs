@@ -247,6 +247,22 @@ pub struct FleetStep {
     /// Amortized TCO of the step across in-service servers, in dollars
     /// (capex prorated per step plus energy at each server's utilization).
     pub tco_dollars: f64,
+    /// Package energy the in-service fleet drew during the step, in joules
+    /// of represented time (per-window watts integrated over every leaf's
+    /// measurement windows, scaled by the run's time compression).  Always
+    /// populated — the column is a pure function of the simulation records,
+    /// so the metering knob cannot perturb it.
+    pub energy_joules: f64,
+    /// The step's metered energy priced through the time-of-day schedule
+    /// and grossed up by PUE, in dollars.  Kept separate from
+    /// [`tco_dollars`](Self::tco_dollars) (whose energy term uses the TCO
+    /// model's flat annual rate) so the two accountings never double-count.
+    pub energy_dollars: f64,
+    /// Conservative peak fleet draw during the step, in watts: the sum over
+    /// leaves of each leaf's maximum per-window package power.  An upper
+    /// bound on the true instantaneous fleet draw, so a power-capped run
+    /// proves budget compliance by keeping even this bound under budget.
+    pub peak_power_w: f64,
     /// Jobs waiting in the queue at the end of the step.
     pub queued_jobs: usize,
     /// Jobs resident on servers at the end of the step.
@@ -472,6 +488,38 @@ impl FleetResult {
         }
     }
 
+    /// Total package energy drawn over the run, in joules of represented
+    /// time — the quantity the energy plane's conservation audit compares
+    /// against the meter's fleet ledger.
+    pub fn total_energy_joules(&self) -> f64 {
+        self.steps.iter().map(|s| s.energy_joules).sum()
+    }
+
+    /// Total energy bill over the run at the configured time-of-day
+    /// schedule and PUE, in dollars.
+    pub fn total_energy_dollars(&self) -> f64 {
+        self.steps.iter().map(|s| s.energy_dollars).sum()
+    }
+
+    /// The worst per-step peak fleet draw over the run, in watts — what a
+    /// power-capped run compares against its budget (0.0 for an empty
+    /// run).
+    pub fn max_peak_power_w(&self) -> f64 {
+        self.steps.iter().map(|s| s.peak_power_w).fold(0.0, f64::max)
+    }
+
+    /// Joules per BE core·second served (infinite if no BE work ran) — the
+    /// energy-efficiency figure the energy-aware autoscale comparison
+    /// minimizes, mirroring [`tco_per_be_core_s`](Self::tco_per_be_core_s).
+    pub fn joules_per_be_core_s(&self) -> f64 {
+        let served = self.be_core_s_served();
+        if served > 0.0 {
+            self.total_energy_joules() / served
+        } else {
+            f64::INFINITY
+        }
+    }
+
     /// Mean number of in-service servers over the run (0.0 for an empty
     /// run) — the time-varying fleet size an autoscaler is judged on.
     pub fn mean_in_service_servers(&self) -> f64 {
@@ -547,6 +595,7 @@ impl FleetResult {
             "time_s,mean_load,fleet_emu,worst_normalized_latency,violating_server_fraction,\
              violating_servers,in_service_servers,in_service_cores,servers_sandy_bridge,\
              servers_haswell,servers_skylake,migrations,tco_dollars,\
+             energy_joules,energy_dollars,peak_power_w,\
              queued_jobs,running_jobs,completed_jobs,be_progress_core_s",
         );
         for kind in LcKind::all() {
@@ -572,6 +621,9 @@ impl FleetResult {
                 .int(s.in_service_by_generation[2] as u64)
                 .int(s.migrations as u64)
                 .f64(s.tco_dollars, 6)
+                .f64(s.energy_joules, 3)
+                .f64(s.energy_dollars, 8)
+                .f64(s.peak_power_w, 3)
                 .int(s.queued_jobs as u64)
                 .int(s.running_jobs as u64)
                 .int(s.completed_jobs as u64)
@@ -647,6 +699,9 @@ mod tests {
             violating_by_service: [(violating * 4.0).round() as usize, 0, 0],
             migrations: 0,
             tco_dollars: 0.5,
+            energy_joules: 1000.0,
+            energy_dollars: 0.001,
+            peak_power_w: 500.0,
             queued_jobs: 0,
             running_jobs: 1,
             completed_jobs: 0,
@@ -696,6 +751,10 @@ mod tests {
         assert_eq!(r.violation_server_steps(), 0);
         // A fleet that served nothing has unbounded cost per unit of work.
         assert!(r.tco_per_be_core_s().is_infinite());
+        assert_eq!(r.total_energy_joules(), 0.0);
+        assert_eq!(r.total_energy_dollars(), 0.0);
+        assert_eq!(r.max_peak_power_w(), 0.0);
+        assert!(r.joules_per_be_core_s().is_infinite());
     }
 
     #[test]
@@ -723,6 +782,12 @@ mod tests {
         assert!((r.tco_per_be_core_s() - 1.0 / 40.0).abs() < 1e-12);
         assert_eq!(r.mean_in_service_servers(), 4.0);
         assert_eq!(r.violation_server_steps(), 2);
+        // The energy series sums like the TCO series; efficiency divides
+        // by the same served work.
+        assert!((r.total_energy_joules() - 2000.0).abs() < 1e-9);
+        assert!((r.total_energy_dollars() - 0.002).abs() < 1e-12);
+        assert!((r.max_peak_power_w() - 500.0).abs() < 1e-12);
+        assert!((r.joules_per_be_core_s() - 50.0).abs() < 1e-9);
     }
 
     #[test]

@@ -221,6 +221,13 @@ pub struct ServerEntry {
     /// Consecutive steps the server sat occupied with BE execution disabled
     /// (the preemption trigger).
     pub disabled_streak: usize,
+    /// Whether the fleet's power-cap coordinator is currently throttling BE
+    /// admission cluster-wide (the budget is tight enough that DVFS alone
+    /// would make latency-critical work pay for best-effort joules).  Set
+    /// on every entry by [`PlacementStore::set_power_throttled`]; folded
+    /// into [`admits_be`](Self::admits_be) so every placement policy
+    /// observes the throttle without knowing about the energy plane.
+    pub power_throttled: bool,
 }
 
 impl ServerEntry {
@@ -276,6 +283,7 @@ impl ServerEntry {
             ADMISSION_LOAD_CEILING
         };
         self.is_active()
+            && !self.power_throttled
             && self.be_admitted
             && self.slack > ADMISSION_SLACK_FLOOR
             && self.lc_load < ceiling
@@ -383,6 +391,9 @@ pub struct PlacementStore {
     in_service_gen_counts: [usize; 3],
     in_service_service_counts: [usize; NUM_SERVICES],
     running_jobs_total: usize,
+    /// Fleet-wide BE-admission power throttle (mirrored onto every entry so
+    /// placement policies see it through [`ServerEntry::admits_be`]).
+    power_throttled: bool,
 }
 
 impl PlacementStore {
@@ -434,6 +445,7 @@ impl PlacementStore {
             in_service_gen_counts: [0; 3],
             in_service_service_counts: [0; NUM_SERVICES],
             running_jobs_total: 0,
+            power_throttled: false,
         };
         for cap in capacities {
             store.push_server(cap);
@@ -444,7 +456,11 @@ impl PlacementStore {
     /// Appends a fresh active entry and threads it into every index.
     fn push_server(&mut self, cap: &ServerCapacity) -> ServerId {
         let id = self.servers.len();
-        self.servers.push(Self::entry_for(id, cap));
+        let mut entry = Self::entry_for(id, cap);
+        // A box commissioned while the fleet is power-throttled joins
+        // throttled: the budget does not loosen because capacity grew.
+        entry.power_throttled = self.power_throttled;
+        self.servers.push(entry);
         let key = match self.sharding {
             ShardingMode::PerPool => Some((cap.generation, cap.service)),
             ShardingMode::Single => None,
@@ -514,6 +530,7 @@ impl PlacementStore {
             recent_emu: 0.0,
             recent_be_throughput: 0.0,
             disabled_streak: 0,
+            power_throttled: false,
         }
     }
 
@@ -730,6 +747,23 @@ impl PlacementStore {
             // The streak tracks one occupancy episode; once the last job
             // leaves, a future placement starts its grace period afresh.
             self.servers[server].disabled_streak = 0;
+        }
+    }
+
+    /// Whether the power-cap coordinator is currently throttling BE
+    /// admission fleet-wide.
+    pub fn power_throttled(&self) -> bool {
+        self.power_throttled
+    }
+
+    /// Sets the fleet-wide BE-admission power throttle, mirroring it onto
+    /// every entry so [`ServerEntry::admits_be`] observes it (Algorithm 3's
+    /// "shave BE first", lifted to admission: under a tight watt budget no
+    /// new best-effort work starts anywhere).
+    pub fn set_power_throttled(&mut self, throttled: bool) {
+        self.power_throttled = throttled;
+        for entry in &mut self.servers {
+            entry.power_throttled = throttled;
         }
     }
 

@@ -142,17 +142,42 @@ impl PowerModel {
         be_activity: f64,
         be_cap_ghz: Option<f64>,
     ) -> PowerOutcome {
+        self.solve_capped(lc_cores, lc_activity, be_cores, be_activity, be_cap_ghz, None)
+    }
+
+    /// [`solve`](PowerModel::solve) under an optional RAPL-style package
+    /// power cap.
+    ///
+    /// The cap acts as an effective-TDP override: the frequency walk-down
+    /// fits the package into `min(cap, TDP)` instead of TDP, lowering both
+    /// classes' frequencies exactly as RAPL's power balancer would, and the
+    /// reported package power is clipped at 105% of the cap (the same
+    /// transient-overshoot allowance the uncapped model grants TDP).  A
+    /// leaf capped at `c` watts therefore never reports more than
+    /// `1.05 × c`, which is what lets a fleet coordinator turn a cluster
+    /// watt budget into per-leaf caps with a provable sum bound.
+    pub fn solve_capped(
+        &self,
+        lc_cores: f64,
+        lc_activity: f64,
+        be_cores: f64,
+        be_activity: f64,
+        be_cap_ghz: Option<f64>,
+        package_cap_w: Option<f64>,
+    ) -> PowerOutcome {
         let lc_cores = lc_cores.clamp(0.0, self.total_cores as f64);
         let be_cores = be_cores.clamp(0.0, self.total_cores as f64);
         let active = lc_cores + be_cores;
         let turbo_limit = self.config_turbo.turbo_limit_ghz(active.max(1.0));
+        let budget = package_cap_w.map_or(self.tdp_w, |cap| cap.clamp(0.0, self.tdp_w));
 
         // Walk down from the Turbo limit in DVFS steps until the package fits
-        // in TDP (this is what the hardware's power balancer converges to).
+        // in the budget (this is what the hardware's power balancer converges
+        // to).
         let mut freq = turbo_limit;
         let mut power =
             self.package_power(freq, lc_cores, lc_activity, be_cores, be_activity, be_cap_ghz);
-        while power > self.tdp_w && freq > self.min_ghz {
+        while power > budget && freq > self.min_ghz {
             freq = (freq - self.step_ghz).max(self.min_ghz);
             power =
                 self.package_power(freq, lc_cores, lc_activity, be_cores, be_activity, be_cap_ghz);
@@ -168,7 +193,7 @@ impl PowerModel {
             lc_freq_ghz: freq,
             be_freq_ghz: if be_cores > 0.0 { be_freq } else { freq },
             turbo_limit_ghz: turbo_limit,
-            package_power_w: power.min(self.tdp_w * 1.05),
+            package_power_w: power.min(budget * 1.05),
             tdp_w: self.tdp_w,
         }
     }
@@ -229,6 +254,21 @@ mod tests {
             assert!(out.lc_freq_ghz <= out.turbo_limit_ghz + 1e-9);
             assert!(out.be_freq_ghz <= out.lc_freq_ghz + 1e-9);
         }
+    }
+
+    #[test]
+    fn package_cap_acts_as_an_effective_tdp() {
+        let m = model();
+        let uncapped = m.solve(36.0, 1.0, 0.0, 0.0, None);
+        let capped = m.solve_capped(36.0, 1.0, 0.0, 0.0, None, Some(120.0));
+        assert!(capped.package_power_w <= 120.0 * 1.05 + 1e-9, "{}", capped.package_power_w);
+        assert!(capped.lc_freq_ghz <= uncapped.lc_freq_ghz);
+        // No cap is exactly the uncapped solve — bit-identical.
+        let unchanged = m.solve_capped(12.0, 0.9, 24.0, 1.3, None, None);
+        assert_eq!(unchanged, m.solve(12.0, 0.9, 24.0, 1.3, None));
+        // A cap above TDP is inert.
+        let inert = m.solve_capped(12.0, 0.9, 24.0, 1.3, None, Some(1e6));
+        assert_eq!(inert, m.solve(12.0, 0.9, 24.0, 1.3, None));
     }
 
     #[test]

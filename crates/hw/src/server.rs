@@ -32,6 +32,7 @@ pub struct Allocations {
     be_ways: usize,
     be_freq_cap_ghz: Option<f64>,
     be_net_ceil_gbps: Option<f64>,
+    package_cap_w: Option<f64>,
 }
 
 impl Allocations {
@@ -47,6 +48,7 @@ impl Allocations {
             be_ways: 0,
             be_freq_cap_ghz: None,
             be_net_ceil_gbps: None,
+            package_cap_w: None,
         }
     }
 
@@ -95,6 +97,11 @@ impl Allocations {
     /// The HTB egress ceiling on the BE class, if any.
     pub fn be_net_ceil_gbps(&self) -> Option<f64> {
         self.be_net_ceil_gbps
+    }
+
+    /// The RAPL-style package power cap, if any.
+    pub fn package_cap_w(&self) -> Option<f64> {
+        self.package_cap_w
     }
 
     /// Sets the number of cores pinned to the LC workload (clamped to the
@@ -151,6 +158,13 @@ impl Allocations {
     /// Sets (or clears) the HTB egress ceiling for the BE class.
     pub fn set_be_net_ceil_gbps(&mut self, ceil: Option<f64>) {
         self.be_net_ceil_gbps = ceil.map(|c| c.max(0.0));
+    }
+
+    /// Sets (or clears) the RAPL-style package power cap.  The power model
+    /// treats it as an effective-TDP override, so capping a package below
+    /// TDP lowers both classes' frequencies the way RAPL's balancer would.
+    pub fn set_package_cap_w(&mut self, cap: Option<f64>) {
+        self.package_cap_w = cap.map(|c| c.max(0.0));
     }
 
     /// Number of cores not assigned to either class.
@@ -336,12 +350,13 @@ impl Server {
         let be_core_limit =
             if alloc.be_shares_lc_cores { alloc.total_cores as f64 } else { alloc.be_cores as f64 };
         let be_active = demand.be_active_cores.clamp(0.0, be_core_limit);
-        let power: PowerOutcome = self.power.solve(
+        let power: PowerOutcome = self.power.solve_capped(
             lc_active,
             demand.lc_compute_activity.max(0.0),
             be_active,
             demand.be_compute_activity.max(0.0),
             alloc.be_freq_cap_ghz,
+            alloc.package_cap_w,
         );
 
         // DRAM bandwidth. BE demand scales with how fast its cores actually run.

@@ -130,6 +130,11 @@ impl Histogram {
 pub struct MetricsRegistry {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
+    /// Display units of gauges registered through
+    /// [`set_gauge_with_unit`](Self::set_gauge_with_unit) — e.g. power
+    /// gauges carry `"W"` so reports render `"290.0 W"` instead of a bare
+    /// float.
+    gauge_units: BTreeMap<&'static str, &'static str>,
     histograms: BTreeMap<&'static str, Histogram>,
 }
 
@@ -152,6 +157,19 @@ impl MetricsRegistry {
     /// Sets a gauge to its latest value.
     pub fn set_gauge(&mut self, id: &'static str, value: f64) {
         self.gauges.insert(id, value);
+    }
+
+    /// Sets a gauge and registers its display unit (e.g. `"W"` for power
+    /// gauges), so exports and reports can render the value with its unit
+    /// instead of a bare float.
+    pub fn set_gauge_with_unit(&mut self, id: &'static str, value: f64, unit: &'static str) {
+        self.gauges.insert(id, value);
+        self.gauge_units.insert(id, unit);
+    }
+
+    /// The display unit registered for a gauge, if any.
+    pub fn gauge_unit(&self, id: &str) -> Option<&'static str> {
+        self.gauge_units.get(id).copied()
     }
 
     /// Records one histogram observation.
@@ -191,6 +209,12 @@ impl MetricsRegistry {
             let _ = write!(out, "{sep}    \"{}\": {v:.6}", json_escape(id));
         }
         out.push_str(if self.gauges.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauge_units\": {");
+        for (i, (id, unit)) in self.gauge_units.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    \"{}\": \"{}\"", json_escape(id), json_escape(unit));
+        }
+        out.push_str(if self.gauge_units.is_empty() { "},\n" } else { "\n  },\n" });
         out.push_str("  \"histograms\": {");
         for (i, (id, h)) in self.histograms.iter().enumerate() {
             let sep = if i == 0 { "\n" } else { ",\n" };
@@ -309,6 +333,19 @@ mod tests {
             let est = h.quantile(q);
             assert!((0.5..=1.0).contains(&est), "q={q} escaped the bucket: {est}");
         }
+    }
+
+    #[test]
+    fn gauges_with_units_render_their_unit_in_the_export() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge_with_unit("fleet.peak_power_w", 290.5, "W");
+        m.set_gauge("fleet.queue_depth", 3.0);
+        assert_eq!(m.gauge_unit("fleet.peak_power_w"), Some("W"));
+        assert_eq!(m.gauge_unit("fleet.queue_depth"), None);
+        let doc = m.to_json_sections();
+        assert!(doc.contains("\"gauge_units\""));
+        assert!(doc.contains("\"fleet.peak_power_w\": \"W\""));
+        assert!(doc.contains("\"fleet.peak_power_w\": 290.500000"));
     }
 
     #[test]
